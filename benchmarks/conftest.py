@@ -1,0 +1,28 @@
+"""Shared fixtures for the benchmark harness.
+
+Each benchmark regenerates one artifact of the paper's evaluation
+(Table 1, Table 2, Figure 3, the Section 5.3 failure set) on the synthetic
+corpus and asserts the paper's *shape* claims — who wins, what ratios
+hold, where the qualitative behavior lands — rather than absolute numbers.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture(scope="session")
+def corpus_report():
+    """Lift the scale-1 xenlike corpus once per session."""
+    from repro.eval import run_corpus
+
+    return run_corpus(scale=1, timeout_seconds=10.0, max_states=10_000)
+
+
+@pytest.fixture(scope="session")
+def coreutils_results():
+    """Lift the six coreutils-like binaries once per session."""
+    from repro.corpus import build_coreutils
+    from repro.hoare import lift
+
+    return {name: lift(binary) for name, binary in build_coreutils().items()}

@@ -1,0 +1,154 @@
+"""Ablation benchmarks for the design choices DESIGN.md calls out.
+
+1. **Joining** (Definition 3.3/3.12): with joining disabled, the number of
+   explored states on a loopy program explodes (and exploration only stops
+   because of the budget); with joining, states ≈ instructions.
+2. **Immediate-pointer compatibility refinement** (Section 4): without it,
+   the Figure 1 weird-edge binary's aliasing/separate fork collapses at
+   the join and the indirect jump becomes unresolvable.
+3. **Memory-model forking vs destroying** (Definition 3.7): capping ins()
+   at one outcome (destroy-like) loses the aliasing case split and the
+   weird edge disappears.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import lift
+from repro.elf import BinaryBuilder
+from repro.isa import Imm, Mem, abs32, abs64
+from repro.minicc import compile_source
+
+LOOPY = """
+long main(long n) {
+    long sum = 0;
+    for (long i = 0; i < n; i = i + 1) {
+        sum = sum + i;
+        if (sum > 1000) sum = sum - 1000;
+    }
+    return sum;
+}
+"""
+
+
+def _lift_with_joining():
+    return lift(compile_source(LOOPY, name="loopy"))
+
+
+def _lift_without_joining(budget: int = 400):
+    """Disable joining by making every state its own vertex."""
+    import repro.hoare.graph as graph_module
+
+    original = graph_module.code_key
+    counter = [0]
+
+    def unique_key(state, text_range):
+        counter[0] += 1
+        return ("code", state.rip, counter[0])
+
+    graph_module.code_key = unique_key
+    import repro.hoare.lifter as lifter_module
+
+    original_lifter_key = lifter_module.code_key
+    lifter_module.code_key = unique_key
+    try:
+        return lift(compile_source(LOOPY, name="loopy"), max_states=budget)
+    finally:
+        graph_module.code_key = original
+        lifter_module.code_key = original_lifter_key
+
+
+def test_ablation_joining(benchmark):
+    with_join = benchmark.pedantic(_lift_with_joining, rounds=1, iterations=1)
+    without_join = _lift_without_joining(budget=400)
+    assert with_join.verified
+    # With joining: fixpoint at ~#instructions states.
+    assert with_join.stats.states <= with_join.stats.instructions + 4
+    # Without joining: the loop unrolls forever; only the budget stops it.
+    assert not without_join.verified
+    assert any(e.kind == "timeout" for e in without_join.errors)
+
+
+def weird_binary():
+    builder = BinaryBuilder("weird")
+    t = builder.text
+    t.label("main")
+    t.emit("cmp", "rax", Imm(0xC3, 32))
+    t.emit("ja", "out")
+    t.emit("movabs", "rcx", abs64("table"))
+    t.emit("mov", "rax", Mem(64, base="rcx", index="rax", scale=8))
+    t.emit("mov", Mem(64, base="rdi"), "rax")
+    t.emit("mov", Mem(64, base="rsi"), abs32("main", addend=2))
+    t.emit("jmp", Mem(64, base="rdi"))
+    t.label("out")
+    t.emit("ret")
+    t.label("case0")
+    t.emit("ret")
+    rod = builder.rodata
+    rod.label("table")
+    for _ in range(0xC4):
+        rod.quad(abs64("case0"))
+    return builder.build(entry="main")
+
+
+def test_ablation_immediate_pointer_refinement(benchmark):
+    """Without keeping text-immediate states apart, the aliasing fork joins
+    with the separate fork and the weird edge is lost to an annotation."""
+    binary = weird_binary()
+    full = benchmark.pedantic(
+        lambda: lift(binary, max_targets=4096), rounds=1, iterations=1
+    )
+    weird_addr = binary.entry + 2
+    assert weird_addr in full.instructions  # the ROP ret was found
+
+    import repro.hoare.graph as graph_module
+    import repro.hoare.lifter as lifter_module
+
+    original = graph_module.code_key
+
+    def coarse_key(state, text_range):
+        return ("code", state.rip)  # Definition 4.3 without the refinement
+
+    graph_module.code_key = coarse_key
+    lifter_module.code_key = coarse_key
+    try:
+        coarse = lift(binary, max_targets=4096)
+    finally:
+        graph_module.code_key = original
+        lifter_module.code_key = original
+    # With the refinement the jump-table fork resolves (column A) and the
+    # weird edge is found; without it the joined vertex can no longer bound
+    # the jump target at all.
+    assert full.stats.resolved_indirections >= 1
+    assert coarse.stats.resolved_indirections == 0
+    assert coarse.stats.unresolved_jumps >= 1
+
+
+def test_ablation_memory_model_forking():
+    """Capping ins() to a single outcome destroys instead of forking: the
+    aliasing case (and its weird edge) disappears while remaining sound
+    (the jump is annotated unresolved, not mis-resolved)."""
+    import repro.semantics.tau as tau_module
+    from repro.memmodel import ins as full_ins
+
+    binary = weird_binary()
+
+    def single_outcome_ins(region, model, bounds=None, max_forks=8):
+        from repro.memmodel.model import MemModel, InsResult
+
+        results = full_ins(region, model, bounds, max_forks)
+        if len(results) <= 1:
+            return results
+        destroyed = model.destroyed | model.all_regions() | {region}
+        return [InsResult(MemModel(frozenset(), destroyed))]
+
+    original = tau_module.ins
+    tau_module.ins = single_outcome_ins
+    try:
+        result = lift(binary, max_targets=4096)
+    finally:
+        tau_module.ins = original
+    weird_addr = binary.entry + 2
+    assert weird_addr not in result.instructions
+    assert result.stats.unresolved_jumps >= 1 or not result.verified

@@ -1,0 +1,64 @@
+"""Benchmark: the Section 5.1/5.3 qualitative failure artifacts.
+
+* ret2win lifts WITH a memset MUST-PRESERVE obligation over the caller's
+  return-address slot (the obligation whose negation is the exploit);
+* stack probing and non-standard rsp restoration are verification errors;
+* the buffer-overflow binary yields no HG;
+* the Section 2 weird-edge binary lifts and its ROP edge is present.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.corpus import (
+    buffer_overflow,
+    concurrency,
+    nonstandard_rsp,
+    ret2win,
+    stack_probe,
+)
+from repro.eval import generate_failures_report
+from repro.hoare import lift
+
+
+def test_failures_benchmark(benchmark):
+    text = benchmark.pedantic(generate_failures_report, rounds=1, iterations=1)
+    print()
+    print(text)
+    assert "MUST PRESERVE" in text
+
+
+def test_ret2win_obligation_shape():
+    result = lift(ret2win())
+    assert result.verified
+    obligation = next(ob for ob in result.obligations if ob.callee == "memset")
+    # The paper's annotation: memset(RDI := RSP0 - 40) MUST PRESERVE
+    # [RSP0 - 8 TO RSP0 + 8].
+    assert any(reg == "rdi" and "RSP0" in value
+               for reg, value in obligation.pointer_args)
+    assert any("RSP0 - 8 TO RSP0 + 8" in span for span in obligation.preserve)
+
+
+def test_stack_probe_rejected():
+    result = lift(stack_probe())
+    assert not result.verified
+    assert any(e.kind in ("return-address", "calling-convention")
+               for e in result.errors)
+
+
+def test_nonstandard_rsp_rejected():
+    result = lift(nonstandard_rsp())
+    assert not result.verified
+
+
+def test_buffer_overflow_no_hg():
+    result = lift(buffer_overflow())
+    assert not result.verified
+    assert any(e.kind == "return-address" for e in result.errors)
+
+
+def test_concurrency_out_of_scope():
+    result = lift(concurrency())
+    assert not result.verified
+    assert result.errors[0].kind == "concurrency"

@@ -1,0 +1,44 @@
+"""Benchmark: regenerate Figure 3 (verification time vs instruction count).
+
+Shape claim: the paper observes "very little correlation between
+verification times and instruction count" — time is driven by state-space
+structure (joins, forks), not code size.  We assert the Pearson
+correlation over the lifted library functions stays well below a strong
+correlation, and that the most expensive function is *not* the largest.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.eval import figure3_data, pearson
+from repro.eval.figure3 import format_figure3
+
+
+def test_figure3_benchmark(benchmark, corpus_report):
+    data = benchmark.pedantic(
+        lambda: figure3_data(corpus_report), rounds=1, iterations=1
+    )
+    print()
+    print(format_figure3(data))
+    assert len(data.points) > 50
+
+
+def test_low_size_time_correlation(corpus_report):
+    data = figure3_data(corpus_report)
+    assert abs(data.pearson_r) < 0.8, (
+        f"size/time correlation unexpectedly strong: r={data.pearson_r:.3f}"
+    )
+
+
+def test_slowest_function_is_not_the_largest(corpus_report):
+    points = figure3_data(corpus_report).points
+    slowest = max(points, key=lambda p: p[1])
+    largest = max(points, key=lambda p: p[0])
+    assert slowest != largest or len(points) < 3
+
+
+def test_pearson_helper():
+    assert pearson([(1, 1.0), (2, 2.0), (3, 3.0)]) == pytest.approx(1.0)
+    assert pearson([(1, 3.0), (2, 2.0), (3, 1.0)]) == pytest.approx(-1.0)
+    assert pearson([(1, 1.0)]) == 0.0

@@ -1,0 +1,46 @@
+"""Benchmark: the scalability claim — lifting cost grows linearly in code.
+
+The paper lifts 399 771 instructions because joining keeps the state count
+(and hence work) linear in code size.  We lift the corpus at scales 1 and
+2 and assert: instruction counts double, states stay ≈ instructions, and
+wall time grows roughly linearly (sub-quadratically at worst)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.eval.scaling import format_scaling, run_scaling
+
+
+@pytest.fixture(scope="module")
+def scaling_points():
+    return run_scaling(scales=(1, 2), timeout_seconds=10.0)
+
+
+def test_scaling_benchmark(benchmark, scaling_points):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    print()
+    print(format_scaling(scaling_points))
+
+
+def test_instructions_scale_linearly(scaling_points):
+    first, second = scaling_points
+    ratio = second.instructions / first.instructions
+    # Template parameters vary slightly with the per-unit name suffix, so
+    # "double the units" is approximately (not exactly) double the code.
+    assert 1.5 <= ratio <= 2.5, ratio
+
+
+def test_states_stay_proportional_to_instructions(scaling_points):
+    for point in scaling_points:
+        assert point.states <= point.instructions * 1.10
+
+
+def test_time_grows_subquadratically(scaling_points):
+    first, second = scaling_points
+    if first.seconds < 1.0:
+        pytest.skip("corpus too fast to measure scaling reliably")
+    cost_ratio = second.seconds / first.seconds
+    assert cost_ratio < 4.0, (
+        f"2x code cost {cost_ratio:.1f}x time — worse than quadratic"
+    )

@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Trustworthy patch auditing by Hoare-graph comparison (Section 7).
+
+The paper proposes lifting both an original binary and its patched version
+and comparing the HGs *and the assumptions required to lift them*: new
+proof obligations are exactly the "unexpected effects" a reviewer should
+see.  We audit two patches of the same program — a benign bound tightening
+and a backdoor that slips in an external call.
+
+Run:  python examples/patch_audit.py
+"""
+
+from repro import lift
+from repro.hoare.diff import diff_lifts
+from repro.minicc import compile_source
+
+ORIGINAL = """
+long main(long n) {
+    if (n < 0) n = 0;
+    if (n > 100) n = 100;
+    return n * 3;
+}
+"""
+
+BENIGN_PATCH = """
+long main(long n) {
+    if (n < 0) n = 0;
+    if (n > 50) n = 50;
+    return n * 3;
+}
+"""
+
+BACKDOOR_PATCH = """
+extern long system();
+long main(long n) {
+    if (n == 31337) system(n);
+    if (n < 0) n = 0;
+    if (n > 100) n = 100;
+    return n * 3;
+}
+"""
+
+
+def audit(title: str, original_src: str, patched_src: str) -> None:
+    print(f"=== {title} ===")
+    original = lift(compile_source(original_src, name="original"))
+    patched = lift(compile_source(patched_src, name="patched"))
+    diff = diff_lifts(original, patched)
+    print(f"  {diff.summary()}")
+    for addr, (old, new) in sorted(diff.changed_instructions.items())[:4]:
+        print(f"    ~ {old}")
+        print(f"      {new}")
+    for text in diff.added_obligations:
+        print(f"    + NEW OBLIGATION: {text}")
+    if diff.added_obligations:
+        print("    ^ the patch introduced a new external-call assumption —")
+        print("      review it before trusting the patched binary.")
+    elif diff.is_clean:
+        print("    (no observable change)")
+    else:
+        print("    no new assumptions: the patch stays within the original's")
+        print("      trust envelope.")
+    print()
+
+
+def main() -> None:
+    audit("benign patch (tightened bound)", ORIGINAL, BENIGN_PATCH)
+    audit("suspicious patch (backdoor external call)", ORIGINAL, BACKDOOR_PATCH)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""Security analysis via proof obligations: the ret2win scenario (§5.3).
+
+Lifting a binary that passes a stack-frame pointer to external ``memset``
+succeeds — but emits a MUST-PRESERVE proof obligation over the caller's
+return-address slot.  The *negation* of that obligation is an exploit
+candidate: if memset writes more than the frame allows, the saved return
+address is overwritten.  We demonstrate both sides concretely.
+
+Run:  python examples/rop_gadgets.py
+"""
+
+from repro import lift
+from repro.elf import BinaryBuilder
+from repro.isa import Imm, Mem
+from repro.machine import CPU
+
+
+def build_ret2win():
+    builder = BinaryBuilder("ret2win")
+    builder.extern("memset")
+    t = builder.text
+    t.label("main")
+    t.emit("sub", "rsp", Imm(32, 32))
+    t.emit("lea", "rdi", Mem(64, base="rsp"))   # rdi := frame buffer
+    t.emit("mov", "esi", Imm(0, 32))
+    t.emit("mov", "edx", Imm(48, 32))           # 48 bytes > 32-byte frame!
+    t.emit("call", "memset")
+    t.emit("mov", "eax", Imm(0, 32))
+    t.emit("add", "rsp", Imm(32, 32))
+    t.emit("ret")
+    t.label("win")                               # never called legitimately
+    t.emit("mov", "eax", Imm(0x77, 32))
+    t.emit("ret")
+    binary = builder.build(entry="main")
+    return binary, builder.text.labels["win"]
+
+
+def memset_model(length: int, fill):
+    def handler(cpu: CPU) -> None:
+        dst = cpu.regs["rdi"]
+        for offset in range(length):
+            cpu.memory.write(dst + offset, fill(cpu, offset), 1)
+        cpu.regs["rax"] = dst
+
+    return handler
+
+
+def main() -> None:
+    binary, win_addr = build_ret2win()
+    result = lift(binary)
+    print(f"lift: {result.summary()}\n")
+    print("generated proof obligations:")
+    for obligation in result.obligations:
+        print(f"  {obligation}")
+    # Note: win() is dead code — the lifter proves it unreachable under the
+    # obligation; it only becomes reachable when the obligation is violated.
+    print(f"\nwin() at {win_addr:#x} is NOT in the lifted instructions: "
+          f"{win_addr not in result.instructions}")
+
+    print("\n1. A memset honoring the obligation (writes 32 bytes):")
+    cpu = CPU(binary, extern_handlers={
+        "memset": memset_model(32, lambda c, o: c.regs["rsi"] & 0xFF)
+    })
+    cpu.run(max_steps=100)
+    print(f"   program returns normally, exit code {cpu.exit_code}")
+
+    print("\n2. A memset VIOLATING the obligation (writes 48 bytes, the "
+          "last 8 of which\n   are attacker-controlled and overwrite the "
+          "return address):")
+    payload = win_addr.to_bytes(8, "little")
+
+    def attacker_fill(cpu, offset):
+        if 32 <= offset < 40:            # bytes 32..39 hit [rsp0, 8]
+            return payload[offset - 32]
+        return 0x41
+
+    cpu = CPU(binary, extern_handlers={"memset": memset_model(48, attacker_fill)})
+    try:
+        cpu.run(max_steps=100)
+    except Exception:
+        pass  # the exploited process crashes after win() returns — expected
+    hijacked = win_addr in cpu.trace
+    print(f"   control flow hijacked into win() at {win_addr:#x}: {hijacked}")
+    print(f"   rax after win() ran: {cpu.regs['rax']:#x} (0x77 = win)")
+
+    print("\nThe lifted representation is sound UNDER the obligation; its "
+          "negation\nis precisely the exploit — the paper's proposed use of "
+          "obligations for\nexploit generation (Section 7).")
+
+
+if __name__ == "__main__":
+    main()

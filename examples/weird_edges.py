@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""The Section 2 example: finding "weird" control-flow edges.
+
+A jump-table dispatcher stores its target pointer to ``*rdi`` and an
+immediate to ``*rsi``.  If the two pointers alias, the immediate — which
+happens to be the address of the *middle* of the first instruction —
+overwrites the target, and the byte there (0xc3) executes as ``ret``: a
+ROP gadget.  A provably overapproximative lift must contain that edge.
+
+Run:  python examples/weird_edges.py
+"""
+
+from repro import lift
+from repro.elf import BinaryBuilder
+from repro.isa import Imm, Mem, abs32, abs64
+from repro.machine import CPU
+
+
+def build_weird_binary():
+    builder = BinaryBuilder("weird")
+    t = builder.text
+    t.label("main")
+    t.emit("cmp", "rax", Imm(0xC3, 32))       # 48 3d C3 00 00 00
+    t.emit("ja", "out")
+    t.emit("movabs", "rcx", abs64("table"))
+    t.emit("mov", "rax", Mem(64, base="rcx", index="rax", scale=8))
+    t.emit("mov", Mem(64, base="rdi"), "rax")                 # *rdi = a_jt
+    t.emit("mov", Mem(64, base="rsi"), abs32("main", addend=2))  # *rsi = main+2
+    t.emit("jmp", Mem(64, base="rdi"))
+    t.label("out")
+    t.emit("ret")
+    t.label("case0")
+    t.emit("mov", "eax", Imm(10, 32))
+    t.emit("ret")
+    t.label("case1")
+    t.emit("mov", "eax", Imm(11, 32))
+    t.emit("ret")
+    rod = builder.rodata
+    rod.label("table")
+    for index in range(0xC4):
+        rod.quad(abs64("case0" if index % 2 == 0 else "case1"))
+    return builder.build(entry="main")
+
+
+def main() -> None:
+    binary = build_weird_binary()
+    weird_addr = binary.entry + 2
+    print(f"bytes at entry: {binary.read(binary.entry, 6).hex()}")
+    print(f"the byte at {weird_addr:#x} decodes as: "
+          f"{binary.fetch(weird_addr).mnemonic}  <- hidden ret (0xc3)\n")
+
+    result = lift(binary, max_targets=4096)
+    print(f"lift: {result.summary()}")
+
+    jmp_addr = next(a for a, i in result.instructions.items()
+                    if i.mnemonic == "jmp" and i.operands)
+    targets = sorted(result.graph.control_flow_targets(jmp_addr))
+    print(f"\nindirect jmp at {jmp_addr:#x} has {len(targets)} targets:")
+    for target in targets:
+        label = result.instructions[target].mnemonic \
+            if target in result.instructions else "?"
+        weird = "   <-- WEIRD EDGE (mid-instruction ROP gadget)" \
+            if target == weird_addr else ""
+        print(f"  {target:#x}: {label}{weird}")
+
+    print("\nconcrete witness of the weird path (rdi == rsi):")
+    cpu = CPU(binary)
+    cpu.regs["rax"] = 2
+    cpu.regs["rdi"] = cpu.regs["rsi"] = 0x500000   # aliasing!
+    cpu.run(max_steps=100)
+    print(f"  executed addresses: {[hex(a) for a in cpu.trace]}")
+    print(f"  the ROP ret at {weird_addr:#x} really ran: "
+          f"{weird_addr in cpu.trace}")
+
+    print("\nconcrete witness of the normal path (rdi != rsi):")
+    cpu = CPU(binary)
+    cpu.regs["rax"] = 2
+    cpu.regs["rdi"], cpu.regs["rsi"] = 0x500000, 0x600000
+    cpu.run(max_steps=100)
+    print(f"  exit code {cpu.exit_code} (case0)")
+
+    executed = set(cpu.trace)
+    print(f"\noverapproximation check: every executed address lifted: "
+          f"{executed <= set(result.instructions)}")
+
+
+if __name__ == "__main__":
+    main()

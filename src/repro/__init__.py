@@ -1,0 +1,38 @@
+"""repro — formally verified lifting of C-compiled x86-64 binaries.
+
+A from-scratch reproduction of "Formally Verified Lifting of C-Compiled
+x86-64 Binaries" (PLDI 2022): provably overapproximative binary lifting to
+Hoare graphs, with exportable proof artifacts.
+
+Quickstart::
+
+    from repro import lift, load_binary
+    result = lift(load_binary("path/to/elf"))
+    print(result.summary())
+    for annotation in result.annotations:
+        print(annotation)
+"""
+
+from repro.elf import Binary, BinaryBuilder, load_binary, save_binary
+from repro.hoare import (
+    Annotation,
+    HoareGraph,
+    LiftResult,
+    Obligation,
+    VerificationError,
+    lift,
+    lift_function,
+)
+from repro.machine import CPU, run_binary
+from repro.verify import SanityReport, verify_binary, verify_function
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Binary", "BinaryBuilder", "load_binary", "save_binary",
+    "Annotation", "HoareGraph", "LiftResult", "Obligation",
+    "VerificationError", "lift", "lift_function",
+    "CPU", "run_binary",
+    "SanityReport", "verify_binary", "verify_function",
+    "__version__",
+]

@@ -1,0 +1,146 @@
+"""Command-line lifter: ``python -m repro <command> <binary> [options]``.
+
+Commands:
+
+* ``lift``  — lift an ELF binary, print the verdict, disassembly summary,
+  annotations and proof obligations;
+* ``disasm`` — print the proven disassembly;
+* ``cfg``   — emit a Graphviz DOT control-flow graph derived from the HG;
+* ``decompile`` — emit goto-style pseudo-C with obligation asserts;
+* ``export`` — write the Isabelle/HOL theory for the lifted binary;
+* ``check`` — replay every Hoare triple against the concrete emulator;
+* ``diff``  — lift two binaries (original, patched) and compare the HGs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.elf import load_binary
+from repro.hoare import lift, lift_function
+
+
+def _load_and_lift(args) -> "LiftResult":
+    binary = load_binary(args.binary)
+    if getattr(args, "function", None):
+        return lift_function(binary, args.function, max_states=args.max_states,
+                             timeout_seconds=args.timeout)
+    return lift(binary, max_states=args.max_states,
+                timeout_seconds=args.timeout)
+
+
+def _print_lift(result) -> int:
+    print(result.summary())
+    if result.errors:
+        print("\nverification errors (the binary was REJECTED):")
+        for error in result.errors:
+            print(f"  {error}")
+    if result.annotations:
+        print("\nunsoundness annotations:")
+        for annotation in result.annotations:
+            print(f"  {annotation}")
+    if result.obligations:
+        print("\nproof obligations (the lift is sound under these):")
+        for obligation in result.obligations:
+            print(f"  {obligation}")
+    return 0 if result.verified else 1
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Provably overapproximative x86-64 binary lifter "
+                    "(PLDI 2022 reproduction).",
+    )
+    parser.add_argument("command", choices=["lift", "disasm", "cfg", "decompile",
+                                            "export", "check", "diff"])
+    parser.add_argument("binary", help="path to an ELF binary")
+    parser.add_argument("patched", nargs="?",
+                        help="second binary (diff command only)")
+    parser.add_argument("--function", help="lift one exported function "
+                                           "(shared-object mode)")
+    parser.add_argument("--max-states", type=int, default=50_000)
+    parser.add_argument("--timeout", type=float, default=None,
+                        help="wall-clock budget in seconds")
+    parser.add_argument("--output", "-o", help="output file (cfg/export)")
+    args = parser.parse_args(argv)
+
+    if args.command == "diff":
+        if not args.patched:
+            parser.error("diff requires two binaries")
+        from repro.hoare.diff import diff_lifts
+
+        original = lift(load_binary(args.binary), max_states=args.max_states,
+                        timeout_seconds=args.timeout)
+        patched = lift(load_binary(args.patched), max_states=args.max_states,
+                       timeout_seconds=args.timeout)
+        diff = diff_lifts(original, patched)
+        print(diff.summary())
+        for addr, (old, new) in sorted(diff.changed_instructions.items()):
+            print(f"  ~ {old}  ->  {new}")
+        for addr, text in sorted(diff.added_instructions.items()):
+            print(f"  + {text}")
+        for addr, text in sorted(diff.removed_instructions.items()):
+            print(f"  - {text}")
+        for text in diff.added_obligations:
+            print(f"  + OBLIGATION {text}")
+        for text in diff.removed_obligations:
+            print(f"  - OBLIGATION {text}")
+        return 0 if diff.is_clean else 1
+
+    result = _load_and_lift(args)
+
+    if args.command == "lift":
+        return _print_lift(result)
+    if args.command == "disasm":
+        for addr in sorted(result.instructions):
+            print(result.instructions[addr])
+        return 0 if result.verified else 1
+    if args.command == "cfg":
+        from repro.hoare.cfg import build_cfg, to_dot
+
+        dot = to_dot(build_cfg(result), result)
+        if args.output:
+            with open(args.output, "w") as handle:
+                handle.write(dot)
+            print(f"wrote {args.output}")
+        else:
+            print(dot)
+        return 0
+    if args.command == "decompile":
+        from repro.decompile import decompile
+
+        text = decompile(result)
+        if args.output:
+            with open(args.output, "w") as handle:
+                handle.write(text)
+            print(f"wrote {args.output}")
+        else:
+            print(text)
+        return 0
+    if args.command == "export":
+        from repro.export import export_theory
+
+        theory = export_theory(result)
+        if args.output:
+            with open(args.output, "w") as handle:
+                handle.write(theory)
+            print(f"wrote {args.output}")
+        else:
+            print(theory)
+        return 0
+    if args.command == "check":
+        from repro.export import check_triples
+
+        report = check_triples(result)
+        print(report.summary())
+        for check in report.checks:
+            if check.status == "FAILED":
+                print(f"  FAILED @{check.instr_addr:#x}: {check.detail}")
+        return 0 if report.failed == 0 else 1
+    raise AssertionError("unreachable")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

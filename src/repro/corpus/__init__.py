@@ -1,0 +1,27 @@
+"""Synthetic corpus: the Xen / CoreUtils case-study substitutes."""
+
+from repro.corpus.coreutils import COREUTILS_SHAPES, build_coreutils
+from repro.corpus.failures import (
+    ALL_FAILURES,
+    buffer_overflow,
+    concurrency,
+    nonstandard_rsp,
+    ret2win,
+    stack_probe,
+)
+from repro.corpus.xenlike import (
+    Corpus,
+    CorpusBinary,
+    CorpusLibrary,
+    build_corpus,
+    build_library,
+    function_binary,
+)
+
+__all__ = [
+    "COREUTILS_SHAPES", "build_coreutils",
+    "ALL_FAILURES", "buffer_overflow", "concurrency", "nonstandard_rsp",
+    "ret2win", "stack_probe",
+    "Corpus", "CorpusBinary", "CorpusLibrary", "build_corpus",
+    "build_library", "function_binary",
+]

@@ -1,0 +1,87 @@
+"""CoreUtils-like programs for the Table 2 / Isabelle-export experiment.
+
+The paper exports six MacOS CoreUtils binaries (hexdump, od, wc, tar, du,
+gzip) to Isabelle/HOL.  These mini-C analogues implement each tool's core
+loop at reduced size while preserving the *relative* ordering of both
+instruction counts (tar > gzip > od > hexdump > du > wc) and indirection
+counts (hexdump/od highest, wc zero).
+"""
+
+from __future__ import annotations
+
+from repro.elf import Binary
+from repro.minicc import compile_source
+from repro.corpus import templates as T
+
+
+def _dispatch_block(tag: str, count: int, cases: int = 6) -> str:
+    """`count` dense switches → `count` resolved indirections."""
+    out = []
+    for i in range(count):
+        out.append(T.make_switch_dispatch(f"{tag}{i}", cases=cases, base=i * 10))
+    return "\n".join(out)
+
+
+def _filler(tag: str, count: int) -> tuple[str, str]:
+    """`count` assorted helper functions + a driver expression."""
+    sources = []
+    calls = []
+    for i in range(count):
+        kind = i % 5
+        name = f"{tag}{i}"
+        if kind == 0:
+            sources.append(T.make_arith(name, multiplier=2 + i % 7))
+            calls.append(f"acc = acc + arith_{name}(acc, n);")
+        elif kind == 1:
+            sources.append(T.make_loop_sum(name))
+            calls.append(f"acc = acc + loopsum_{name}(n & 15);")
+        elif kind == 2:
+            sources.append(T.make_bitops(name))
+            calls.append(f"acc = acc + bits_{name}(acc);")
+        elif kind == 3:
+            sources.append(T.make_byte_scanner(name, size=16))
+            calls.append(f"acc = acc + scan_{name}(n & 255);")
+        else:
+            sources.append(T.make_checksum(name, size=12))
+            calls.append(f"acc = acc + checksum_{name}();")
+    return "\n".join(sources), "\n    ".join(calls)
+
+
+def _program(name: str, fillers: int, dispatches: int) -> Binary:
+    filler_src, filler_calls = _filler(f"{name}f", fillers)
+    dispatch_src = _dispatch_block(f"{name}d", dispatches)
+    dispatch_calls = "\n    ".join(
+        f"acc = acc + dispatch_{name}d{i}(n & 5);" for i in range(dispatches)
+    )
+    source = f"""
+{filler_src}
+{dispatch_src}
+long main(long n) {{
+    long acc = 0;
+    {filler_calls}
+    {dispatch_calls}
+    return acc & 255;
+}}
+"""
+    return compile_source(source, name=name)
+
+
+#: name -> (filler helper count, dispatch/jump-table count).  Sized so the
+#: instruction-count ordering matches Table 2: tar > gzip > od > hexdump >
+#: du > wc, and the indirection ordering matches too.
+COREUTILS_SHAPES = {
+    "hexdump": (10, 6),
+    "od": (13, 6),
+    "wc": (2, 0),
+    "tar": (26, 3),
+    "du": (4, 2),
+    "gzip": (16, 4),
+}
+
+
+def build_coreutils() -> dict[str, Binary]:
+    """All six Table 2 programs."""
+    return {
+        name: _program(name, fillers, dispatches)
+        for name, (fillers, dispatches) in COREUTILS_SHAPES.items()
+    }

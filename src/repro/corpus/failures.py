@@ -1,0 +1,105 @@
+"""The instructive failure binaries of Sections 5.1 and 5.3.
+
+Each builder returns a Binary whose lift outcome reproduces one failure
+mode from the paper:
+
+* :func:`buffer_overflow` — writes through an unbounded stack index; the
+  return-address proof fails and no HG is produced (Section 5.1, item 2).
+* :func:`stack_probe`     — an internal callee clobbers rax, then the
+  caller does ``sub rsp, rax``: the stack pointer becomes unknowable
+  (Section 5.3, "Stack Probing").
+* :func:`nonstandard_rsp` — restores rsp from computed memory before
+  returning (Section 5.3, "Non-standard Stackpointer Restoration").
+* :func:`concurrency`     — calls pthread_create: declared out of scope.
+* :func:`ret2win`         — passes a stack-frame pointer to external
+  ``memset``; lifting *succeeds* and emits the MUST-PRESERVE proof
+  obligation whose negation is the exploit (Section 5.3, "Stack
+  Overflow").
+"""
+
+from __future__ import annotations
+
+from repro.elf import Binary, BinaryBuilder
+from repro.isa import Imm, Mem
+
+
+def buffer_overflow() -> Binary:
+    builder = BinaryBuilder("overflow")
+    t = builder.text
+    t.label("main")
+    t.emit("sub", "rsp", Imm(32, 32))
+    # rdi is an unbounded index; [rsp + rdi*8] may be the return address.
+    t.emit("mov", Mem(64, base="rsp", index="rdi", scale=8), Imm(0x41, 32))
+    t.emit("add", "rsp", Imm(32, 32))
+    t.emit("ret")
+    return builder.build(entry="main")
+
+
+def stack_probe() -> Binary:
+    builder = BinaryBuilder("stack_probe")
+    t = builder.text
+    t.label("main")
+    # mov eax, 0x1400; call __probe; sub rsp, rax  (the /usr/bin/zip shape)
+    t.emit("mov", "eax", Imm(0x1400, 32))
+    t.emit("call", "probe")
+    t.emit("sub", "rsp", "rax")
+    t.emit("add", "rsp", Imm(0x1400, 32))
+    t.emit("ret")
+    t.label("probe")
+    # Touch pages downward; from the caller's context-free view rax is
+    # simply not provably preserved.
+    t.emit("mov", "r11", "rsp")
+    t.emit("sub", "r11", Imm(0x1000, 32))
+    t.emit("mov", "r10b", Mem(8, base="r11"))
+    t.emit("ret")
+    return builder.build(entry="main")
+
+
+def nonstandard_rsp() -> Binary:
+    builder = BinaryBuilder("nonstd_rsp")
+    t = builder.text
+    t.label("main")
+    t.emit("sub", "rsp", Imm(0x40, 32))
+    t.emit("mov", Mem(64, base="rsp", disp=0x8), "rsp")
+    # Restore rsp from a computed memory location (the /usr/bin/ssh shape).
+    t.emit("mov", "rax", Mem(64, base="rsp", index="r9", scale=4, disp=8))
+    t.emit("mov", "rsp", "rax")
+    t.emit("ret")
+    return builder.build(entry="main")
+
+
+def concurrency() -> Binary:
+    builder = BinaryBuilder("threads")
+    builder.extern("pthread_create")
+    builder.extern("pthread_join")
+    t = builder.text
+    t.label("main")
+    t.emit("push", "rbp")
+    t.emit("call", "pthread_create")
+    t.emit("pop", "rbp")
+    t.emit("ret")
+    return builder.build(entry="main")
+
+
+def ret2win() -> Binary:
+    builder = BinaryBuilder("ret2win")
+    builder.extern("memset")
+    t = builder.text
+    t.label("main")
+    t.emit("sub", "rsp", Imm(32, 32))
+    t.emit("lea", "rdi", Mem(64, base="rsp", disp=0))    # rdi := rsp0 - 40
+    t.emit("mov", "esi", Imm(0x41, 32))
+    t.emit("mov", "edx", Imm(48, 32))                     # 48 > 32: exploitable
+    t.emit("call", "memset")
+    t.emit("add", "rsp", Imm(32, 32))
+    t.emit("ret")
+    return builder.build(entry="main")
+
+
+ALL_FAILURES = {
+    "buffer_overflow": buffer_overflow,
+    "stack_probe": stack_probe,
+    "nonstandard_rsp": nonstandard_rsp,
+    "concurrency": concurrency,
+    "ret2win": ret2win,
+}

@@ -1,0 +1,257 @@
+"""mini-C function templates for the synthetic corpus.
+
+Each template is a function ``make_x(tag, **params) -> str`` returning the
+source of one function whose name embeds *tag*, so a shared object can hold
+many instantiations.  The templates cover the phenomenology Table 1
+measures: resolvable jump tables (column A), callback invocations that
+cannot be resolved context-free (column C), computed jumps that fail to
+resolve (column B), plain arithmetic/loop/recursion bodies, and external
+calls that generate MUST-PRESERVE obligations.
+"""
+
+from __future__ import annotations
+
+
+def make_arith(tag: str, multiplier: int = 3, addend: int = 7) -> str:
+    return f"""
+long arith_{tag}(long x, long y) {{
+    long t = x * {multiplier} + y;
+    t = t - (x & y);
+    t = t ^ (y << 2);
+    return t + {addend};
+}}
+"""
+
+
+def make_clamp(tag: str, lo: int = 0, hi: int = 255) -> str:
+    return f"""
+long clamp_{tag}(long x) {{
+    if (x < {lo}) return {lo};
+    if (x > {hi}) return {hi};
+    return x;
+}}
+"""
+
+
+def make_loop_sum(tag: str, stride: int = 1) -> str:
+    return f"""
+long loopsum_{tag}(long n) {{
+    long sum = 0;
+    for (long i = 0; i < n; i = i + {stride}) {{
+        sum = sum + i;
+    }}
+    return sum;
+}}
+"""
+
+
+def make_global_table_walk(tag: str, size: int = 16) -> str:
+    return f"""
+long walktab_{tag}[{size}];
+long walk_{tag}(long n) {{
+    if (n < 0) n = 0;
+    if (n > {size - 1}) n = {size - 1};
+    long sum = 0;
+    for (long i = 0; i < {size}; i = i + 1) {{
+        walktab_{tag}[i] = i * n;
+        if (i <= n) sum = sum + walktab_{tag}[i];
+    }}
+    return sum;
+}}
+"""
+
+
+def make_local_buffer(tag: str, size: int = 8) -> str:
+    return f"""
+long localbuf_{tag}(long n) {{
+    long buf[{size}];
+    for (long i = 0; i < {size}; i = i + 1) buf[i] = i + n;
+    if (n < 0) n = 0;
+    if (n > {size - 1}) n = {size - 1};
+    return buf[n];
+}}
+"""
+
+
+def make_switch_dispatch(tag: str, cases: int = 6, base: int = 100) -> str:
+    """A dense switch: compiles to a rodata jump table (column A)."""
+    body = "\n".join(
+        f"        case {i}: return {base + i};" for i in range(cases)
+    )
+    return f"""
+long dispatch_{tag}(long op) {{
+    switch (op) {{
+{body}
+        default: return -1;
+    }}
+}}
+"""
+
+
+def make_state_machine(tag: str, states: int = 5) -> str:
+    transitions = "\n".join(
+        f"            case {i}: state = {(i * 2 + 1) % states}; break;"
+        for i in range(states)
+    )
+    return f"""
+long fsm_{tag}(long steps, long start) {{
+    long state = start;
+    if (state < 0) state = 0;
+    if (state > {states - 1}) state = 0;
+    for (long i = 0; i < steps; i = i + 1) {{
+        switch (state) {{
+{transitions}
+            default: state = 0;
+        }}
+    }}
+    return state;
+}}
+"""
+
+
+def make_callback_invoker(tag: str) -> str:
+    """Calls a function pointer parameter: an unresolvable indirect call
+    (column C) — the paper's dominant annotation cause."""
+    return f"""
+long invoke_{tag}(long callback, long arg) {{
+    if (callback == 0) return -1;
+    return (*callback)(arg);
+}}
+"""
+
+
+def make_callback_registry(tag: str, slots: int = 4) -> str:
+    """Stores/retrieves callbacks through a global table; calling through
+    the writable table is an unresolvable indirect call (column C)."""
+    return f"""
+long cbtable_{tag}[{slots}];
+long register_{tag}(long slot, long fn) {{
+    if (slot < 0) return -1;
+    if (slot > {slots - 1}) return -1;
+    cbtable_{tag}[slot] = fn;
+    return 0;
+}}
+long fire_{tag}(long slot, long arg) {{
+    if (slot < 0) return -1;
+    if (slot > {slots - 1}) return -1;
+    long fn = cbtable_{tag}[slot];
+    if (fn == 0) return 0;
+    return (*fn)(arg);
+}}
+"""
+
+
+def make_recursive(tag: str, base: int = 1) -> str:
+    return f"""
+long recur_{tag}(long n) {{
+    if (n <= {base}) return {base};
+    return n * recur_{tag}(n - 1);
+}}
+"""
+
+
+def make_extern_user(tag: str, extern_name: str = "malloc") -> str:
+    return f"""
+extern long {extern_name}();
+long use_{tag}(long n) {{
+    long p = {extern_name}(n);
+    if (p == 0) return -1;
+    return p;
+}}
+"""
+
+
+def make_buffer_writer_extern(tag: str, size: int = 40) -> str:
+    """Passes a pointer to a local buffer to an external function: produces
+    the ret2win-style MUST-PRESERVE obligation (Section 5.3)."""
+    return f"""
+extern long memset();
+long fillbuf_{tag}(long c) {{
+    long buf[{size // 8}];
+    memset(&buf[0], c, {size});
+    return buf[0];
+}}
+"""
+
+
+def make_helper_chain(tag: str, depth: int = 3) -> str:
+    """A chain of internal calls (context-free exploration, Section 4.2.2)."""
+    parts = []
+    for level in range(depth):
+        callee = f"chain_{tag}_{level + 1}" if level + 1 < depth else None
+        if callee:
+            body = f"return {callee}(x + {level});"
+        else:
+            body = f"return x * {depth};"
+        parts.append(f"long chain_{tag}_{level}(long x) {{ {body} }}")
+    parts.reverse()
+    return "\n".join(parts) + "\n"
+
+
+def make_byte_scanner(tag: str, size: int = 32) -> str:
+    """wc-style: scan a global byte buffer counting a class of bytes."""
+    return f"""
+char scanbuf_{tag}[{size}];
+long scan_{tag}(long needle) {{
+    long count = 0;
+    for (long i = 0; i < {size}; i = i + 1) {{
+        if (scanbuf_{tag}[i] == needle) count = count + 1;
+    }}
+    return count;
+}}
+"""
+
+
+def make_checksum(tag: str, size: int = 16) -> str:
+    """tar-style: header checksum over a global region."""
+    return f"""
+char hdr_{tag}[{size}];
+long checksum_{tag}() {{
+    long sum = 0;
+    for (long i = 0; i < {size}; i = i + 1) {{
+        sum = sum + hdr_{tag}[i];
+    }}
+    return sum & 0xffff;
+}}
+"""
+
+
+def make_bitops(tag: str) -> str:
+    return f"""
+long bits_{tag}(long x) {{
+    long count = 0;
+    while (x != 0) {{
+        count = count + (x & 1);
+        x = x >> 1;
+        if (count > 64) break;
+    }}
+    return count;
+}}
+"""
+
+
+def make_unrolled(tag: str, steps: int = 40) -> str:
+    """A large straight-line function: many instructions, no joins, so it
+    lifts in time linear in size — this is what makes verification time
+    nearly independent of instruction count (Figure 3)."""
+    body = "\n".join(
+        f"    acc = acc * {2 + i % 5} + (x >> {i % 7}) - {i * 3 + 1};"
+        for i in range(steps)
+    )
+    return f"""
+long unrolled_{tag}(long x) {{
+    long acc = x;
+{body}
+    return acc;
+}}
+"""
+
+
+def make_divider(tag: str, divisor: int = 10) -> str:
+    return f"""
+long divmod_{tag}(long x) {{
+    long q = x / {divisor};
+    long r = x % {divisor};
+    return q * 1000 + r;
+}}
+"""

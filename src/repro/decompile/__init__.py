@@ -1,0 +1,5 @@
+"""Decompilation to pseudo-C from the verified Hoare graph (Section 7)."""
+
+from repro.decompile.lifted_c import decompile
+
+__all__ = ["decompile"]

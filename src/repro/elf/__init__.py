@@ -1,0 +1,11 @@
+"""Minimal ELF64 container: Binary abstraction, reader/writer, builder."""
+
+from repro.elf.builder import BinaryBuilder, DATA_BASE, PLT_BASE, RODATA_BASE, TEXT_BASE
+from repro.elf.format import ElfError, load_binary, read_elf, save_binary, write_elf
+from repro.elf.image import Binary, FetchError, Section
+
+__all__ = [
+    "Binary", "BinaryBuilder", "ElfError", "FetchError", "Section",
+    "load_binary", "read_elf", "save_binary", "write_elf",
+    "TEXT_BASE", "PLT_BASE", "RODATA_BASE", "DATA_BASE",
+]

@@ -1,0 +1,104 @@
+"""Convenience builder assembling a complete :class:`Binary` from sections.
+
+Wraps one :class:`~repro.isa.Assembler` per section, allocates external
+function stubs, and wires label cross-references between sections (e.g. a
+jump table in ``.rodata`` holding ``.text`` addresses).
+"""
+
+from __future__ import annotations
+
+from repro.elf.image import Binary, Section
+from repro.isa import Assembler
+
+#: Default section layout (clear of the ELF header page).
+TEXT_BASE = 0x401000
+PLT_BASE = 0x400800
+RODATA_BASE = 0x410000
+DATA_BASE = 0x420000
+
+_STUB_SIZE = 16
+
+
+class BinaryBuilder:
+    """Build a Binary with .text/.rodata/.data sections and extern stubs.
+
+    Usage::
+
+        builder = BinaryBuilder("demo")
+        builder.text.label("main")
+        builder.text.emit("ret")
+        malloc = builder.extern("malloc")     # stub address
+        binary = builder.build(entry="main")
+    """
+
+    def __init__(self, name: str = "a.out", text_base: int = TEXT_BASE,
+                 rodata_base: int = RODATA_BASE, data_base: int = DATA_BASE,
+                 plt_base: int = PLT_BASE):
+        self.name = name
+        self.text = Assembler(base=text_base)
+        self.rodata = Assembler(base=rodata_base)
+        self.data = Assembler(base=data_base)
+        self._plt_base = plt_base
+        self._externals: dict[str, int] = {}
+
+    def extern(self, name: str) -> int:
+        """Allocate (or look up) an external-function stub; returns its address."""
+        if name not in self._externals:
+            self._externals[name] = self._plt_base + _STUB_SIZE * len(self._externals)
+        return self._externals[name]
+
+    def build(self, entry: str | int = "main",
+              symbols: dict[str, int] | None = None,
+              export_labels: bool = False) -> Binary:
+        """Assemble all sections and produce the Binary.
+
+        *entry* is a text label or address.  With *export_labels*, every text
+        label is exported as a function symbol (shared-object mode).
+        """
+        # Share labels across sections so rodata can reference text and
+        # vice versa: assemble text first (two passes resolve its own refs),
+        # then export its labels to the data assemblers.
+        self.text._layout()
+        for other in (self.rodata, self.data):
+            other.labels.update(self.text.labels)
+            other._layout()
+        # Data labels (e.g. globals) may be referenced from text too.
+        self.text.labels.update(self.rodata.labels)
+        self.text.labels.update(self.data.labels)
+        for name, addr in self._externals.items():
+            self.text.labels[name] = addr
+
+        text_bytes = self.text.assemble()
+        self.rodata.labels.update(self.text.labels)
+        self.data.labels.update(self.text.labels)
+        rodata_bytes = self.rodata.assemble()
+        data_bytes = self.data.assemble()
+
+        sections = [Section(".text", self.text.base, text_bytes, executable=True)]
+        if self._externals:
+            stub_code = (b"\x0f\x0b" + b"\x90" * (_STUB_SIZE - 2)) * len(self._externals)
+            sections.append(Section(".plt.repro", self._plt_base, stub_code,
+                                    executable=True))
+        if rodata_bytes:
+            sections.append(Section(".rodata", self.rodata.base, rodata_bytes))
+        if data_bytes:
+            sections.append(Section(".data", self.data.base, data_bytes,
+                                    writable=True))
+
+        if isinstance(entry, str):
+            entry_addr = self.text.labels[entry]
+        else:
+            entry_addr = entry
+
+        binary = Binary(
+            entry=entry_addr,
+            sections=sections,
+            externals={addr: name for name, addr in self._externals.items()},
+            symbols=dict(symbols or {}),
+            name=self.name,
+        )
+        if export_labels:
+            for label, addr in self.text.labels.items():
+                if binary.is_executable(addr) and label not in binary.externals.values():
+                    binary.symbols.setdefault(label, addr)
+        return binary

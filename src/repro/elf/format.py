@@ -1,0 +1,231 @@
+"""Minimal ELF64 writer and reader.
+
+Binaries built by the corpus generator are serialized as structurally valid
+ELF64 executables (readable with ``readelf``): an ELF header, program
+headers for each mapped section, and a section-header table.  Two extra
+conventions carry the metadata the lifter needs:
+
+* ``.plt.repro`` — external-stub table: the section's contents are the stub
+  code, and a paired ``.extstr`` string table plus ``.extmap`` (addr,name)
+  records map stub addresses to external function names.
+* ``.symtab``/``.strtab`` — a plain ELF symbol table with ``STT_FUNC``
+  entries for exported functions (shared-object lifting mode).  A stripped
+  binary simply has an empty symbol table.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.elf.image import Binary, Section
+
+_ELF_MAGIC = b"\x7fELF"
+_EI_CLASS64 = 2
+_EI_DATA_LE = 1
+_ET_EXEC = 2
+_EM_X86_64 = 0x3E
+
+_SHT_NULL = 0
+_SHT_PROGBITS = 1
+_SHT_SYMTAB = 2
+_SHT_STRTAB = 3
+_SHT_NOTE = 7
+
+_SHF_WRITE = 1
+_SHF_ALLOC = 2
+_SHF_EXECINSTR = 4
+
+_PT_LOAD = 1
+_PF_X = 1
+_PF_W = 2
+_PF_R = 4
+
+_EHDR = struct.Struct("<16sHHIQQQIHHHHHH")
+_PHDR = struct.Struct("<IIQQQQQQ")
+_SHDR = struct.Struct("<IIQQQQIIQQ")
+_SYM = struct.Struct("<IBBHQQ")
+
+
+class ElfError(ValueError):
+    """Malformed or unsupported ELF input."""
+
+
+class _StringTable:
+    def __init__(self) -> None:
+        self.data = bytearray(b"\x00")
+        self.offsets: dict[str, int] = {"": 0}
+
+    def add(self, name: str) -> int:
+        if name not in self.offsets:
+            self.offsets[name] = len(self.data)
+            self.data += name.encode() + b"\x00"
+        return self.offsets[name]
+
+
+def write_elf(binary: Binary) -> bytes:
+    """Serialize *binary* to ELF64 bytes."""
+    shstrtab = _StringTable()
+    strtab = _StringTable()
+
+    # Symbol table: one STT_FUNC entry per exported function.
+    symtab = bytearray(_SYM.pack(0, 0, 0, 0, 0, 0))
+    for name, addr in sorted(binary.symbols.items()):
+        name_off = strtab.add(name)
+        info = (1 << 4) | 2  # STB_GLOBAL, STT_FUNC
+        symtab += _SYM.pack(name_off, info, 0, 1, addr, 0)
+
+    # External-stub map: little-endian (addr:u64, name_offset:u32) records.
+    extstr = _StringTable()
+    extmap = bytearray()
+    for addr, name in sorted(binary.externals.items()):
+        extmap += struct.pack("<QI", addr, extstr.add(name))
+
+    sections: list[tuple[str, int, int, bytes, int, int]] = []
+    # (name, sh_type, sh_flags, data, sh_addr, sh_link)
+    for section in binary.sections:
+        flags = _SHF_ALLOC
+        if section.executable:
+            flags |= _SHF_EXECINSTR
+        if section.writable:
+            flags |= _SHF_WRITE
+        sections.append((section.name, _SHT_PROGBITS, flags, section.data,
+                         section.addr, 0))
+
+    strtab_index = len(sections) + 2  # after null + progbits + symtab
+    sections.append((".symtab", _SHT_SYMTAB, 0, bytes(symtab), 0, strtab_index))
+    sections.append((".strtab", _SHT_STRTAB, 0, bytes(strtab.data), 0, 0))
+    sections.append((".extmap", _SHT_NOTE, 0, bytes(extmap), 0, len(sections) + 2))
+    sections.append((".extstr", _SHT_STRTAB, 0, bytes(extstr.data), 0, 0))
+
+    phdrs = [s for s in binary.sections]
+    ehsize = _EHDR.size
+    phoff = ehsize
+    data_start = phoff + len(phdrs) * _PHDR.size
+
+    # Lay out section data in file order.
+    blobs: list[tuple[int, bytes]] = []
+    offset = data_start
+    file_offsets: list[int] = []
+    for _, _, _, data, _, _ in sections:
+        offset = (offset + 7) & ~7
+        file_offsets.append(offset)
+        blobs.append((offset, data))
+        offset += len(data)
+
+    shoff = (offset + 7) & ~7
+    shstrndx = len(sections) + 1  # +1 for the null section header
+
+    # Section header table.
+    shdrs = [_SHDR.pack(0, _SHT_NULL, 0, 0, 0, 0, 0, 0, 0, 0)]
+    for (name, sh_type, sh_flags, data, sh_addr, sh_link), file_off in zip(
+        sections, file_offsets
+    ):
+        name_off = shstrtab.add(name)
+        entsize = _SYM.size if sh_type == _SHT_SYMTAB else 0
+        shdrs.append(_SHDR.pack(name_off, sh_type, sh_flags, sh_addr, file_off,
+                                len(data), sh_link, 0, 1, entsize))
+    # .shstrtab itself.
+    name_off = shstrtab.add(".shstrtab")
+    shstr_off = shoff + (len(shdrs) + 1) * _SHDR.size
+    shdrs.append(_SHDR.pack(name_off, _SHT_STRTAB, 0, 0, shstr_off,
+                            len(shstrtab.data), 0, 0, 1, 0))
+
+    ehdr = _EHDR.pack(
+        _ELF_MAGIC + bytes([_EI_CLASS64, _EI_DATA_LE, 1, 0]) + b"\x00" * 8,
+        _ET_EXEC, _EM_X86_64, 1, binary.entry, phoff, shoff, 0,
+        ehsize, _PHDR.size, len(phdrs), _SHDR.size, len(shdrs), shstrndx,
+    )
+
+    out = bytearray(ehdr)
+    for section, (file_off, _) in zip(binary.sections, blobs):
+        flags = _PF_R
+        if section.executable:
+            flags |= _PF_X
+        if section.writable:
+            flags |= _PF_W
+        out += _PHDR.pack(_PT_LOAD, flags, file_off, section.addr, section.addr,
+                          len(section.data), len(section.data), 0x1000)
+    for file_off, data in blobs:
+        out += b"\x00" * (file_off - len(out))
+        out += data
+    out += b"\x00" * (shoff - len(out))
+    for shdr in shdrs:
+        out += shdr
+    out += bytes(shstrtab.data)
+    return bytes(out)
+
+
+def read_elf(data: bytes, name: str = "a.out") -> Binary:
+    """Parse ELF64 bytes produced by :func:`write_elf` (or compatible)."""
+    if data[:4] != _ELF_MAGIC:
+        raise ElfError("not an ELF file")
+    if data[4] != _EI_CLASS64 or data[5] != _EI_DATA_LE:
+        raise ElfError("only little-endian ELF64 is supported")
+    fields = _EHDR.unpack_from(data, 0)
+    entry, shoff = fields[4], fields[6]
+    shentsize, shnum, shstrndx = fields[11], fields[12], fields[13]
+
+    raw_shdrs = [
+        _SHDR.unpack_from(data, shoff + i * shentsize) for i in range(shnum)
+    ]
+    shstr_off = raw_shdrs[shstrndx][4]
+    shstr_len = raw_shdrs[shstrndx][5]
+    shstr = data[shstr_off:shstr_off + shstr_len]
+
+    def str_at(table: bytes, offset: int) -> str:
+        end = table.index(b"\x00", offset)
+        return table[offset:end].decode()
+
+    binary = Binary(entry=entry, name=name)
+    strtabs: dict[int, bytes] = {}
+    symtab_entries: list[tuple[int, int]] = []  # (name_off, addr) with link
+    symtab_link = None
+    extmap_raw = b""
+    extmap_link = None
+
+    for index, shdr in enumerate(raw_shdrs):
+        (name_off, sh_type, sh_flags, sh_addr, sh_offset, sh_size,
+         sh_link, _, _, _) = shdr
+        section_name = str_at(shstr, name_off)
+        body = data[sh_offset:sh_offset + sh_size]
+        if sh_type == _SHT_PROGBITS and sh_flags & _SHF_ALLOC:
+            binary.sections.append(Section(
+                name=section_name, addr=sh_addr, data=body,
+                executable=bool(sh_flags & _SHF_EXECINSTR),
+                writable=bool(sh_flags & _SHF_WRITE),
+            ))
+        elif sh_type == _SHT_SYMTAB:
+            symtab_link = sh_link
+            for pos in range(0, len(body) - _SYM.size + 1, _SYM.size):
+                sym_name, info, _, shndx, value, _ = _SYM.unpack_from(body, pos)
+                if info & 0xF == 2 and sym_name:  # STT_FUNC
+                    symtab_entries.append((sym_name, value))
+        elif sh_type == _SHT_STRTAB:
+            strtabs[index] = body
+        elif section_name == ".extmap":
+            extmap_raw = body
+            extmap_link = sh_link
+
+    if symtab_link is not None and symtab_link in strtabs:
+        table = strtabs[symtab_link]
+        for name_off, addr in symtab_entries:
+            binary.symbols[str_at(table, name_off)] = addr
+    if extmap_raw and extmap_link in strtabs:
+        table = strtabs[extmap_link]
+        for pos in range(0, len(extmap_raw) - 11, 12):
+            addr, name_off = struct.unpack_from("<QI", extmap_raw, pos)
+            binary.externals[addr] = str_at(table, name_off)
+    return binary
+
+
+def load_binary(path: str) -> Binary:
+    """Load an ELF binary from *path*."""
+    with open(path, "rb") as handle:
+        data = handle.read()
+    return read_elf(data, name=path.rsplit("/", 1)[-1])
+
+
+def save_binary(binary: Binary, path: str) -> None:
+    """Serialize *binary* as ELF64 at *path*."""
+    with open(path, "wb") as handle:
+        handle.write(write_elf(binary))

@@ -1,0 +1,124 @@
+"""The ``Binary`` abstraction of Definition 3.1: entry point + ``fetch``.
+
+A :class:`Binary` is a loaded view of an executable: a set of mapped
+sections, an entry point, a table of *external* function stubs (the PLT
+substitute) and — for shared-object-style lifting — a table of exported
+function symbols (the ``nm`` substitute from Section 5.1).
+
+``fetch(addr)`` decodes exactly one instruction at *addr*, from whatever
+bytes live there; there is no notion of instruction alignment, so "weird"
+mid-instruction addresses decode honestly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.isa import DecodeError, Instruction, decode
+
+
+class FetchError(LookupError):
+    """No executable bytes at the requested address."""
+
+
+@dataclass
+class Section:
+    """One mapped region of the binary."""
+
+    name: str
+    addr: int
+    data: bytes
+    executable: bool = False
+    writable: bool = False
+
+    @property
+    def end(self) -> int:
+        return self.addr + len(self.data)
+
+    def contains(self, addr: int) -> bool:
+        return self.addr <= addr < self.end
+
+
+@dataclass
+class Binary:
+    """A loaded x86-64 binary: Definition 3.1's ``⟨a_e, fetch, S, →_B⟩``.
+
+    ``externals`` maps stub addresses to external function names (the
+    dynamic-linking boundary).  ``symbols`` maps exported function names to
+    their addresses; it is empty for stripped executables and populated for
+    shared objects lifted function-by-function.
+    """
+
+    entry: int
+    sections: list[Section] = field(default_factory=list)
+    externals: dict[int, str] = field(default_factory=dict)
+    symbols: dict[str, int] = field(default_factory=dict)
+    name: str = "a.out"
+
+    # -- byte access --------------------------------------------------------
+    def section_at(self, addr: int) -> Section | None:
+        for section in self.sections:
+            if section.contains(addr):
+                return section
+        return None
+
+    def read(self, addr: int, size: int) -> bytes:
+        """Read *size* bytes of initialized data at *addr*."""
+        section = self.section_at(addr)
+        if section is None or addr + size > section.end:
+            raise FetchError(f"no data at {addr:#x}+{size}")
+        offset = addr - section.addr
+        return section.data[offset:offset + size]
+
+    def read_u64(self, addr: int) -> int:
+        return int.from_bytes(self.read(addr, 8), "little")
+
+    def read_u32(self, addr: int) -> int:
+        return int.from_bytes(self.read(addr, 4), "little")
+
+    def is_mapped(self, addr: int) -> bool:
+        return self.section_at(addr) is not None
+
+    def is_executable(self, addr: int) -> bool:
+        section = self.section_at(addr)
+        return section is not None and section.executable
+
+    def is_writable(self, addr: int) -> bool:
+        section = self.section_at(addr)
+        return section is not None and section.writable
+
+    # -- instruction fetch ----------------------------------------------------
+    def fetch(self, addr: int) -> Instruction:
+        """Decode the single instruction at *addr* (the paper's ``fetch``).
+
+        Raises :class:`FetchError` if *addr* is not in executable memory and
+        propagates :class:`~repro.isa.DecodeError` for undecodable bytes.
+        """
+        section = self.section_at(addr)
+        if section is None or not section.executable:
+            raise FetchError(f"address {addr:#x} is not executable")
+        return decode(section.data, addr - section.addr, addr)
+
+    def try_fetch(self, addr: int) -> Instruction | None:
+        """Like :meth:`fetch` but returns None on any failure."""
+        try:
+            return self.fetch(addr)
+        except (FetchError, DecodeError):
+            return None
+
+    # -- layout helpers -------------------------------------------------------
+    def text_range(self) -> tuple[int, int]:
+        """(low, high) bounds of executable memory; the paper's text-section
+        range used by the immediate-pointer compatibility heuristic."""
+        execs = [s for s in self.sections if s.executable]
+        if not execs:
+            return (0, 0)
+        return (min(s.addr for s in execs), max(s.end for s in execs))
+
+    def is_text_address(self, value: int) -> bool:
+        low, high = self.text_range()
+        return low <= value < high
+
+    def external_name(self, addr: int) -> str | None:
+        """The external function name if *addr* is an external stub."""
+        return self.externals.get(addr)

@@ -1,0 +1,17 @@
+"""Evaluation harness: regenerates every table and figure of Section 5."""
+
+from repro.eval.figure3 import Figure3Data, figure3_data, generate_figure3, pearson
+from repro.eval.failures_report import generate_failures_report
+from repro.eval.runner import CorpusReport, DirectoryRow, FunctionRecord, run_corpus
+from repro.eval.table1 import format_table1, generate_table1
+from repro.eval.scaling import ScalePoint, format_scaling, run_scaling
+from repro.eval.table2 import Table2Row, format_table2, generate_table2
+
+__all__ = [
+    "Figure3Data", "figure3_data", "generate_figure3", "pearson",
+    "generate_failures_report",
+    "CorpusReport", "DirectoryRow", "FunctionRecord", "run_corpus",
+    "format_table1", "generate_table1",
+    "Table2Row", "format_table2", "generate_table2",
+    "ScalePoint", "format_scaling", "run_scaling",
+]

@@ -1,0 +1,52 @@
+"""CLI: ``python -m repro.eval <table1|table2|figure3|failures|all>``."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.eval",
+        description="Regenerate the paper's tables and figures on the "
+                    "synthetic corpus.",
+    )
+    parser.add_argument("what", choices=["table1", "table2", "figure3",
+                                         "failures", "scaling", "all"])
+    parser.add_argument("--scale", type=int, default=1,
+                        help="corpus scale factor (default 1)")
+    parser.add_argument("--timeout", type=float, default=10.0,
+                        help="per-binary lifting timeout in seconds")
+    args = parser.parse_args(argv)
+
+    if args.what in ("table1", "all"):
+        from repro.eval.table1 import generate_table1
+
+        _, text = generate_table1(scale=args.scale,
+                                  timeout_seconds=args.timeout)
+        print(text)
+    if args.what in ("table2", "all"):
+        from repro.eval.table2 import generate_table2
+
+        _, text = generate_table2()
+        print(text)
+    if args.what in ("figure3", "all"):
+        from repro.eval.figure3 import generate_figure3
+
+        _, text = generate_figure3(scale=args.scale,
+                                   timeout_seconds=args.timeout)
+        print(text)
+    if args.what == "scaling":
+        from repro.eval.scaling import format_scaling, run_scaling
+
+        print(format_scaling(run_scaling(timeout_seconds=args.timeout)))
+    if args.what in ("failures", "all"):
+        from repro.eval.failures_report import generate_failures_report
+
+        print(generate_failures_report())
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,49 @@
+"""Section 5.3 failure examples: the qualitative evaluation artifacts."""
+
+from __future__ import annotations
+
+import io
+
+from repro.corpus import (
+    buffer_overflow,
+    nonstandard_rsp,
+    ret2win,
+    stack_probe,
+)
+from repro.hoare import lift
+
+
+def generate_failures_report() -> str:
+    out = io.StringIO()
+    out.write("Section 5.3: examples of failures (and one obligation)\n\n")
+
+    out.write("— Stack Overflow (ret2win): lifting SUCCEEDS with a proof "
+              "obligation —\n")
+    result = lift(ret2win())
+    out.write(f"  verified: {result.verified}\n")
+    for obligation in result.obligations:
+        out.write(f"  {obligation}\n")
+    out.write("  (negating the obligation — memset writing 48 bytes into a "
+              "32-byte frame —\n   is exactly the exploit)\n\n")
+
+    out.write("— Stack Probing (/usr/bin/zip shape): verification error —\n")
+    result = lift(stack_probe())
+    out.write(f"  verified: {result.verified}\n")
+    for error in result.errors:
+        out.write(f"  {error}\n")
+    out.write("\n")
+
+    out.write("— Non-standard stack pointer restoration (/usr/bin/ssh shape):"
+              " verification error —\n")
+    result = lift(nonstandard_rsp())
+    out.write(f"  verified: {result.verified}\n")
+    for error in result.errors:
+        out.write(f"  {error}\n")
+    out.write("\n")
+
+    out.write("— Manually induced buffer overflow (Section 5.1): no HG —\n")
+    result = lift(buffer_overflow())
+    out.write(f"  verified: {result.verified}\n")
+    for error in result.errors:
+        out.write(f"  {error}\n")
+    return out.getvalue()

@@ -1,0 +1,74 @@
+"""Figure 3: verification time vs. instruction count for library functions.
+
+The paper's observation: "there is very little correlation between
+verification times and instruction count."  We reproduce the scatter data
+and compute the Pearson correlation coefficient over the lifted library
+functions.
+"""
+
+from __future__ import annotations
+
+import io
+import math
+from dataclasses import dataclass
+
+from repro.eval.runner import CorpusReport, run_corpus
+
+
+@dataclass
+class Figure3Data:
+    points: list[tuple[int, float]]  # (instructions, seconds)
+    pearson_r: float
+
+
+def pearson(points: list[tuple[int, float]]) -> float:
+    if len(points) < 2:
+        return 0.0
+    xs = [float(p[0]) for p in points]
+    ys = [p[1] for p in points]
+    n = len(points)
+    mean_x, mean_y = sum(xs) / n, sum(ys) / n
+    cov = sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys))
+    var_x = sum((x - mean_x) ** 2 for x in xs)
+    var_y = sum((y - mean_y) ** 2 for y in ys)
+    if var_x == 0 or var_y == 0:
+        return 0.0
+    return cov / math.sqrt(var_x * var_y)
+
+
+def figure3_data(report: CorpusReport) -> Figure3Data:
+    points = [
+        (record.instructions, record.seconds)
+        for record in report.records
+        if record.kind == "function" and record.outcome == "lifted"
+    ]
+    return Figure3Data(points=points, pearson_r=pearson(points))
+
+
+def format_figure3(data: Figure3Data, width: int = 60, height: int = 16) -> str:
+    """An ASCII scatter plot plus the correlation statistic."""
+    out = io.StringIO()
+    out.write("Figure 3: verification time vs instruction count "
+              "(library functions)\n\n")
+    if not data.points:
+        return out.getvalue() + "(no data)\n"
+    max_x = max(p[0] for p in data.points) or 1
+    max_y = max(p[1] for p in data.points) or 1e-9
+    grid = [[" "] * width for _ in range(height)]
+    for instructions, seconds in data.points:
+        col = min(width - 1, int(instructions / max_x * (width - 1)))
+        row = min(height - 1, int(seconds / max_y * (height - 1)))
+        grid[height - 1 - row][col] = "*"
+    out.write(f"time (max {max_y:.2f}s)\n")
+    for line in grid:
+        out.write("|" + "".join(line) + "\n")
+    out.write("+" + "-" * width + f"> instructions (max {max_x})\n\n")
+    out.write(f"n = {len(data.points)} lifted functions\n")
+    out.write(f"Pearson r(instructions, seconds) = {data.pearson_r:.3f}\n")
+    return out.getvalue()
+
+
+def generate_figure3(scale: int = 1, **kwargs) -> tuple[Figure3Data, str]:
+    report = run_corpus(scale=scale, **kwargs)
+    data = figure3_data(report)
+    return data, format_figure3(data)

@@ -1,0 +1,136 @@
+"""Corpus runner: lifts everything and aggregates the Table 1 statistics."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.corpus import Corpus, build_corpus, function_binary
+from repro.hoare import LiftResult, lift, lift_function
+
+
+@dataclass
+class FunctionRecord:
+    """One lifted binary entry point or library function (Figure 3 data)."""
+
+    name: str
+    directory: str
+    kind: str        # "binary" | "function"
+    outcome: str     # "lifted" | "unprovable" | "concurrency" | "timeout"
+    instructions: int
+    states: int
+    resolved: int
+    unresolved_jumps: int
+    unresolved_calls: int
+    seconds: float
+
+
+@dataclass
+class DirectoryRow:
+    """One row of Table 1."""
+
+    directory: str
+    kind: str
+    total: int = 0
+    lifted: int = 0
+    unprovable: int = 0
+    concurrency: int = 0
+    timeout: int = 0
+    instructions: int = 0
+    states: int = 0
+    resolved: int = 0           # column A
+    unresolved_jumps: int = 0   # column B
+    unresolved_calls: int = 0   # column C
+    seconds: float = 0.0
+
+    def counts_cell(self) -> str:
+        return (f"{self.total} = {self.lifted} + {self.unprovable} "
+                f"+ {self.concurrency} + {self.timeout}")
+
+
+@dataclass
+class CorpusReport:
+    rows: list[DirectoryRow] = field(default_factory=list)
+    records: list[FunctionRecord] = field(default_factory=list)
+
+    def totals(self, kind: str) -> DirectoryRow:
+        total = DirectoryRow(directory="Total", kind=kind)
+        for row in self.rows:
+            if row.kind != kind:
+                continue
+            for attr in ("total", "lifted", "unprovable", "concurrency",
+                         "timeout", "instructions", "states", "resolved",
+                         "unresolved_jumps", "unresolved_calls", "seconds"):
+                setattr(total, attr, getattr(total, attr) + getattr(row, attr))
+        return total
+
+
+def _outcome(result: LiftResult) -> str:
+    if result.verified:
+        return "lifted"
+    kinds = {error.kind for error in result.errors}
+    if "concurrency" in kinds:
+        return "concurrency"
+    if "timeout" in kinds:
+        return "timeout"
+    return "unprovable"
+
+
+def run_corpus(
+    corpus: Corpus | None = None,
+    scale: int = 1,
+    timeout_seconds: float = 10.0,
+    max_states: int = 10_000,
+) -> CorpusReport:
+    """Lift every binary and library function; aggregate per directory."""
+    if corpus is None:
+        corpus = build_corpus(scale)
+    report = CorpusReport()
+    rows: dict[tuple[str, str], DirectoryRow] = {}
+
+    def row_for(directory: str, kind: str) -> DirectoryRow:
+        key = (directory, kind)
+        if key not in rows:
+            rows[key] = DirectoryRow(directory=directory, kind=kind)
+            report.rows.append(rows[key])
+        return rows[key]
+
+    def record(name, directory, kind, result: LiftResult) -> None:
+        outcome = _outcome(result)
+        stats = result.stats
+        report.records.append(FunctionRecord(
+            name=name, directory=directory, kind=kind, outcome=outcome,
+            instructions=stats.instructions, states=stats.states,
+            resolved=stats.resolved_indirections,
+            unresolved_jumps=stats.unresolved_jumps,
+            unresolved_calls=stats.unresolved_calls,
+            seconds=stats.seconds,
+        ))
+        row = row_for(directory, kind)
+        row.total += 1
+        setattr(row, {"lifted": "lifted", "unprovable": "unprovable",
+                      "concurrency": "concurrency", "timeout": "timeout"}[outcome],
+                getattr(row, {"lifted": "lifted", "unprovable": "unprovable",
+                              "concurrency": "concurrency",
+                              "timeout": "timeout"}[outcome]) + 1)
+        if outcome == "lifted":
+            row.instructions += stats.instructions
+            row.states += stats.states
+            row.resolved += stats.resolved_indirections
+            row.unresolved_jumps += stats.unresolved_jumps
+            row.unresolved_calls += stats.unresolved_calls
+        row.seconds += stats.seconds
+
+    for corpus_binary in corpus.binaries:
+        result = lift(corpus_binary.binary, max_states=max_states,
+                      timeout_seconds=timeout_seconds)
+        record(corpus_binary.name, corpus_binary.directory, "binary", result)
+
+    for library in corpus.libraries:
+        for function in library.functions:
+            binary = function_binary(library, function)
+            result = lift_function(binary, function, max_states=max_states,
+                                   timeout_seconds=timeout_seconds)
+            record(f"{library.name}:{function}", library.directory,
+                   "function", result)
+    return report

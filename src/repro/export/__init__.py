@@ -1,0 +1,12 @@
+"""Step 2: Isabelle/HOL export and independent Hoare-triple validation."""
+
+from repro.export.checker import CheckReport, TripleCheck, check_triples
+from repro.export.isabelle import export_theory, export_theory_file
+from repro.export.terms import to_isabelle
+from repro.export.theory_base import base_theory, export_session, session_root
+
+__all__ = [
+    "CheckReport", "TripleCheck", "check_triples",
+    "export_theory", "export_theory_file", "to_isabelle",
+    "base_theory", "export_session", "session_root",
+]

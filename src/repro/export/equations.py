@@ -1,0 +1,350 @@
+"""Per-instruction Isabelle step-function definitions.
+
+The paper's Step 2 rests on formal semantics for ~120 instructions; each
+exported binary theory carries one generated ``definition step_<addr>``
+per lifted instruction, a total function over the machine-state record of
+``X86_Semantics.thy``.  The Hoare lemmas then instantiate the abstract
+``step_at`` relation with these definitions.
+
+The generator is deliberately a *third*, purely syntactic translation of
+instruction semantics (independent from both τ and the emulator): it maps
+operands to ``reg σ``/``read_mem``/``write_mem`` terms and emits record
+updates.  Behaviors outside the fragment (CF/OF of shifts, division
+corner cases) are rendered as HOL ``undefined`` — honest underspecification
+rather than a wrong equation.
+"""
+
+from __future__ import annotations
+
+import io
+
+from repro.isa import Imm, Instruction, Mem, Reg, condition_of
+from repro.isa.instruction import ALU_OPS, SHIFT_OPS
+from repro.isa.registers import family_of, reg_width
+
+
+def _reg_read(name: str) -> str:
+    """Isabelle term for reading a (possibly sub-) register."""
+    family = family_of(name)
+    width = reg_width(name)
+    base = f"reg σ ''{family}''"
+    if width == 64:
+        return f"({base})"
+    return f"(({base}) AND mask {width})"
+
+
+def _addr_term(mem: Mem, instr: Instruction) -> str:
+    if mem.base == "rip":
+        return f"({(instr.end + mem.disp) & ((1 << 64) - 1):#x})"
+    parts = []
+    if mem.base:
+        parts.append(f"reg σ ''{mem.base}''")
+    if mem.index:
+        term = f"reg σ ''{mem.index}''"
+        if mem.scale != 1:
+            term = f"({term}) * {mem.scale}"
+        parts.append(term)
+    if mem.disp or not parts:
+        parts.append(f"({mem.disp & ((1 << 64) - 1):#x})")
+    return "(" + " + ".join(parts) + ")"
+
+
+def _operand_read(op, instr: Instruction) -> str:
+    if isinstance(op, Reg):
+        return _reg_read(op.name)
+    if isinstance(op, Imm):
+        return f"({op.value:#x})"
+    if isinstance(op, Mem):
+        return f"(read_mem (mem σ) {_addr_term(op, instr)} {op.width // 8})"
+    raise TypeError(op)
+
+
+def _reg_update(name: str, value: str) -> str:
+    """A ``reg :=`` record-update entry writing a (sub-)register."""
+    family = family_of(name)
+    width = reg_width(name)
+    if width in (64, 32):
+        # 32-bit writes zero-extend.
+        new = value if width == 64 else f"(({value}) AND mask 32)"
+        return f"''{family}'' := {new}"
+    keep = f"(reg σ ''{family}'') AND (NOT (mask {width}))"
+    return f"''{family}'' := ({keep}) OR (({value}) AND mask {width})"
+
+
+class _Updates:
+    """Collects the record-update entries for one instruction."""
+
+    def __init__(self, instr: Instruction):
+        self.instr = instr
+        self.regs: list[str] = []
+        self.mem: str | None = None
+        self.flags: list[str] = []
+        self.rip: str = f"({instr.end:#x})"
+        self.extra: list[str] = []
+
+    def write_operand(self, op, value: str) -> None:
+        if isinstance(op, Reg):
+            self.regs.append(_reg_update(op.name, value))
+        elif isinstance(op, Mem):
+            base = self.mem or "(mem σ)"
+            self.mem = (f"(write_mem {base} {_addr_term(op, self.instr)} "
+                        f"{op.width // 8} ({value}))")
+        else:
+            raise TypeError(op)
+
+    def set_flags_for(self, result: str, width: int,
+                      cf: str = "undefined", of: str = "undefined") -> None:
+        self.flags = [
+            f"''zf'' := (if ({result}) AND mask {width} = 0 then 1 else 0)",
+            f"''sf'' := (if bit ({result}) {width - 1} then 1 else 0)",
+            f"''pf'' := parity8 ({result})",
+            f"''cf'' := {cf}",
+            f"''of'' := {of}",
+        ]
+
+    def render(self) -> str:
+        entries = []
+        if self.regs:
+            entries.append("reg := (reg σ)(" + ", ".join(self.regs) + ")")
+        if self.mem is not None:
+            entries.append(f"mem := {self.mem}")
+        if self.flags:
+            entries.append("flag := (flag σ)(" + ", ".join(self.flags) + ")")
+        entries.append(f"rip := {self.rip}")
+        entries += self.extra
+        return "σ⦇ " + ", ".join(entries) + " ⦈"
+
+
+_COND_TERMS = {
+    "e": "flag σ ''zf'' = 1",
+    "ne": "flag σ ''zf'' = 0",
+    "b": "flag σ ''cf'' = 1",
+    "ae": "flag σ ''cf'' = 0",
+    "be": "flag σ ''cf'' = 1 ∨ flag σ ''zf'' = 1",
+    "a": "flag σ ''cf'' = 0 ∧ flag σ ''zf'' = 0",
+    "s": "flag σ ''sf'' = 1",
+    "ns": "flag σ ''sf'' = 0",
+    "p": "flag σ ''pf'' = 1",
+    "np": "flag σ ''pf'' = 0",
+    "l": "flag σ ''sf'' ≠ flag σ ''of''",
+    "ge": "flag σ ''sf'' = flag σ ''of''",
+    "le": "flag σ ''zf'' = 1 ∨ flag σ ''sf'' ≠ flag σ ''of''",
+    "g": "flag σ ''zf'' = 0 ∧ flag σ ''sf'' = flag σ ''of''",
+    "o": "flag σ ''of'' = 1",
+    "no": "flag σ ''of'' = 0",
+}
+
+_ALU_TERM = {
+    "add": "+", "sub": "-", "and": "AND", "or": "OR", "xor": "XOR",
+}
+
+
+def step_term(instr: Instruction) -> str:
+    """The right-hand side of ``step_<addr> σ ≡ ...``."""
+    mnemonic = instr.mnemonic
+    ops = instr.operands
+    u = _Updates(instr)
+
+    if mnemonic == "nop":
+        return u.render()
+    if mnemonic in ("hlt", "ud2", "int3", "syscall"):
+        u.extra.append("halted := True")
+        return u.render()
+
+    if mnemonic in ("mov", "movabs"):
+        dst, src = ops
+        u.write_operand(dst, _operand_read(src, instr))
+        return u.render()
+    if mnemonic == "lea":
+        dst, src = ops
+        u.write_operand(dst, _addr_term(src, instr))
+        return u.render()
+    if mnemonic in ("movzx", "movsx", "movsxd"):
+        dst, src = ops
+        value = _operand_read(src, instr)
+        if mnemonic != "movzx":
+            value = f"(scast_from {src.width} ({value}))"
+        u.write_operand(dst, value)
+        return u.render()
+
+    if mnemonic in ALU_OPS or mnemonic == "test":
+        dst, src = ops
+        width = dst.width
+        a, b = _operand_read(dst, instr), _operand_read(src, instr)
+        if mnemonic in ("cmp", "sub"):
+            result = f"({a}) - ({b})"
+            cf = f"(if ({a}) < ({b}) then 1 else 0)"
+        elif mnemonic == "add":
+            result = f"({a}) + ({b})"
+            cf = "undefined"
+        elif mnemonic in ("and", "test"):
+            result = f"({a}) AND ({b})"
+            cf = "0"
+        elif mnemonic == "or":
+            result = f"({a}) OR ({b})"
+            cf = "0"
+        elif mnemonic == "xor":
+            result = f"({a}) XOR ({b})"
+            cf = "0"
+        else:  # adc/sbb: carry-dependent
+            result = "undefined"
+            cf = "undefined"
+        u.set_flags_for(result, width, cf=cf)
+        if mnemonic not in ("cmp", "test"):
+            u.write_operand(dst, result)
+        return u.render()
+
+    if mnemonic in ("inc", "dec", "neg", "not"):
+        (dst,) = ops
+        a = _operand_read(dst, instr)
+        result = {"inc": f"({a}) + 1", "dec": f"({a}) - 1",
+                  "neg": f"- ({a})", "not": f"NOT ({a})"}[mnemonic]
+        u.write_operand(dst, result)
+        if mnemonic != "not":
+            u.set_flags_for(result, dst.width)
+        return u.render()
+
+    if mnemonic in SHIFT_OPS:
+        dst, amount = ops
+        a = _operand_read(dst, instr)
+        n = _operand_read(amount, instr)
+        op_term = {"shl": "<<", "shr": ">>"}.get(mnemonic)
+        if op_term:
+            result = f"({a}) {op_term} (unat (({n}) AND mask 6))"
+        elif mnemonic == "sar":
+            result = f"(sshiftr ({a}) (unat (({n}) AND mask 6)))"
+        else:
+            result = "undefined"  # rol/ror
+        u.write_operand(dst, result)
+        u.set_flags_for(result, dst.width)
+        return u.render()
+
+    if mnemonic == "imul" and len(ops) >= 2:
+        dst = ops[0]
+        a = _operand_read(ops[1] if len(ops) > 1 else dst, instr)
+        b = _operand_read(ops[2], instr) if len(ops) == 3 \
+            else _operand_read(dst, instr)
+        u.write_operand(dst, f"({b}) * ({a})")
+        u.set_flags_for("undefined", dst.width)
+        return u.render()
+    if mnemonic in ("mul", "imul", "div", "idiv"):
+        (src,) = ops
+        a = _reg_read("rax")
+        b = _operand_read(src, instr)
+        if mnemonic == "div":
+            u.regs.append(_reg_update("rax", f"udiv64 ({a}) ({b})"))
+            u.regs.append(_reg_update("rdx", f"urem64 ({a}) ({b})"))
+        elif mnemonic == "idiv":
+            u.regs.append(_reg_update("rax", f"sdiv64 ({a}) ({b})"))
+            u.regs.append(_reg_update("rdx", f"srem64 ({a}) ({b})"))
+        else:
+            u.regs.append(_reg_update("rax", f"({a}) * ({b})"))
+            u.regs.append(_reg_update("rdx", "undefined"))
+        u.set_flags_for("undefined", 64)
+        return u.render()
+    if mnemonic == "cqo":
+        u.regs.append(_reg_update(
+            "rdx", f"(if bit ({_reg_read('rax')}) 63 then -1 else 0)"))
+        return u.render()
+    if mnemonic == "cdq":
+        u.regs.append(_reg_update(
+            "edx", f"(if bit ({_reg_read('eax')}) 31 then mask 32 else 0)"))
+        return u.render()
+    if mnemonic == "cdqe":
+        u.regs.append(_reg_update("rax", f"scast_from 32 ({_reg_read('eax')})"))
+        return u.render()
+
+    if mnemonic == "push":
+        (src,) = ops
+        value = _operand_read(src, instr)
+        rsp = "reg σ ''rsp''"
+        u.regs.append(f"''rsp'' := ({rsp}) - 8")
+        u.mem = f"(write_mem (mem σ) (({rsp}) - 8) 8 ({value}))"
+        return u.render()
+    if mnemonic == "pop":
+        (dst,) = ops
+        rsp = "reg σ ''rsp''"
+        u.write_operand(dst, f"read_mem (mem σ) ({rsp}) 8")
+        u.regs.append(f"''rsp'' := ({rsp}) + 8")
+        return u.render()
+    if mnemonic == "leave":
+        rbp = "reg σ ''rbp''"
+        u.regs.append(f"''rsp'' := ({rbp}) + 8")
+        u.regs.append(f"''rbp'' := read_mem (mem σ) ({rbp}) 8")
+        return u.render()
+
+    if mnemonic == "jmp":
+        (target,) = ops
+        if isinstance(target, Imm):
+            u.rip = f"({(instr.end + target.signed) & ((1 << 64) - 1):#x})"
+        else:
+            u.rip = _operand_read(target, instr)
+        return u.render()
+    if mnemonic == "call":
+        (target,) = ops
+        rsp = "reg σ ''rsp''"
+        u.regs.append(f"''rsp'' := ({rsp}) - 8")
+        u.mem = f"(write_mem (mem σ) (({rsp}) - 8) 8 ({instr.end:#x}))"
+        if isinstance(target, Imm):
+            u.rip = f"({(instr.end + target.signed) & ((1 << 64) - 1):#x})"
+        else:
+            u.rip = _operand_read(target, instr)
+        return u.render()
+    if mnemonic == "ret":
+        rsp = "reg σ ''rsp''"
+        pop = 8 + (ops[0].value if ops else 0)
+        u.rip = f"(read_mem (mem σ) ({rsp}) 8)"
+        u.regs.append(f"''rsp'' := ({rsp}) + {pop}")
+        return u.render()
+
+    cc = condition_of(mnemonic)
+    if cc is not None:
+        cond = _COND_TERMS.get(cc, "undefined")
+        if mnemonic.startswith("j"):
+            (target,) = ops
+            taken = (instr.end + target.signed) & ((1 << 64) - 1)
+            u.rip = (f"(if {cond} then ({taken:#x}) "
+                     f"else ({instr.end:#x}))")
+            return u.render()
+        if mnemonic.startswith("set"):
+            (dst,) = ops
+            u.write_operand(dst, f"(if {cond} then 1 else 0)")
+            return u.render()
+        if mnemonic.startswith("cmov"):
+            dst, src = ops
+            u.write_operand(
+                dst,
+                f"(if {cond} then {_operand_read(src, instr)} "
+                f"else {_operand_read(dst, instr)})",
+            )
+            return u.render()
+
+    if mnemonic == "xchg":
+        dst, src = ops
+        a = _operand_read(dst, instr)
+        b = _operand_read(src, instr)
+        u.write_operand(dst, b)
+        u.write_operand(src, a)
+        return u.render()
+
+    # String operations and anything else outside the equation fragment.
+    u.extra.append("mem := undefined")
+    return u.render()
+
+
+def instruction_equations(instructions: dict[int, Instruction]) -> str:
+    """All ``definition step_<addr>`` blocks plus the ``step_at`` spec."""
+    out = io.StringIO()
+    out.write("subsection ‹Instruction semantics (generated)›\n\n")
+    for addr in sorted(instructions):
+        instr = instructions[addr]
+        out.write(f"text ‹{instr}›\n")
+        out.write(f'definition "step_{addr:x} σ ≡ {step_term(instr)}"\n\n')
+    out.write("text ‹The step relation, instantiated for this binary.›\n")
+    for addr in sorted(instructions):
+        out.write(
+            f'lemma step_at_{addr:x}: "step_at ({addr:#x}) σ σ\''
+            f' ⟷ σ\' = step_{addr:x} σ"\n'
+            f"  sorry (* by the fetch/decode correctness of the model *)\n\n"
+        )
+    return out.getvalue()

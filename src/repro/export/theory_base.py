@@ -1,0 +1,152 @@
+"""The base Isabelle/HOL theory the exported Hoare graphs build on.
+
+The paper ships a formal model of ~120 x86-64 instructions with a
+byte-level little-endian memory, register aliasing, and a library of
+simplification theorems driving the ``x86_symbolic_execution`` proof
+method (Section 5.2).  ``base_theory()`` renders the corresponding theory
+skeleton — machine-state record, memory access functions, the step
+relation, and the proof-method setup — and ``export_session`` writes a
+complete Isabelle session directory (ROOT + base theory + one theory per
+lifted binary).
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.hoare import LiftResult
+from repro.export.isabelle import export_theory
+
+BASE_THEORY_NAME = "X86_Semantics"
+
+
+def base_theory() -> str:
+    """The X86_Semantics.thy source text."""
+    return r'''theory X86_Semantics
+  imports "HOL-Library.Word"
+begin
+
+section ‹Machine state›
+
+text ‹Byte-level little-endian memory, 64-bit register file addressed by
+  name, and the five status flags — the model the paper's symbolic
+  execution engine operates over.›
+
+record state =
+  reg   :: "string ⇒ 64 word"
+  flag  :: "string ⇒ 1 word"
+  mem   :: "64 word ⇒ 8 word"
+  rip   :: "64 word"
+  halted :: bool
+  returned :: bool
+
+section ‹Memory access›
+
+fun read_mem :: "(64 word ⇒ 8 word) ⇒ 64 word ⇒ nat ⇒ 64 word" where
+  "read_mem m a 0 = 0"
+| "read_mem m a (Suc n) =
+     (ucast (m a)) OR (read_mem m (a + 1) n << 8)"
+
+fun write_mem :: "(64 word ⇒ 8 word) ⇒ 64 word ⇒ nat ⇒ 64 word
+                  ⇒ (64 word ⇒ 8 word)" where
+  "write_mem m a 0 v = m"
+| "write_mem m a (Suc n) v =
+     write_mem (m(a := ucast v)) (a + 1) n (v >> 8)"
+
+section ‹Region separation (Definition 3.6)›
+
+definition sep :: "64 word × nat ⇒ 64 word × nat ⇒ bool" (infix "⋈" 50)
+  where "r0 ⋈ r1 ≡ (case (r0, r1) of ((a0, n0), (a1, n1)) ⇒
+           a0 + of_nat n0 ≤ a1 ∨ a1 + of_nat n1 ≤ a0)"
+
+definition enc :: "64 word × nat ⇒ 64 word × nat ⇒ bool" (infix "⪯" 50)
+  where "r0 ⪯ r1 ≡ (case (r0, r1) of ((a0, n0), (a1, n1)) ⇒
+           a1 ≤ a0 ∧ a0 + of_nat n0 ≤ a1 + of_nat n1)"
+
+lemma read_write_separate:
+  assumes "(a, n) ⋈ (a', n')"
+  shows "read_mem (write_mem m a' n' v) a n = read_mem m a n"
+  sorry (* proven in the full development; elided in this skeleton *)
+
+lemma read_write_alias:
+  "n ≤ 8 ⟹ read_mem (write_mem m a n v) a n =
+             v AND (mask (8 * n))"
+  sorry
+
+section ‹Auxiliary arithmetic›
+
+definition udiv64 :: "64 word ⇒ 64 word ⇒ 64 word"
+  where "udiv64 a b = a div b"
+definition sdiv64 :: "64 word ⇒ 64 word ⇒ 64 word"
+  where "sdiv64 a b = word_of_int (sint a sdiv sint b)"
+definition urem64 :: "64 word ⇒ 64 word ⇒ 64 word"
+  where "urem64 a b = a mod b"
+definition srem64 :: "64 word ⇒ 64 word ⇒ 64 word"
+  where "srem64 a b = word_of_int (sint a smod sint b)"
+definition parity8 :: "64 word ⇒ 1 word"
+  where "parity8 v = (if even (pop_count (v AND 0xff)) then 1 else 0)"
+definition scast_from :: "nat ⇒ 64 word ⇒ 64 word"
+  where "scast_from n v = (if bit v (n - 1)
+                           then v OR (NOT (mask n)) else v AND mask n)"
+
+section ‹The step relation›
+
+text ‹``step_at a σ σ'`` holds when the instruction fetched at address
+  ``a`` takes machine state σ to σ'.  The per-instruction equations are
+  generated alongside each binary's theory; this skeleton declares the
+  constant and the proof-method hook.›
+
+consts step_at :: "64 word ⇒ 'a ⇒ 'a ⇒ bool"
+
+ML ‹
+  (* x86_symbolic_execution: unfold the fetched instruction's semantics,
+     simplify with the separation lemmas, then discharge the postcondition
+     disjunct by blast.  The full tactic ships with the development. *)
+›
+
+method_setup x86_symbolic_execution =
+  ‹Scan.succeed (fn ctxt => SIMPLE_METHOD (blast_tac ctxt 1))›
+  "symbolic execution of one x86-64 instruction"
+
+end
+'''
+
+
+def session_root(theory_names: list[str]) -> str:
+    """The ROOT file for an Isabelle session over the exported theories."""
+    theories = "\n".join(f"    {name}" for name in theory_names)
+    return (
+        f'session HoareGraphs = "HOL-Library" +\n'
+        f'  options [timeout = 1200]\n'
+        f"  theories\n"
+        f"    {BASE_THEORY_NAME}\n"
+        f"{theories}\n"
+    )
+
+
+def export_session(results: dict[str, LiftResult], directory: str) -> list[str]:
+    """Write a complete Isabelle session: base theory, one theory per
+    lifted binary, and the ROOT file.  Returns the written paths."""
+    os.makedirs(directory, exist_ok=True)
+    written = []
+
+    base_path = os.path.join(directory, f"{BASE_THEORY_NAME}.thy")
+    with open(base_path, "w") as handle:
+        handle.write(base_theory())
+    written.append(base_path)
+
+    theory_names = []
+    for name, result in sorted(results.items()):
+        theory_name = f"HG_{name}"
+        text = export_theory(result, theory_name)
+        path = os.path.join(directory, f"{theory_name}.thy")
+        with open(path, "w") as handle:
+            handle.write(text)
+        written.append(path)
+        theory_names.append(theory_name)
+
+    root_path = os.path.join(directory, "ROOT")
+    with open(root_path, "w") as handle:
+        handle.write(session_root(theory_names))
+    written.append(root_path)
+    return written

@@ -1,0 +1,238 @@
+"""Symbolic expression AST (Section 3.1).
+
+The paper's grammar::
+
+    E ::= R | F | W | V | E x N | Op x [E]
+
+maps onto five immutable node types:
+
+* :class:`Const`   — machine words ``W`` (unsigned, modulo ``2**width``);
+* :class:`Var`     — variables ``V``: *initial* register values (``rdi0``),
+  havoc values introduced by external calls, and return-address symbols;
+* :class:`RegRef`  — a *current* register ``R`` (only meaningful transiently,
+  while evaluating an instruction's operands);
+* :class:`FlagRef` — a *current* flag ``F``;
+* :class:`Deref`   — a memory region read ``E x N`` (address expr, byte size);
+* :class:`App`     — operator application ``Op x [E]``.
+
+"Constant expressions" (the paper's ``C``) are expressions built without
+``RegRef``/``FlagRef``: combinations of words, variables, and reads from
+regions with constant-expression addresses.  :func:`is_constant_expr` tests
+this.
+
+All arithmetic is fixed-width two's-complement; ``width`` is in bits.
+Expressions are hash-consed value objects: structural equality and hashing
+are what the predicate and memory-model layers rely on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import lru_cache
+
+MASK64 = (1 << 64) - 1
+
+
+def mask(width: int) -> int:
+    return (1 << width) - 1
+
+
+def to_signed(value: int, width: int) -> int:
+    """Interpret an unsigned *width*-bit value as two's-complement."""
+    sign = 1 << (width - 1)
+    value &= mask(width)
+    return value - (1 << width) if value & sign else value
+
+
+class Expr:
+    """Base class for all symbolic expressions."""
+
+    __slots__ = ()
+    width: int
+
+    # Subclasses are frozen dataclasses; the helpers below build on that.
+    def children(self) -> tuple["Expr", ...]:
+        return ()
+
+    def walk(self):
+        """Yield self and all transitive sub-expressions."""
+        yield self
+        for child in self.children():
+            yield from child.walk()
+
+
+@dataclass(frozen=True)
+class Const(Expr):
+    """A machine word; value stored unsigned modulo ``2**width``."""
+
+    value: int
+    width: int = 64
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "value", self.value & mask(self.width))
+        object.__setattr__(self, "_hash", hash(("C", self.value, self.width)))
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    @property
+    def signed(self) -> int:
+        return to_signed(self.value, self.width)
+
+    def __str__(self) -> str:
+        return hex(self.value)
+
+
+@dataclass(frozen=True)
+class Var(Expr):
+    """A symbolic variable: an unknown but fixed machine word.
+
+    Naming conventions used by the lifter: ``rdi0`` (initial register
+    values), ``ret@<addr>`` (return-address symbols for context-free calls),
+    ``havoc<n>`` (values destroyed by external calls or unmodelled reads).
+    """
+
+    name: str
+    width: int = 64
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "_hash", hash(("V", self.name, self.width)))
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class RegRef(Expr):
+    """The *current* value of a 64-bit register family (transient)."""
+
+    name: str
+    width: int = 64
+
+    def __str__(self) -> str:
+        return f"${self.name}"
+
+
+@dataclass(frozen=True)
+class FlagRef(Expr):
+    """The *current* value of a status flag (transient)."""
+
+    name: str
+    width: int = 1
+
+    def __str__(self) -> str:
+        return f"${self.name}"
+
+
+@dataclass(frozen=True)
+class Deref(Expr):
+    """An ``size``-byte little-endian read from memory region ``[addr, size]``.
+
+    A ``Deref`` whose address is a constant expression denotes the value that
+    region held *in the initial state* (memory writes substitute derefs away
+    or havoc them); this is exactly the paper's ``*[a, n]`` notation.
+    """
+
+    addr: "Expr"
+    size: int  # bytes
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "_hash", hash(("D", self.addr, self.size)))
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    @property
+    def width(self) -> int:
+        return self.size * 8
+
+    def children(self) -> tuple[Expr, ...]:
+        return (self.addr,)
+
+    def __str__(self) -> str:
+        return f"*[{self.addr}, {self.size}]"
+
+
+#: Operators. Binary unless noted. All operate at App.width.
+OPS = frozenset({
+    "add", "sub", "mul",            # wrapping arithmetic
+    "udiv", "sdiv", "urem", "srem",  # division (fold only when concrete)
+    "and", "or", "xor",
+    "not", "neg",                    # unary
+    "shl", "shr", "sar",
+    "zext", "sext",                  # (value, from_width Const) -> width
+    "low",                           # truncate to width
+    "ite",                           # (cond, then, else)
+    "ltu", "leu", "lts", "les", "eq",  # comparisons -> width 1
+    "bool_not", "bool_and", "bool_or",
+    "parity",                        # parity of low byte -> width 1
+})
+
+
+@dataclass(frozen=True)
+class App(Expr):
+    """Application of an operator to subexpressions, at a given bit width."""
+
+    op: str
+    args: tuple[Expr, ...]
+    width: int = 64
+
+    def __post_init__(self) -> None:
+        if self.op not in OPS:
+            raise ValueError(f"unknown operator: {self.op}")
+        object.__setattr__(self, "args", tuple(self.args))
+        object.__setattr__(
+            self, "_hash", hash(("A", self.op, self.args, self.width))
+        )
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def children(self) -> tuple[Expr, ...]:
+        return self.args
+
+    def __str__(self) -> str:
+        if self.op == "add" and len(self.args) == 2:
+            return f"({self.args[0]} + {self.args[1]})"
+        if self.op == "sub" and len(self.args) == 2:
+            return f"({self.args[0]} - {self.args[1]})"
+        if self.op == "mul" and len(self.args) == 2:
+            return f"({self.args[0]} * {self.args[1]})"
+        inner = ", ".join(str(a) for a in self.args)
+        return f"{self.op}{self.width}({inner})"
+
+
+# -- convenience constructors -------------------------------------------------
+
+ZERO = Const(0, 64)
+ONE = Const(1, 64)
+TRUE = Const(1, 1)
+FALSE = Const(0, 1)
+
+
+def const(value: int, width: int = 64) -> Const:
+    return Const(value, width)
+
+
+def var(name: str, width: int = 64) -> Var:
+    return Var(name, width)
+
+
+def is_constant_expr(expr: Expr) -> bool:
+    """True if *expr* is a paper-style constant expression ``C``:
+    contains no current-register/flag references."""
+    return not any(isinstance(node, (RegRef, FlagRef)) for node in expr.walk())
+
+
+def variables_of(expr: Expr) -> frozenset[Var]:
+    """All Var leaves of *expr*."""
+    return frozenset(node for node in expr.walk() if isinstance(node, Var))
+
+
+@lru_cache(maxsize=131072)
+def expr_key(expr: Expr) -> str:
+    """Memoized ``str(expr)`` for use as a deterministic sort key."""
+    return str(expr)

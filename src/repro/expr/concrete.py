@@ -1,0 +1,167 @@
+"""Concrete evaluation of symbolic expressions.
+
+Used to *check* symbolic artifacts against concrete machine states: the
+``s ⊢ P`` judgement of the paper needs to evaluate every clause in a
+concrete state, and the differential tests evaluate τ's outputs against the
+real emulator.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.expr.ast import (
+    App,
+    Const,
+    Deref,
+    Expr,
+    FlagRef,
+    RegRef,
+    Var,
+    mask,
+    to_signed,
+)
+
+
+class EvalEnv:
+    """Environment for concrete evaluation.
+
+    *variables* maps Var names to unsigned integers; *read_mem* reads
+    ``size`` bytes at a concrete address (little-endian) — typically the
+    *initial* memory of the concrete execution, since ``Deref`` denotes
+    initial-state reads; *registers*/*flags* resolve transient references.
+    """
+
+    def __init__(
+        self,
+        variables: dict[str, int] | None = None,
+        read_mem: Callable[[int, int], int] | None = None,
+        registers: dict[str, int] | None = None,
+        flags: dict[str, int] | None = None,
+    ):
+        self.variables = variables or {}
+        self.read_mem = read_mem
+        self.registers = registers or {}
+        self.flags = flags or {}
+
+
+class EvalError(LookupError):
+    """The expression references something the environment cannot resolve."""
+
+
+def evaluate(expr: Expr, env: EvalEnv) -> int:
+    """Evaluate *expr* to an unsigned integer (modulo ``2**expr.width``)."""
+    if isinstance(expr, Const):
+        return expr.value
+    if isinstance(expr, Var):
+        if expr.name not in env.variables:
+            raise EvalError(f"unbound variable {expr.name}")
+        return env.variables[expr.name] & mask(expr.width)
+    if isinstance(expr, RegRef):
+        if expr.name not in env.registers:
+            raise EvalError(f"unbound register {expr.name}")
+        return env.registers[expr.name] & mask(expr.width)
+    if isinstance(expr, FlagRef):
+        if expr.name not in env.flags:
+            raise EvalError(f"unbound flag {expr.name}")
+        return env.flags[expr.name] & 1
+    if isinstance(expr, Deref):
+        if env.read_mem is None:
+            raise EvalError("no memory reader in environment")
+        addr = evaluate(expr.addr, env)
+        return env.read_mem(addr, expr.size) & mask(expr.width)
+    if isinstance(expr, App):
+        return _eval_app(expr, env)
+    raise TypeError(f"unknown expression type: {expr!r}")
+
+
+def _eval_app(expr: App, env: EvalEnv) -> int:
+    width = expr.width
+    op = expr.op
+    args = expr.args
+
+    if op == "ite":
+        cond = evaluate(args[0], env)
+        return evaluate(args[1] if cond & 1 else args[2], env) & mask(width)
+
+    vals = [evaluate(arg, env) for arg in args]
+
+    if op == "add":
+        return sum(vals) & mask(width)
+    if op == "sub":
+        return (vals[0] - vals[1]) & mask(width)
+    if op == "mul":
+        product = 1
+        for val in vals:
+            product *= val
+        return product & mask(width)
+    if op == "neg":
+        return (-vals[0]) & mask(width)
+    if op == "and":
+        return vals[0] & vals[1] & mask(width)
+    if op == "or":
+        return (vals[0] | vals[1]) & mask(width)
+    if op == "xor":
+        return (vals[0] ^ vals[1]) & mask(width)
+    if op == "not":
+        return (~vals[0]) & mask(width)
+    if op == "shl":
+        return (vals[0] << (vals[1] & (width - 1))) & mask(width)
+    if op == "shr":
+        return ((vals[0] & mask(width)) >> (vals[1] & (width - 1))) & mask(width)
+    if op == "sar":
+        return (to_signed(vals[0], width) >> (vals[1] & (width - 1))) & mask(width)
+    if op == "udiv":
+        if vals[1] == 0:
+            raise EvalError("division by zero")
+        return (vals[0] // vals[1]) & mask(width)
+    if op == "urem":
+        if vals[1] == 0:
+            raise EvalError("division by zero")
+        return (vals[0] % vals[1]) & mask(width)
+    if op == "sdiv":
+        if vals[1] == 0:
+            raise EvalError("division by zero")
+        left, right = to_signed(vals[0], width), to_signed(vals[1], width)
+        quotient = abs(left) // abs(right)
+        if (left < 0) != (right < 0):
+            quotient = -quotient
+        return quotient & mask(width)
+    if op == "srem":
+        if vals[1] == 0:
+            raise EvalError("division by zero")
+        left, right = to_signed(vals[0], width), to_signed(vals[1], width)
+        remainder = abs(left) % abs(right)
+        if left < 0:
+            remainder = -remainder
+        return remainder & mask(width)
+    if op == "zext":
+        return vals[0] & mask(args[0].width)
+    if op == "sext":
+        return to_signed(vals[0], args[0].width) & mask(width)
+    if op == "low":
+        return vals[0] & mask(width)
+    if op == "eq":
+        arg_width = max(args[0].width, args[1].width)
+        return int((vals[0] & mask(arg_width)) == (vals[1] & mask(arg_width)))
+    if op == "ltu":
+        arg_width = max(args[0].width, args[1].width)
+        return int((vals[0] & mask(arg_width)) < (vals[1] & mask(arg_width)))
+    if op == "leu":
+        arg_width = max(args[0].width, args[1].width)
+        return int((vals[0] & mask(arg_width)) <= (vals[1] & mask(arg_width)))
+    if op == "lts":
+        arg_width = max(args[0].width, args[1].width)
+        return int(to_signed(vals[0], arg_width) < to_signed(vals[1], arg_width))
+    if op == "les":
+        arg_width = max(args[0].width, args[1].width)
+        return int(to_signed(vals[0], arg_width) <= to_signed(vals[1], arg_width))
+    if op == "bool_not":
+        return 1 - (vals[0] & 1)
+    if op == "bool_and":
+        return vals[0] & vals[1] & 1
+    if op == "bool_or":
+        return (vals[0] | vals[1]) & 1
+    if op == "parity":
+        return 1 - (bin(vals[0] & 0xFF).count("1") & 1)
+    raise EvalError(f"unhandled operator {op}")

@@ -1,0 +1,21 @@
+"""Hoare-graph extraction: the paper's core contribution (Sections 3-4)."""
+
+from repro.hoare.annotations import Annotation, Obligation, VerificationError
+from repro.hoare.calls import (
+    TERMINATING_EXTERNALS,
+    after_call_state,
+    call_obligation,
+    callee_initial_state,
+)
+from repro.hoare.graph import Edge, HoareGraph, code_key, exit_key, ret_key
+from repro.hoare.lifter import LiftResult, LiftStats, lift, lift_function
+from repro.hoare.resolve import Resolution, resolve_rip, return_symbol
+
+__all__ = [
+    "Annotation", "Obligation", "VerificationError",
+    "TERMINATING_EXTERNALS", "after_call_state", "call_obligation",
+    "callee_initial_state",
+    "Edge", "HoareGraph", "code_key", "exit_key", "ret_key",
+    "LiftResult", "LiftStats", "lift", "lift_function",
+    "Resolution", "resolve_rip", "return_symbol",
+]

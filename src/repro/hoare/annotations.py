@@ -1,0 +1,60 @@
+"""Annotations, proof obligations and verification errors.
+
+Three output channels, mirroring the paper:
+
+* :class:`Annotation` — unsoundness warnings (unresolved indirect jump or
+  call): the lifted representation is overapproximative *except* past these
+  points, which are clearly marked (Algorithm 1, line 13).
+* :class:`Obligation` — generated proof obligations over external code,
+  e.g. ``@400701: memset(RDI := RSP0 - 40) MUST PRESERVE [RSP0-8, RSP0+8]``
+  (Section 5.3).  The HG is sound *under* these obligations.
+* :class:`VerificationError` — the sanity properties could not be proven
+  (return address integrity, bounded control flow, calling-convention
+  adherence): the function/binary is rejected and no HG is produced.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.expr import Expr
+from repro.smt.solver import Region
+
+
+@dataclass(frozen=True)
+class Annotation:
+    """An unsoundness warning attached to one instruction."""
+
+    kind: str  # "unresolved-jump" | "unresolved-call"
+    addr: int
+    detail: str = ""
+
+    def __str__(self) -> str:
+        return f"@{self.addr:#x}: {self.kind} {self.detail}".rstrip()
+
+
+@dataclass(frozen=True)
+class Obligation:
+    """A MUST-PRESERVE proof obligation over an external/opaque call."""
+
+    addr: int
+    callee: str
+    pointer_args: tuple[tuple[str, str], ...]  # (register, symbolic value)
+    preserve: tuple[str, ...]                  # regions that must be kept
+
+    def __str__(self) -> str:
+        args = ", ".join(f"{reg.upper()} := {val}" for reg, val in self.pointer_args)
+        spans = ", ".join(self.preserve)
+        return f"@{self.addr:#x}: {self.callee}({args}) MUST PRESERVE {spans}"
+
+
+@dataclass(frozen=True)
+class VerificationError:
+    """A sanity property failed; the lift is rejected."""
+
+    kind: str  # "return-address" | "calling-convention" | "unknown-write" | ...
+    addr: int
+    detail: str = ""
+
+    def __str__(self) -> str:
+        return f"@{self.addr:#x}: verification error ({self.kind}) {self.detail}".rstrip()

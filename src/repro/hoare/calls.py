@@ -1,0 +1,106 @@
+"""The context-free function-call policy (Section 4.2).
+
+External calls (Section 4.2.1): known-terminating functions stop
+exploration; unknown externals *clean* the state — heap and globals are
+destroyed, caller-saved registers are havocked, only the local stack frame
+and callee-saved registers survive — and a MUST-PRESERVE proof obligation
+is recorded.
+
+Internal calls (Section 4.2.2): the callee is explored exactly once, in a
+fresh state whose return-address slot holds the symbol ``ret@<entry>``; the
+caller's continuation is parked unreachable until some ``ret`` in the
+callee sets the instruction pointer to that symbol.
+"""
+
+from __future__ import annotations
+
+from repro.expr import Const, Expr, Var
+from repro.isa.registers import ARG_REGISTERS, CALLEE_SAVED
+from repro.pred import Predicate
+from repro.semantics import LiftContext, SymState, havoc_non_stack, initial_state
+from repro.smt.linear import linearize
+from repro.smt.solver import is_stack_pointer
+from repro.hoare.annotations import Obligation
+from repro.hoare.resolve import return_symbol
+
+#: External functions known not to return (Section 4.2.1).
+TERMINATING_EXTERNALS = frozenset({
+    "exit", "_exit", "_Exit", "abort", "quick_exit",
+    "__stack_chk_fail", "__assert_fail", "err", "errx", "verr", "verrx",
+    "pthread_exit", "longjmp", "siglongjmp",
+})
+
+#: Externals whose presence marks the binary as concurrent (out of scope).
+CONCURRENCY_EXTERNALS_PREFIX = "pthread_"
+
+
+def is_terminating_external(name: str) -> bool:
+    return name in TERMINATING_EXTERNALS
+
+
+def is_concurrency_external(name: str) -> bool:
+    return (
+        name.startswith(CONCURRENCY_EXTERNALS_PREFIX)
+        and name not in TERMINATING_EXTERNALS
+    )
+
+
+def callee_initial_state(entry: int) -> SymState:
+    """The fresh context-free state a callee is explored in."""
+    return initial_state(entry, ret_symbol=return_symbol(entry))
+
+
+def after_call_state(
+    state: SymState, return_addr: int, ctx: LiftContext
+) -> SymState:
+    """The caller's continuation after an opaque (external or context-free
+    internal) call: System V cleaning."""
+    cleaned = havoc_non_stack(state, ctx)
+    regs: dict[str, Expr] = {}
+    old = cleaned.pred.reg_dict()
+    for reg in CALLEE_SAVED + ("rsp",):
+        if reg in old:
+            regs[reg] = old[reg]
+    regs["rax"] = ctx.names.fresh("retval")
+    regs["rip"] = Const(return_addr)
+    pred = cleaned.pred.with_regs(regs).with_flags(None)
+    return cleaned.with_pred(pred).mark_reachable(False)
+
+
+def call_obligation(
+    state: SymState, call_addr: int, callee: str
+) -> Obligation:
+    """The MUST-PRESERVE obligation for an opaque call (Section 5.3).
+
+    The cleaning above *kept* the local stack frame: the obligation records
+    exactly which stack regions the callee is assumed to leave intact, and
+    which arguments hand the callee pointers into that frame (the dangerous
+    ones — negating this obligation is an exploit candidate, cf. ret2win).
+    """
+    def render_stack(value) -> str:
+        offset = linearize(value).const
+        if offset >= 1 << 63:
+            offset -= 1 << 64
+        if offset == 0:
+            return "RSP0"
+        return f"RSP0 {'-' if offset < 0 else '+'} {abs(offset):#x}"
+
+    pointer_args = tuple(
+        (reg, render_stack(value))
+        for reg in ARG_REGISTERS
+        if (value := state.pred.get_reg(reg)) is not None
+        and is_stack_pointer(value)
+    )
+    preserve = ["[RSP0 - 8 TO RSP0 + 8]"]  # the return-address slot
+    for region, _ in state.pred.mem:
+        if is_stack_pointer(region.addr):
+            offset = linearize(region.addr).const
+            if offset >= 1 << 63:
+                offset -= 1 << 64
+            preserve.append(f"[RSP0{offset:+#x}, {region.size}]")
+    return Obligation(
+        addr=call_addr,
+        callee=callee,
+        pointer_args=pointer_args,
+        preserve=tuple(sorted(set(preserve))),
+    )

@@ -1,0 +1,107 @@
+"""Hoare-graph comparison for trustworthy binary patching (Section 7).
+
+The paper argues that lifting both an original binary and its patched
+version and comparing the HGs — *including the assumptions each lift
+required* — exposes unexpected effects of a patch.  ``diff_lifts`` aligns
+two lift results by instruction address and reports:
+
+* instructions added / removed / changed;
+* control-flow edges added / removed (per instruction address);
+* proof obligations added / removed (new or vanished external-call
+  assumptions are exactly the "unexpected effects" to review);
+* annotations (unsoundness warnings) added / removed;
+* verification-verdict changes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.hoare.lifter import LiftResult
+
+
+@dataclass
+class LiftDiff:
+    added_instructions: dict[int, str] = field(default_factory=dict)
+    removed_instructions: dict[int, str] = field(default_factory=dict)
+    changed_instructions: dict[int, tuple[str, str]] = field(default_factory=dict)
+    added_edges: set[tuple[int, int]] = field(default_factory=set)
+    removed_edges: set[tuple[int, int]] = field(default_factory=set)
+    added_obligations: list[str] = field(default_factory=list)
+    removed_obligations: list[str] = field(default_factory=list)
+    added_annotations: list[str] = field(default_factory=list)
+    removed_annotations: list[str] = field(default_factory=list)
+    verdict_change: tuple[bool, bool] | None = None
+
+    @property
+    def is_clean(self) -> bool:
+        """True when the patch changed nothing observable."""
+        return not any((
+            self.added_instructions, self.removed_instructions,
+            self.changed_instructions, self.added_edges, self.removed_edges,
+            self.added_obligations, self.removed_obligations,
+            self.added_annotations, self.removed_annotations,
+            self.verdict_change,
+        ))
+
+    def summary(self) -> str:
+        parts = []
+        if self.verdict_change:
+            before, after = self.verdict_change
+            parts.append(f"VERDICT: {'OK' if before else 'REJECTED'} -> "
+                         f"{'OK' if after else 'REJECTED'}")
+        parts.append(
+            f"instructions: +{len(self.added_instructions)} "
+            f"-{len(self.removed_instructions)} "
+            f"~{len(self.changed_instructions)}"
+        )
+        parts.append(f"edges: +{len(self.added_edges)} -{len(self.removed_edges)}")
+        parts.append(
+            f"obligations: +{len(self.added_obligations)} "
+            f"-{len(self.removed_obligations)}"
+        )
+        parts.append(
+            f"annotations: +{len(self.added_annotations)} "
+            f"-{len(self.removed_annotations)}"
+        )
+        return "; ".join(parts)
+
+
+def _cf_edges(result: LiftResult) -> set[tuple[int, int]]:
+    return {
+        (edge.instr_addr, edge.dst[1])
+        for edge in result.graph.edges
+        if edge.dst[0] == "code"
+    }
+
+
+def diff_lifts(original: LiftResult, patched: LiftResult) -> LiftDiff:
+    """Compare two lift results (typically: original vs patched binary)."""
+    diff = LiftDiff()
+    old_instrs = {a: str(i) for a, i in original.instructions.items()}
+    new_instrs = {a: str(i) for a, i in patched.instructions.items()}
+    for addr in sorted(set(new_instrs) - set(old_instrs)):
+        diff.added_instructions[addr] = new_instrs[addr]
+    for addr in sorted(set(old_instrs) - set(new_instrs)):
+        diff.removed_instructions[addr] = old_instrs[addr]
+    for addr in sorted(set(old_instrs) & set(new_instrs)):
+        if old_instrs[addr] != new_instrs[addr]:
+            diff.changed_instructions[addr] = (old_instrs[addr], new_instrs[addr])
+
+    old_edges, new_edges = _cf_edges(original), _cf_edges(patched)
+    diff.added_edges = new_edges - old_edges
+    diff.removed_edges = old_edges - new_edges
+
+    old_obligations = {str(ob) for ob in original.obligations}
+    new_obligations = {str(ob) for ob in patched.obligations}
+    diff.added_obligations = sorted(new_obligations - old_obligations)
+    diff.removed_obligations = sorted(old_obligations - new_obligations)
+
+    old_annotations = {str(a) for a in original.annotations}
+    new_annotations = {str(a) for a in patched.annotations}
+    diff.added_annotations = sorted(new_annotations - old_annotations)
+    diff.removed_annotations = sorted(old_annotations - new_annotations)
+
+    if original.verified != patched.verified:
+        diff.verdict_change = (original.verified, patched.verified)
+    return diff

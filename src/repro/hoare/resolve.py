@@ -1,0 +1,159 @@
+"""Bounded resolution of indirect control flow.
+
+Given the symbolic value the instruction pointer takes after an indirect
+jump/call/return, produce one of:
+
+* a bounded set of concrete targets (jump table / function pointer);
+* a *return* to a context-free call symbol;
+* "unresolved" — the caller annotates (Algorithm 1, line 13).
+
+Jump tables resolve when the table read's address is linear in a term the
+predicate bounds (e.g. ``ja`` established ``idx ≤ 0xc3``) and the table
+lives in non-writable memory — writable tables could change under our feet
+and are never trusted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.elf import Binary
+from repro.expr import App, Const, Deref, Expr, Var, substitute
+from repro.pred import Predicate
+from repro.smt.linear import linearize
+
+#: Naming convention for context-free return symbols (Section 4.2.2).
+RETURN_SYMBOL_PREFIX = "ret@"
+
+
+def return_symbol(function_entry: int) -> Var:
+    return Var(f"{RETURN_SYMBOL_PREFIX}{function_entry:#x}")
+
+
+def is_return_symbol(expr: Expr) -> bool:
+    return isinstance(expr, Var) and expr.name.startswith(RETURN_SYMBOL_PREFIX)
+
+
+def symbol_entry(expr: Var) -> int:
+    return int(expr.name[len(RETURN_SYMBOL_PREFIX):], 16)
+
+
+@dataclass
+class Resolution:
+    """Outcome of resolving an instruction-pointer expression."""
+
+    kind: str  # "targets" | "return" | "unresolved"
+    targets: list[int] = field(default_factory=list)
+    symbol: Var | None = None
+    detail: str = ""
+
+
+def resolve_rip(
+    rip: Expr | None,
+    pred: Predicate,
+    binary: Binary,
+    max_targets: int = 1024,
+) -> Resolution:
+    """Resolve the post-instruction rip value to bounded control flow."""
+    if rip is None:
+        return Resolution("unresolved", detail="instruction pointer is ⊥")
+    if isinstance(rip, Const):
+        return Resolution("targets", targets=[rip.value])
+    if is_return_symbol(rip):
+        return Resolution("return", symbol=rip)
+
+    derefs = [node for node in rip.walk() if isinstance(node, Deref)]
+    if len(derefs) == 1:
+        resolution = _resolve_table(rip, derefs[0], pred, binary, max_targets)
+        if resolution is not None:
+            return resolution
+    if not derefs:
+        # A bounded non-deref expression (rare): enumerate it directly.
+        resolution = _enumerate_bounded(rip, pred, binary, max_targets)
+        if resolution is not None:
+            return resolution
+    return Resolution("unresolved", detail=f"cannot bound rip = {rip}")
+
+
+def _readable_table(binary: Binary, addr: int, size: int) -> int | None:
+    section = binary.section_at(addr)
+    if section is None or section.writable or addr + size > section.end:
+        return None
+    return int.from_bytes(binary.read(addr, size), "little")
+
+
+def _substitute_concrete(rip: Expr, term: Expr | None, value: int,
+                         binary: Binary) -> Expr:
+    """Fix *term* to *value*, then fold constant-address derefs of
+    non-writable memory down to their loaded constants."""
+    def fix_term(node: Expr) -> Expr | None:
+        if term is not None and node == term:
+            return Const(value, term.width)
+        return None
+
+    fixed = substitute(rip, fix_term) if term is not None else rip
+
+    def fold_deref(node: Expr) -> Expr | None:
+        if isinstance(node, Deref) and isinstance(node.addr, Const):
+            loaded = _readable_table(binary, node.addr.value, node.size)
+            if loaded is not None:
+                return Const(loaded, node.size * 8)
+        return None
+
+    return substitute(fixed, fold_deref)
+
+
+def _resolve_table(
+    rip: Expr, deref: Deref, pred: Predicate, binary: Binary, max_targets: int
+) -> Resolution | None:
+    linear = linearize(deref.addr)
+    non_const = [(term, coeff) for term, coeff in linear.terms]
+    if len(non_const) == 0:
+        # Fixed-address pointer load (e.g. a global function pointer).
+        folded = _substitute_concrete(rip, None, 0, binary)
+        if isinstance(folded, Const):
+            return Resolution("targets", targets=[folded.value])
+        return None
+    if len(non_const) != 1:
+        return None
+    term, coeff = non_const[0]
+    interval = pred.interval_of(term)
+    if interval is None:
+        from repro.smt.intervals import from_width
+
+        if term.width < 64:
+            interval = from_width(term.width)
+        elif isinstance(term, App) and term.op == "zext":
+            inner_bound = pred.interval_of(term.args[0])
+            interval = inner_bound or from_width(term.args[0].width)
+        else:
+            return None
+    if interval.size() > max_targets:
+        return None
+    targets = []
+    for index in range(interval.lo, interval.hi + 1):
+        folded = _substitute_concrete(rip, term, index, binary)
+        if not isinstance(folded, Const):
+            return None
+        targets.append(folded.value)
+    return Resolution("targets", targets=sorted(set(targets)))
+
+
+def _enumerate_bounded(
+    rip: Expr, pred: Predicate, binary: Binary, max_targets: int
+) -> Resolution | None:
+    linear = linearize(rip)
+    non_const = list(linear.terms)
+    if len(non_const) != 1:
+        return None
+    term, _ = non_const[0]
+    interval = pred.interval_of(term)
+    if interval is None or interval.size() > max_targets:
+        return None
+    targets = []
+    for value in range(interval.lo, interval.hi + 1):
+        folded = _substitute_concrete(rip, term, value, binary)
+        if not isinstance(folded, Const):
+            return None
+        targets.append(folded.value)
+    return Resolution("targets", targets=sorted(set(targets)))

@@ -1,0 +1,21 @@
+"""x86-64 instruction subset: registers, operands, encoder, decoder, assembler."""
+
+from repro.isa.assembler import Assembler, AssemblyError, LabelRef, abs32, abs64
+from repro.isa.decode import DecodeError, decode
+from repro.isa.encode import EncodeError, encode, encoded_size
+from repro.isa.instruction import (
+    CONDITION_CODES,
+    Instruction,
+    condition_of,
+    insn,
+    normalize_mnemonic,
+)
+from repro.isa.operands import Imm, Mem, Operand, Reg
+from repro.isa import registers
+
+__all__ = [
+    "Assembler", "AssemblyError", "LabelRef", "abs32", "abs64",
+    "DecodeError", "decode", "EncodeError", "encode", "encoded_size",
+    "CONDITION_CODES", "Instruction", "condition_of", "insn",
+    "normalize_mnemonic", "Imm", "Mem", "Operand", "Reg", "registers",
+]

@@ -1,0 +1,183 @@
+"""A small two-pass assembler with labels for building test/corpus binaries.
+
+The :class:`Assembler` collects instructions, labels and data directives for
+one contiguous region (a ``.text`` section, say) and resolves label operands
+to branch displacements or absolute addresses on :meth:`assemble`.
+
+Label references:
+
+* a branch target (``jmp``/``jcc``/``call`` immediate) written as a string
+  label resolves to a rel32 displacement;
+* ``abs64(label)`` used as a mov immediate resolves to the absolute address
+  (for building jump tables / function-pointer stores);
+* ``Mem`` displacements may use ``rip``-relative labels via ``riprel(label)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.isa.encode import encode
+from repro.isa.instruction import Instruction, condition_of, insn
+from repro.isa.operands import Imm, Mem, Operand, Reg
+
+
+@dataclass(frozen=True)
+class LabelRef:
+    """A symbolic reference to a label, resolved at assembly time.
+
+    ``kind`` is one of ``rel32`` (branch displacement), ``abs64`` (absolute
+    address immediate) or ``abs32``.
+    """
+
+    label: str
+    kind: str = "rel32"
+    addend: int = 0
+
+
+def abs64(label: str, addend: int = 0) -> LabelRef:
+    """An absolute 64-bit address reference to *label* (for movabs etc.)."""
+    return LabelRef(label, "abs64", addend)
+
+
+def abs32(label: str, addend: int = 0) -> LabelRef:
+    """An absolute 32-bit address reference to *label* (for jump tables)."""
+    return LabelRef(label, "abs32", addend)
+
+
+@dataclass
+class _Item:
+    """One assembly item: an instruction, raw data, a label, or alignment."""
+
+    kind: str  # "insn" | "data" | "label" | "align" | "data_ref"
+    payload: object
+    size: int = 0
+
+
+class AssemblyError(ValueError):
+    """Malformed assembly input (unknown label, misplaced reference...)."""
+
+
+class Assembler:
+    """Two-pass assembler for one contiguous code/data region."""
+
+    def __init__(self, base: int = 0x401000):
+        self.base = base
+        self._items: list[_Item] = []
+        self.labels: dict[str, int] = {}
+
+    # -- construction ------------------------------------------------------
+    def label(self, name: str) -> None:
+        """Define *name* at the current position."""
+        self._items.append(_Item("label", name))
+
+    def emit(self, mnemonic: str, *operands) -> None:
+        """Append one instruction; operands as in :func:`repro.isa.insn`,
+        plus string labels for branch targets and :class:`LabelRef`."""
+        converted: list[Operand | LabelRef] = []
+        is_branch = mnemonic in ("jmp", "call") or condition_of(mnemonic) is not None
+        for op in operands:
+            if isinstance(op, str) and is_branch and not _is_register_name(op):
+                converted.append(LabelRef(op, "rel32"))
+            else:
+                converted.append(op)
+        if any(isinstance(op, LabelRef) for op in converted):
+            self._items.append(_Item("insn_ref", (mnemonic, tuple(converted))))
+        else:
+            self._items.append(_Item("insn", insn(mnemonic, *converted)))
+
+    def raw(self, data: bytes) -> None:
+        """Append raw bytes (e.g. deliberately crafted instruction bytes)."""
+        self._items.append(_Item("data", data))
+
+    def quad(self, value: "int | LabelRef") -> None:
+        """Append an 8-byte little-endian value or label address."""
+        if isinstance(value, LabelRef):
+            self._items.append(_Item("data_ref", (value, 8)))
+        else:
+            self.raw((value & (1 << 64) - 1).to_bytes(8, "little"))
+
+    def long(self, value: "int | LabelRef") -> None:
+        """Append a 4-byte little-endian value or label address."""
+        if isinstance(value, LabelRef):
+            self._items.append(_Item("data_ref", (value, 4)))
+        else:
+            self.raw((value & (1 << 32) - 1).to_bytes(4, "little"))
+
+    def align(self, boundary: int) -> None:
+        self._items.append(_Item("align", boundary))
+
+    # -- assembly ----------------------------------------------------------
+    def assemble(self) -> bytes:
+        """Resolve labels and return the machine code for the region."""
+        self._layout()
+        out = bytearray()
+        for item in self._items:
+            pos = self.base + len(out)
+            if item.kind == "insn":
+                out += encode(item.payload)
+            elif item.kind == "insn_ref":
+                out += encode(self._resolve(item.payload, pos, item.size))
+            elif item.kind == "data":
+                out += item.payload
+            elif item.kind == "data_ref":
+                ref, nbytes = item.payload
+                value = self._label_addr(ref)
+                out += (value & ((1 << (nbytes * 8)) - 1)).to_bytes(nbytes, "little")
+            elif item.kind == "align":
+                while (self.base + len(out)) % item.payload:
+                    out.append(0x90)
+        return bytes(out)
+
+    def _layout(self) -> None:
+        """First pass: compute each item's size and label addresses."""
+        pos = self.base
+        for item in self._items:
+            if item.kind == "label":
+                self.labels[item.payload] = pos
+                item.size = 0
+            elif item.kind == "insn":
+                item.size = len(encode(item.payload))
+            elif item.kind == "insn_ref":
+                # Size with placeholder refs; rel32/abs forms are fixed-size.
+                item.size = len(encode(self._resolve(item.payload, pos, 0, True)))
+            elif item.kind == "data":
+                item.size = len(item.payload)
+            elif item.kind == "data_ref":
+                item.size = item.payload[1]
+            elif item.kind == "align":
+                item.size = (-pos) % item.payload
+            pos += item.size
+
+    def _label_addr(self, ref: LabelRef) -> int:
+        if ref.label not in self.labels:
+            raise AssemblyError(f"undefined label: {ref.label}")
+        return self.labels[ref.label] + ref.addend
+
+    def _resolve(self, payload, pos: int, size: int, placeholder: bool = False):
+        mnemonic, operands = payload
+        resolved: list[Operand] = []
+        for op in operands:
+            if isinstance(op, LabelRef):
+                if placeholder:
+                    target = 0
+                else:
+                    target = self._label_addr(op)
+                if op.kind == "rel32":
+                    # Displacement is relative to the end of this instruction.
+                    resolved.append(Imm(0 if placeholder else target - (pos + size), 32))
+                elif op.kind == "abs64":
+                    resolved.append(Imm(target, 64))
+                elif op.kind == "abs32":
+                    resolved.append(Imm(target, 32))
+                else:
+                    raise AssemblyError(f"bad label kind: {op.kind}")
+            else:
+                resolved.append(op)
+        return insn(mnemonic, *resolved)
+
+
+def _is_register_name(name: str) -> bool:
+    from repro.isa.registers import is_register
+
+    return is_register(name)

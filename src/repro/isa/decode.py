@@ -1,0 +1,387 @@
+"""Byte-level x86-64 decoder for the supported instruction subset.
+
+``decode(code, offset, addr)`` decodes exactly one instruction.  It is the
+implementation behind the paper's ``fetch : W64 -> I`` function
+(Definition 3.1).  Decoding arbitrary byte positions is deliberate: the
+lifter may be led into the middle of an encoded instruction by a "weird"
+control-flow edge and must see whatever those bytes mean.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.isa.instruction import (
+    ALU_OPS,
+    CONDITION_CODES,
+    Instruction,
+    SHIFT_OPS,
+)
+from repro.isa.operands import Imm, Mem, Reg
+from repro.isa.registers import reg_name
+
+
+class DecodeError(ValueError):
+    """The bytes at the given offset are not a supported instruction."""
+
+
+_ALU_BY_DIGIT = {digit: name for name, digit in ALU_OPS.items()}
+_SHIFT_BY_DIGIT = {digit: name for name, digit in SHIFT_OPS.items()}
+_UNARY_BY_DIGIT = {2: "not", 3: "neg", 4: "mul", 5: "imul", 6: "div", 7: "idiv"}
+
+
+@dataclass
+class _Cursor:
+    code: bytes
+    pos: int
+
+    def u8(self) -> int:
+        if self.pos >= len(self.code):
+            raise DecodeError("truncated instruction")
+        byte = self.code[self.pos]
+        self.pos += 1
+        return byte
+
+    def peek(self) -> int:
+        if self.pos >= len(self.code):
+            raise DecodeError("truncated instruction")
+        return self.code[self.pos]
+
+    def uint(self, bits: int) -> int:
+        nbytes = bits // 8
+        if self.pos + nbytes > len(self.code):
+            raise DecodeError("truncated immediate")
+        value = int.from_bytes(self.code[self.pos:self.pos + nbytes], "little")
+        self.pos += nbytes
+        return value
+
+    def sint(self, bits: int) -> int:
+        value = self.uint(bits)
+        sign = 1 << (bits - 1)
+        return value - (1 << bits) if value & sign else value
+
+
+class _Decoder:
+    def __init__(self, code: bytes, pos: int):
+        self.cur = _Cursor(code, pos)
+        self.rex = 0
+        self.has_rex = False
+        self.prefix66 = False
+
+    # -- width helpers ----------------------------------------------------
+    @property
+    def op_width(self) -> int:
+        """Width selected by prefixes for a non-8-bit operand row."""
+        if self.rex & 8:
+            return 64
+        if self.prefix66:
+            return 16
+        return 32
+
+    def _reg(self, number: int, width: int, high_bit: int) -> Reg:
+        number |= high_bit << 3
+        if width == 8 and not self.has_rex and number in (4, 5, 6, 7):
+            # Without REX these encode ah/ch/dh/bh, which we do not model.
+            raise DecodeError("legacy high-byte register")
+        return Reg(reg_name(number, width))
+
+    # -- ModRM/SIB --------------------------------------------------------
+    def modrm(self, rm_width: int, reg_width: int | None = None):
+        """Parse a ModRM byte; returns (reg_field_number, rm_operand, reg_operand)."""
+        byte = self.cur.u8()
+        mod, reg_field, rm_field = byte >> 6, (byte >> 3) & 7, byte & 7
+        reg_op = None
+        if reg_width is not None:
+            reg_op = self._reg(reg_field, reg_width, (self.rex >> 2) & 1)
+        if mod == 3:
+            rm_op: Reg | Mem = self._reg(rm_field, rm_width, self.rex & 1)
+            return reg_field, rm_op, reg_op
+
+        base: str | None = None
+        index: str | None = None
+        scale = 1
+        disp = 0
+        if rm_field == 4:
+            sib = self.cur.u8()
+            scale = 1 << (sib >> 6)
+            index_field = (sib >> 3) & 7
+            base_field = sib & 7
+            index_num = index_field | (((self.rex >> 1) & 1) << 3)
+            if index_num != 4:  # index=100 with no REX.X means "no index"
+                index = reg_name(index_num, 64)
+            base_num = base_field | ((self.rex & 1) << 3)
+            if base_field == 5 and mod == 0:
+                base = None
+                disp = self.cur.sint(32)
+            else:
+                base = reg_name(base_num, 64)
+        elif rm_field == 5 and mod == 0:
+            base = "rip"
+            disp = self.cur.sint(32)
+        else:
+            base = reg_name(rm_field | ((self.rex & 1) << 3), 64)
+
+        if mod == 1:
+            disp = self.cur.sint(8)
+        elif mod == 2:
+            disp = self.cur.sint(32)
+        if index is None:
+            scale = 1  # scale bits are meaningless without an index
+        if index is not None and index == "rsp":
+            raise DecodeError("rsp used as index")
+        rm_mem = Mem(rm_width, base=base, index=index, scale=scale, disp=disp)
+        return reg_field, rm_mem, reg_op
+
+    # -- main dispatch ----------------------------------------------------
+    def decode(self) -> Instruction:
+        cur = self.cur
+        byte = cur.u8()
+        rep = False
+        if byte == 0xF3:
+            rep = True
+            byte = cur.u8()
+        if byte == 0x66:
+            self.prefix66 = True
+            byte = cur.u8()
+        if 0x40 <= byte <= 0x4F:
+            self.rex = byte & 0xF
+            self.has_rex = True
+            byte = cur.u8()
+
+        string_ops = {0xA4: "movsb", 0xA5: "movsq" if self.rex & 8 else None,
+                      0xAA: "stosb", 0xAB: "stosq" if self.rex & 8 else None,
+                      0xAC: "lodsb", 0xAD: "lodsq" if self.rex & 8 else None}
+        if byte in string_ops:
+            name = string_ops[byte]
+            if name is None:
+                raise DecodeError("32/16-bit string operations unsupported")
+            if rep:
+                if name.startswith("lods"):
+                    raise DecodeError("rep lods is not meaningful")
+                name = f"rep_{name}"
+            return Instruction(name)
+        if rep:
+            raise DecodeError("rep prefix on a non-string instruction")
+
+        width = self.op_width
+
+        # ALU rows: 8 families x 6 opcode slots.
+        if byte < 0x40 and (byte & 7) < 6 and not (byte & 7) in (4, 5):
+            family = _ALU_BY_DIGIT[byte >> 3]
+            slot = byte & 7
+            if slot == 0:
+                _, rm_op, reg_op = self.modrm(8, 8)
+                return Instruction(family, (rm_op, reg_op))
+            if slot == 1:
+                _, rm_op, reg_op = self.modrm(width, width)
+                return Instruction(family, (rm_op, reg_op))
+            if slot == 2:
+                _, rm_op, reg_op = self.modrm(8, 8)
+                return Instruction(family, (reg_op, rm_op))
+            if slot == 3:
+                _, rm_op, reg_op = self.modrm(width, width)
+                return Instruction(family, (reg_op, rm_op))
+        if byte < 0x40 and (byte & 7) in (4, 5):
+            family = _ALU_BY_DIGIT[byte >> 3]
+            if byte & 7 == 4:
+                return Instruction(family, (Reg("al"), Imm(cur.uint(8), 8)))
+            imm_bits = min(width, 32)
+            return Instruction(
+                family,
+                (Reg(reg_name(0, width)), Imm(cur.sint(imm_bits), width)),
+            )
+
+        if byte in (0x80, 0x81, 0x83):
+            op_w = 8 if byte == 0x80 else width
+            digit, rm_op, _ = self.modrm(op_w)
+            family = _ALU_BY_DIGIT[digit]
+            if byte == 0x83:
+                return Instruction(family, (rm_op, Imm(cur.sint(8), op_w)))
+            imm_bits = min(op_w, 32)
+            return Instruction(family, (rm_op, Imm(cur.sint(imm_bits), op_w)))
+
+        if byte in (0x88, 0x89):
+            op_w = 8 if byte == 0x88 else width
+            _, rm_op, reg_op = self.modrm(op_w, op_w)
+            return Instruction("mov", (rm_op, reg_op))
+        if byte in (0x8A, 0x8B):
+            op_w = 8 if byte == 0x8A else width
+            _, rm_op, reg_op = self.modrm(op_w, op_w)
+            return Instruction("mov", (reg_op, rm_op))
+        if byte == 0x8D:
+            _, rm_op, reg_op = self.modrm(width, width)
+            if not isinstance(rm_op, Mem):
+                raise DecodeError("lea with register source")
+            return Instruction("lea", (reg_op, rm_op))
+        if byte == 0x8F:
+            digit, rm_op, _ = self.modrm(64)
+            if digit != 0:
+                raise DecodeError("bad 8F /digit")
+            return Instruction("pop", (rm_op,))
+        if 0xB8 <= byte <= 0xBF:
+            number = (byte - 0xB8) | ((self.rex & 1) << 3)
+            if width == 64:
+                return Instruction("movabs", (Reg(reg_name(number, 64)), Imm(cur.uint(64), 64)))
+            return Instruction("mov", (Reg(reg_name(number, width)), Imm(cur.uint(width), width)))
+        if 0xB0 <= byte <= 0xB7:
+            number = (byte - 0xB0) | ((self.rex & 1) << 3)
+            reg = self._reg(number & 7, 8, (number >> 3) & 1)
+            return Instruction("mov", (reg, Imm(cur.uint(8), 8)))
+        if byte in (0xC6, 0xC7):
+            op_w = 8 if byte == 0xC6 else width
+            digit, rm_op, _ = self.modrm(op_w)
+            if digit != 0:
+                raise DecodeError("bad C6/C7 /digit")
+            imm_bits = min(op_w, 32)
+            return Instruction("mov", (rm_op, Imm(cur.sint(imm_bits), op_w)))
+
+        if 0x50 <= byte <= 0x57:
+            number = (byte - 0x50) | ((self.rex & 1) << 3)
+            return Instruction("push", (Reg(reg_name(number, 64)),))
+        if 0x58 <= byte <= 0x5F:
+            number = (byte - 0x58) | ((self.rex & 1) << 3)
+            return Instruction("pop", (Reg(reg_name(number, 64)),))
+        if byte == 0x68:
+            return Instruction("push", (Imm(cur.sint(32), 32),))
+        if byte == 0x6A:
+            return Instruction("push", (Imm(cur.sint(8), 8),))
+        if byte == 0x69:
+            _, rm_op, reg_op = self.modrm(width, width)
+            return Instruction("imul", (reg_op, rm_op, Imm(cur.sint(min(width, 32)), width)))
+        if byte == 0x6B:
+            _, rm_op, reg_op = self.modrm(width, width)
+            return Instruction("imul", (reg_op, rm_op, Imm(cur.sint(8), width)))
+
+        if byte in (0x84, 0x85):
+            op_w = 8 if byte == 0x84 else width
+            _, rm_op, reg_op = self.modrm(op_w, op_w)
+            return Instruction("test", (rm_op, reg_op))
+        if byte in (0x86, 0x87):
+            op_w = 8 if byte == 0x86 else width
+            _, rm_op, reg_op = self.modrm(op_w, op_w)
+            return Instruction("xchg", (rm_op, reg_op))
+
+        if byte == 0x63:
+            _, rm_op, reg_op = self.modrm(32, width)
+            return Instruction("movsxd", (reg_op, rm_op))
+
+        if 0x70 <= byte <= 0x7F:
+            cc = CONDITION_CODES[byte - 0x70]
+            return Instruction(f"j{cc}", (Imm(cur.sint(8), 8),))
+        if byte == 0xEB:
+            return Instruction("jmp", (Imm(cur.sint(8), 8),))
+        if byte == 0xE9:
+            return Instruction("jmp", (Imm(cur.sint(32), 32),))
+        if byte == 0xE8:
+            return Instruction("call", (Imm(cur.sint(32), 32),))
+        if byte == 0xC3:
+            return Instruction("ret")
+        if byte == 0xC2:
+            return Instruction("ret", (Imm(cur.uint(16), 16),))
+        if byte == 0xC9:
+            return Instruction("leave")
+        if byte == 0x90:
+            return Instruction("nop")
+        if byte == 0xF4:
+            return Instruction("hlt")
+        if byte == 0xCC:
+            return Instruction("int3")
+        if byte == 0x99:
+            return Instruction("cqo" if self.rex & 8 else "cdq")
+        if byte == 0x98 and self.rex & 8:
+            return Instruction("cdqe")
+
+        if byte in (0xC0, 0xC1, 0xD0, 0xD1, 0xD2, 0xD3):
+            op_w = 8 if byte in (0xC0, 0xD0, 0xD2) else width
+            digit, rm_op, _ = self.modrm(op_w)
+            if digit not in _SHIFT_BY_DIGIT:
+                raise DecodeError(f"bad shift /digit {digit}")
+            family = _SHIFT_BY_DIGIT[digit]
+            if byte in (0xC0, 0xC1):
+                return Instruction(family, (rm_op, Imm(cur.uint(8), 8)))
+            if byte in (0xD0, 0xD1):
+                return Instruction(family, (rm_op, Imm(1, 8)))
+            return Instruction(family, (rm_op, Reg("cl")))
+
+        if byte in (0xF6, 0xF7):
+            op_w = 8 if byte == 0xF6 else width
+            digit, rm_op, _ = self.modrm(op_w)
+            if digit == 0:
+                imm_bits = min(op_w, 32)
+                return Instruction("test", (rm_op, Imm(cur.sint(imm_bits), op_w)))
+            if digit in _UNARY_BY_DIGIT:
+                return Instruction(_UNARY_BY_DIGIT[digit], (rm_op,))
+            raise DecodeError(f"bad F6/F7 /digit {digit}")
+
+        if byte == 0xFE:
+            digit, rm_op, _ = self.modrm(8)
+            if digit == 0:
+                return Instruction("inc", (rm_op,))
+            if digit == 1:
+                return Instruction("dec", (rm_op,))
+            raise DecodeError(f"bad FE /digit {digit}")
+        if byte == 0xFF:
+            # The jmp/call/push slots default to 64-bit operands.
+            digit, rm_op, _ = self.modrm(width)
+            if digit in (0, 1):
+                return Instruction("inc" if digit == 0 else "dec", (rm_op,))
+            rm64 = rm_op
+            if isinstance(rm_op, Mem) and rm_op.width != 64:
+                rm64 = Mem(64, rm_op.base, rm_op.index, rm_op.scale, rm_op.disp)
+            elif isinstance(rm_op, Reg) and rm_op.width != 64:
+                rm64 = Reg(reg_name(rm_op.number, 64))
+            if digit == 2:
+                return Instruction("call", (rm64,))
+            if digit == 4:
+                return Instruction("jmp", (rm64,))
+            if digit == 6:
+                return Instruction("push", (rm64,))
+            raise DecodeError(f"bad FF /digit {digit}")
+
+        if byte == 0x0F:
+            return self._decode_0f()
+
+        raise DecodeError(f"unsupported opcode {byte:#04x}")
+
+    def _decode_0f(self) -> Instruction:
+        cur = self.cur
+        byte = cur.u8()
+        width = self.op_width
+        if byte == 0x05:
+            return Instruction("syscall")
+        if byte == 0x0B:
+            return Instruction("ud2")
+        if byte == 0xAF:
+            _, rm_op, reg_op = self.modrm(width, width)
+            return Instruction("imul", (reg_op, rm_op))
+        if 0x80 <= byte <= 0x8F:
+            cc = CONDITION_CODES[byte - 0x80]
+            return Instruction(f"j{cc}", (Imm(cur.sint(32), 32),))
+        if 0x90 <= byte <= 0x9F:
+            cc = CONDITION_CODES[byte - 0x90]
+            digit, rm_op, _ = self.modrm(8)
+            if digit != 0:
+                raise DecodeError("bad setcc /digit")
+            return Instruction(f"set{cc}", (rm_op,))
+        if 0x40 <= byte <= 0x4F:
+            cc = CONDITION_CODES[byte - 0x40]
+            _, rm_op, reg_op = self.modrm(width, width)
+            return Instruction(f"cmov{cc}", (reg_op, rm_op))
+        if byte in (0xB6, 0xB7, 0xBE, 0xBF):
+            src_w = 8 if byte in (0xB6, 0xBE) else 16
+            mnemonic = "movzx" if byte in (0xB6, 0xB7) else "movsx"
+            _, rm_op, reg_op = self.modrm(src_w, width)
+            return Instruction(mnemonic, (reg_op, rm_op))
+        raise DecodeError(f"unsupported opcode 0f {byte:#04x}")
+
+
+def decode(code: bytes, offset: int = 0, addr: int | None = None) -> Instruction:
+    """Decode one instruction from *code* at *offset*.
+
+    If *addr* is given, the returned instruction carries ``addr`` and its
+    encoded ``size`` so that branch targets can be computed.
+    """
+    decoder = _Decoder(code, offset)
+    instr = decoder.decode()
+    size = decoder.cur.pos - offset
+    return instr.at(addr if addr is not None else offset, size)

@@ -1,0 +1,459 @@
+"""Byte-level x86-64 encoder for the supported instruction subset.
+
+The encoder produces standard machine code (REX prefixes, ModRM/SIB bytes,
+little-endian displacements/immediates) so that binaries we assemble are
+honest x86-64: jumping into the *middle* of an encoded instruction yields
+whatever the trailing bytes decode to, exactly as on hardware.  This is what
+makes the paper's "weird edge" phenomenon reproducible.
+
+Branch immediates (`jmp`/`jcc`/`call` with an ``Imm`` operand) are encoded as
+displacements relative to the *end* of the instruction, matching hardware.
+"""
+
+from __future__ import annotations
+
+from repro.isa.instruction import (
+    ALU_OPS,
+    CONDITION_CODES,
+    Instruction,
+    SHIFT_OPS,
+    UNARY_OPS,
+    condition_of,
+)
+from repro.isa.operands import Imm, Mem, Reg
+from repro.isa.registers import reg_number, reg_width
+
+
+class EncodeError(ValueError):
+    """The instruction has no encoding in the supported subset."""
+
+
+def _fits_signed(value: int, bits: int) -> bool:
+    return -(1 << (bits - 1)) <= value < (1 << (bits - 1))
+
+
+def _imm_bytes(value: int, bits: int) -> bytes:
+    value &= (1 << bits) - 1
+    return value.to_bytes(bits // 8, "little")
+
+
+_NEEDS_REX_LOW8 = {"spl", "bpl", "sil", "dil"}
+
+
+class _Enc:
+    """Accumulates prefix/opcode/modrm/immediate pieces for one instruction."""
+
+    def __init__(self) -> None:
+        self.prefix66 = False
+        self.rex_w = False
+        self.rex_r = False
+        self.rex_x = False
+        self.rex_b = False
+        self.force_rex = False
+        self.opcode = b""
+        self.modrm: list[int] = []
+        self.disp = b""
+        self.imm = b""
+
+    def set_width(self, width: int) -> None:
+        if width == 16:
+            self.prefix66 = True
+        elif width == 64:
+            self.rex_w = True
+
+    def reg_field(self, reg: Reg) -> int:
+        number = reg.number
+        if number >= 8:
+            self.rex_r = True
+        if reg.name in _NEEDS_REX_LOW8:
+            self.force_rex = True
+        return number & 7
+
+    def rm_reg(self, reg: Reg, reg_field: int) -> None:
+        number = reg.number
+        if number >= 8:
+            self.rex_b = True
+        if reg.name in _NEEDS_REX_LOW8:
+            self.force_rex = True
+        self.modrm = [0xC0 | (reg_field << 3) | (number & 7)]
+
+    def rm_mem(self, mem: Mem, reg_field: int) -> None:
+        if mem.base == "rip":
+            # mod=00, rm=101: RIP-relative with disp32.
+            self.modrm = [(reg_field << 3) | 0x05]
+            self.disp = _imm_bytes(mem.disp, 32)
+            return
+
+        base_num = reg_number(mem.base) if mem.base else None
+        index_num = reg_number(mem.index) if mem.index else None
+        scale_bits = {1: 0, 2: 1, 4: 2, 8: 3}[mem.scale]
+
+        if index_num is not None and index_num >= 8:
+            self.rex_x = True
+        if base_num is not None and base_num >= 8:
+            self.rex_b = True
+
+        need_sib = (
+            index_num is not None
+            or base_num is None
+            or (base_num & 7) == 4  # rsp/r12 as base always need SIB
+        )
+
+        if base_num is None:
+            # No base: SIB with base=101, mod=00, disp32 (with or without index).
+            sib_index = (index_num & 7) if index_num is not None else 4
+            self.modrm = [(reg_field << 3) | 0x04,
+                          (scale_bits << 6) | (sib_index << 3) | 0x05]
+            self.disp = _imm_bytes(mem.disp, 32)
+            return
+
+        # Pick the shortest displacement encoding.  rbp/r13 as base cannot use
+        # mod=00 (that slot means rip-relative / no-base), so force disp8.
+        if mem.disp == 0 and (base_num & 7) != 5:
+            mod, disp_bits = 0x00, 0
+        elif _fits_signed(mem.disp, 8):
+            mod, disp_bits = 0x40, 8
+        else:
+            mod, disp_bits = 0x80, 32
+
+        if need_sib:
+            sib_index = (index_num & 7) if index_num is not None else 4
+            self.modrm = [mod | (reg_field << 3) | 0x04,
+                          (scale_bits << 6) | (sib_index << 3) | (base_num & 7)]
+        else:
+            self.modrm = [mod | (reg_field << 3) | (base_num & 7)]
+        if disp_bits:
+            self.disp = _imm_bytes(mem.disp, disp_bits)
+
+    def rm(self, operand: Reg | Mem, reg_field: int) -> None:
+        if isinstance(operand, Reg):
+            self.rm_reg(operand, reg_field)
+        else:
+            self.rm_mem(operand, reg_field)
+
+    def emit(self) -> bytes:
+        out = bytearray()
+        if self.prefix66:
+            out.append(0x66)
+        rex = 0x40
+        if self.rex_w:
+            rex |= 8
+        if self.rex_r:
+            rex |= 4
+        if self.rex_x:
+            rex |= 2
+        if self.rex_b:
+            rex |= 1
+        if rex != 0x40 or self.force_rex:
+            out.append(rex)
+        out += self.opcode
+        out += bytes(self.modrm)
+        out += self.disp
+        out += self.imm
+        return bytes(out)
+
+
+def _op_width(op: Reg | Mem) -> int:
+    return op.width
+
+
+def _encode_rm_reg(enc: _Enc, opcode8: int, opcode: int, rm: Reg | Mem, reg: Reg) -> None:
+    width = reg.width
+    enc.set_width(width)
+    enc.opcode = bytes([opcode8 if width == 8 else opcode])
+    field = enc.reg_field(reg)
+    enc.rm(rm, field)
+
+
+def _encode_alu(enc: _Enc, digit: int, instr: Instruction) -> None:
+    dst, src = instr.operands
+    base = digit * 8
+    if isinstance(src, Reg):
+        _encode_rm_reg(enc, base, base + 1, dst, src)
+    elif isinstance(dst, Reg) and isinstance(src, Mem):
+        _encode_rm_reg(enc, base + 2, base + 3, src, dst)
+    elif isinstance(src, Imm):
+        width = _op_width(dst)
+        enc.set_width(width)
+        use_accumulator_form = (
+            isinstance(dst, Reg)
+            and dst.number == 0
+            and dst.name not in _NEEDS_REX_LOW8
+            and (width == 8 or not _fits_signed(src.signed, 8))
+        )
+        if use_accumulator_form:
+            # Short AL/AX/EAX/RAX row: 04+8*digit ib / 05+8*digit i(w).
+            if width == 8:
+                enc.opcode = bytes([digit * 8 + 4])
+                enc.imm = _imm_bytes(src.value, 8)
+            else:
+                enc.opcode = bytes([digit * 8 + 5])
+                enc.imm = _imm_bytes(src.signed, min(width, 32))
+            return
+        if width == 8:
+            enc.opcode, imm_bits = b"\x80", 8
+        elif _fits_signed(src.signed, 8):
+            enc.opcode, imm_bits = b"\x83", 8
+        else:
+            enc.opcode, imm_bits = b"\x81", min(width, 32)
+        enc.rm(dst, digit)
+        enc.imm = _imm_bytes(src.signed, imm_bits)
+    else:
+        raise EncodeError(f"bad ALU operands: {instr}")
+
+
+def _encode_mov(enc: _Enc, instr: Instruction) -> None:
+    dst, src = instr.operands
+    if isinstance(src, Reg) and isinstance(dst, (Reg, Mem)):
+        _encode_rm_reg(enc, 0x88, 0x89, dst, src)
+    elif isinstance(dst, Reg) and isinstance(src, Mem):
+        _encode_rm_reg(enc, 0x8A, 0x8B, src, dst)
+    elif isinstance(dst, Reg) and isinstance(src, Imm):
+        width = dst.width
+        enc.set_width(width)
+        if width == 64:
+            if instr.mnemonic == "movabs" or not _fits_signed(src.signed, 32):
+                # B8+r io: full 64-bit immediate.
+                number = dst.number
+                if number >= 8:
+                    enc.rex_b = True
+                enc.opcode = bytes([0xB8 + (number & 7)])
+                enc.imm = _imm_bytes(src.value, 64)
+            else:
+                enc.opcode = b"\xC7"
+                enc.rm(dst, 0)
+                enc.imm = _imm_bytes(src.signed, 32)
+        elif width == 8:
+            number = dst.number
+            if number >= 8:
+                enc.rex_b = True
+            if dst.name in _NEEDS_REX_LOW8:
+                enc.force_rex = True
+            enc.opcode = bytes([0xB0 + (number & 7)])
+            enc.imm = _imm_bytes(src.value, 8)
+        else:
+            number = dst.number
+            if number >= 8:
+                enc.rex_b = True
+            enc.opcode = bytes([0xB8 + (number & 7)])
+            enc.imm = _imm_bytes(src.value, width)
+    elif isinstance(dst, Mem) and isinstance(src, Imm):
+        width = dst.width
+        enc.set_width(width)
+        enc.opcode = b"\xC6" if width == 8 else b"\xC7"
+        enc.rm(dst, 0)
+        enc.imm = _imm_bytes(src.signed, min(width, 32))
+    else:
+        raise EncodeError(f"bad mov operands: {instr}")
+
+
+def _encode_shift(enc: _Enc, digit: int, instr: Instruction) -> None:
+    dst, amount = instr.operands
+    width = _op_width(dst)
+    enc.set_width(width)
+    if isinstance(amount, Imm):
+        if amount.value == 1:
+            enc.opcode = b"\xD0" if width == 8 else b"\xD1"
+            enc.rm(dst, digit)
+        else:
+            enc.opcode = b"\xC0" if width == 8 else b"\xC1"
+            enc.rm(dst, digit)
+            enc.imm = _imm_bytes(amount.value, 8)
+    elif isinstance(amount, Reg) and amount.name == "cl":
+        enc.opcode = b"\xD2" if width == 8 else b"\xD3"
+        enc.rm(dst, digit)
+    else:
+        raise EncodeError(f"bad shift operands: {instr}")
+
+
+def _encode_branch(enc: _Enc, instr: Instruction) -> None:
+    mnemonic = instr.mnemonic
+    (target,) = instr.operands
+    cc = condition_of(mnemonic)
+    if isinstance(target, Imm):
+        disp = target.signed
+        if mnemonic == "jmp":
+            if target.width == 8:
+                enc.opcode, enc.imm = b"\xEB", _imm_bytes(disp, 8)
+            else:
+                enc.opcode, enc.imm = b"\xE9", _imm_bytes(disp, 32)
+        elif mnemonic == "call":
+            enc.opcode, enc.imm = b"\xE8", _imm_bytes(disp, 32)
+        elif cc is not None:
+            index = CONDITION_CODES.index(cc)
+            if target.width == 8:
+                enc.opcode, enc.imm = bytes([0x70 + index]), _imm_bytes(disp, 8)
+            else:
+                enc.opcode, enc.imm = bytes([0x0F, 0x80 + index]), _imm_bytes(disp, 32)
+        else:
+            raise EncodeError(f"bad branch: {instr}")
+    elif mnemonic in ("jmp", "call") and isinstance(target, (Reg, Mem)):
+        # FF /4 (jmp) and FF /2 (call) default to 64-bit; no REX.W needed.
+        enc.opcode = b"\xFF"
+        enc.rm(target, 4 if mnemonic == "jmp" else 2)
+    else:
+        raise EncodeError(f"bad branch operands: {instr}")
+
+
+_NULLARY_BYTES = {
+    "ret": b"\xC3", "leave": b"\xC9", "nop": b"\x90", "hlt": b"\xF4",
+    "ud2": b"\x0F\x0B", "int3": b"\xCC", "cdq": b"\x99", "syscall": b"\x0F\x05",
+    # String operations (implicit rsi/rdi/rcx operands).
+    "movsb": b"\xA4", "movsq": b"\x48\xA5",
+    "stosb": b"\xAA", "stosq": b"\x48\xAB",
+    "lodsb": b"\xAC", "lodsq": b"\x48\xAD",
+    "rep_movsb": b"\xF3\xA4", "rep_movsq": b"\xF3\x48\xA5",
+    "rep_stosb": b"\xF3\xAA", "rep_stosq": b"\xF3\x48\xAB",
+}
+
+
+def encode(instr: Instruction) -> bytes:
+    """Encode *instr* to machine code bytes.
+
+    Raises :class:`EncodeError` for operand shapes outside the subset.
+    """
+    enc = _Enc()
+    mnemonic = instr.mnemonic
+    ops = instr.operands
+
+    if mnemonic in _NULLARY_BYTES and not ops:
+        return _NULLARY_BYTES[mnemonic]
+    if mnemonic == "cqo":
+        return b"\x48\x99"
+    if mnemonic == "cdqe":
+        return b"\x48\x98"
+
+    if mnemonic in ALU_OPS:
+        _encode_alu(enc, ALU_OPS[mnemonic], instr)
+    elif mnemonic in ("mov", "movabs"):
+        _encode_mov(enc, instr)
+    elif mnemonic == "lea":
+        dst, src = ops
+        if not isinstance(dst, Reg) or not isinstance(src, Mem):
+            raise EncodeError(f"bad lea operands: {instr}")
+        enc.set_width(dst.width)
+        enc.opcode = b"\x8D"
+        enc.rm(src, enc.reg_field(dst))
+    elif mnemonic == "push":
+        (src,) = ops
+        if isinstance(src, Reg) and src.width == 64:
+            number = src.number
+            if number >= 8:
+                enc.rex_b = True
+            enc.opcode = bytes([0x50 + (number & 7)])
+        elif isinstance(src, Imm):
+            if _fits_signed(src.signed, 8):
+                enc.opcode, enc.imm = b"\x6A", _imm_bytes(src.signed, 8)
+            else:
+                enc.opcode, enc.imm = b"\x68", _imm_bytes(src.signed, 32)
+        elif isinstance(src, Mem) and src.width == 64:
+            enc.opcode = b"\xFF"
+            enc.rm(src, 6)
+        else:
+            raise EncodeError(f"bad push operand: {instr}")
+    elif mnemonic == "pop":
+        (dst,) = ops
+        if isinstance(dst, Reg) and dst.width == 64:
+            number = dst.number
+            if number >= 8:
+                enc.rex_b = True
+            enc.opcode = bytes([0x58 + (number & 7)])
+        elif isinstance(dst, Mem) and dst.width == 64:
+            enc.opcode = b"\x8F"
+            enc.rm(dst, 0)
+        else:
+            raise EncodeError(f"bad pop operand: {instr}")
+    elif mnemonic == "test":
+        dst, src = ops
+        if isinstance(src, Reg):
+            _encode_rm_reg(enc, 0x84, 0x85, dst, src)
+        elif isinstance(src, Imm):
+            width = _op_width(dst)
+            enc.set_width(width)
+            enc.opcode = b"\xF6" if width == 8 else b"\xF7"
+            enc.rm(dst, 0)
+            enc.imm = _imm_bytes(src.signed, min(width, 32))
+        else:
+            raise EncodeError(f"bad test operands: {instr}")
+    elif mnemonic == "xchg":
+        dst, src = ops
+        if isinstance(src, Reg):
+            _encode_rm_reg(enc, 0x86, 0x87, dst, src)
+        else:
+            raise EncodeError(f"bad xchg operands: {instr}")
+    elif mnemonic in ("inc", "dec"):
+        (dst,) = ops
+        width = _op_width(dst)
+        enc.set_width(width)
+        enc.opcode = b"\xFE" if width == 8 else b"\xFF"
+        enc.rm(dst, 0 if mnemonic == "inc" else 1)
+    elif mnemonic in ("not", "neg", "mul", "div", "idiv") or (
+        mnemonic == "imul" and len(ops) == 1
+    ):
+        (dst,) = ops
+        digit = UNARY_OPS["imul1" if mnemonic == "imul" else mnemonic]
+        width = _op_width(dst)
+        enc.set_width(width)
+        enc.opcode = b"\xF6" if width == 8 else b"\xF7"
+        enc.rm(dst, digit)
+    elif mnemonic == "imul":
+        if len(ops) == 2:
+            dst, src = ops
+            enc.set_width(dst.width)
+            enc.opcode = b"\x0F\xAF"
+            enc.rm(src, enc.reg_field(dst))
+        else:
+            dst, src, imm = ops
+            enc.set_width(dst.width)
+            if _fits_signed(imm.signed, 8):
+                enc.opcode = b"\x6B"
+                enc.rm(src, enc.reg_field(dst))
+                enc.imm = _imm_bytes(imm.signed, 8)
+            else:
+                enc.opcode = b"\x69"
+                enc.rm(src, enc.reg_field(dst))
+                enc.imm = _imm_bytes(imm.signed, min(dst.width, 32))
+    elif mnemonic in SHIFT_OPS:
+        _encode_shift(enc, SHIFT_OPS[mnemonic], instr)
+    elif mnemonic in ("movzx", "movsx"):
+        dst, src = ops
+        src_width = _op_width(src)
+        if src_width not in (8, 16):
+            raise EncodeError(f"bad {mnemonic} source width: {instr}")
+        enc.set_width(dst.width)
+        table = {("movzx", 8): 0xB6, ("movzx", 16): 0xB7,
+                 ("movsx", 8): 0xBE, ("movsx", 16): 0xBF}
+        enc.opcode = bytes([0x0F, table[mnemonic, src_width]])
+        enc.rm(src, enc.reg_field(dst))
+    elif mnemonic == "movsxd":
+        dst, src = ops
+        enc.set_width(dst.width)
+        enc.opcode = b"\x63"
+        enc.rm(src, enc.reg_field(dst))
+    elif mnemonic in ("jmp", "call") or condition_of(mnemonic) is not None:
+        cc = condition_of(mnemonic)
+        if mnemonic.startswith("set") and cc is not None:
+            (dst,) = ops
+            if _op_width(dst) != 8:
+                raise EncodeError(f"setcc needs an 8-bit operand: {instr}")
+            enc.opcode = bytes([0x0F, 0x90 + CONDITION_CODES.index(cc)])
+            enc.rm(dst, 0)
+        elif mnemonic.startswith("cmov") and cc is not None:
+            dst, src = ops
+            enc.set_width(dst.width)
+            enc.opcode = bytes([0x0F, 0x40 + CONDITION_CODES.index(cc)])
+            enc.rm(src, enc.reg_field(dst))
+        else:
+            _encode_branch(enc, instr)
+    elif mnemonic == "ret" and len(ops) == 1:
+        (imm,) = ops
+        return b"\xC2" + _imm_bytes(imm.value, 16)
+    else:
+        raise EncodeError(f"unsupported instruction: {instr}")
+
+    return enc.emit()
+
+
+def encoded_size(instr: Instruction) -> int:
+    """Byte length of *instr*'s encoding."""
+    return len(encode(instr))

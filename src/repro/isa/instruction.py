@@ -1,0 +1,124 @@
+"""Instruction representation and the mnemonic tables of the supported subset."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.isa.operands import Imm, Mem, Operand, Reg
+
+#: Condition codes in hardware encoding order (the +cc opcode offset).
+CONDITION_CODES = (
+    "o", "no", "b", "ae", "e", "ne", "be", "a",
+    "s", "ns", "p", "np", "l", "ge", "le", "g",
+)
+
+#: Synonyms accepted by the assembler, normalized to CONDITION_CODES entries.
+CC_ALIASES = {
+    "c": "b", "nae": "b", "nc": "ae", "nb": "ae", "z": "e", "nz": "ne",
+    "na": "be", "nbe": "a", "pe": "p", "po": "np", "nge": "l", "nl": "ge",
+    "ng": "le", "nle": "g",
+}
+
+#: ALU family: mnemonic -> /digit (also the opcode-row index).
+ALU_OPS = {"add": 0, "or": 1, "adc": 2, "sbb": 3, "and": 4, "sub": 5, "xor": 6, "cmp": 7}
+
+#: Shift family: mnemonic -> /digit of the C0/C1/D2/D3 group.
+SHIFT_OPS = {"rol": 0, "ror": 1, "shl": 4, "shr": 5, "sar": 7}
+
+#: Unary F6/F7 group: mnemonic -> /digit.
+UNARY_OPS = {"not": 2, "neg": 3, "mul": 4, "imul1": 5, "div": 6, "idiv": 7}
+
+#: Mnemonics with no operands.
+NULLARY = {"ret", "leave", "nop", "hlt", "ud2", "int3", "cdq", "cqo", "syscall", "cdqe"}
+
+#: String operations (operands implicit in rsi/rdi/rcx); the ``rep_``
+#: variants repeat rcx times.
+STRING_OPS = {
+    "movsb", "movsq", "stosb", "stosq", "lodsb", "lodsq",
+    "rep_movsb", "rep_movsq", "rep_stosb", "rep_stosq",
+}
+
+#: All mnemonics understood by the encoder/decoder/semantics.  ``jcc``,
+#: ``setcc`` and ``cmovcc`` expand over CONDITION_CODES.
+MNEMONICS = (
+    frozenset(ALU_OPS) | frozenset(SHIFT_OPS) | NULLARY | STRING_OPS
+    | {"mov", "movabs", "lea", "push", "pop", "test", "xchg", "inc", "dec",
+       "not", "neg", "mul", "div", "idiv", "imul",
+       "movzx", "movsx", "movsxd", "jmp", "call"}
+    | {f"j{cc}" for cc in CONDITION_CODES}
+    | {f"set{cc}" for cc in CONDITION_CODES}
+    | {f"cmov{cc}" for cc in CONDITION_CODES}
+)
+
+
+def normalize_mnemonic(mnemonic: str) -> str:
+    """Normalize aliases (``jz``→``je``, ``movabs``→``mov`` is *not* folded)."""
+    mnemonic = mnemonic.lower()
+    for prefix in ("j", "set", "cmov"):
+        if mnemonic.startswith(prefix):
+            cc = mnemonic[len(prefix):]
+            if cc in CC_ALIASES:
+                return prefix + CC_ALIASES[cc]
+    return mnemonic
+
+
+def condition_of(mnemonic: str) -> str | None:
+    """The condition code of a jcc/setcc/cmovcc mnemonic, else None."""
+    for prefix in ("cmov", "set", "j"):
+        if mnemonic.startswith(prefix) and mnemonic[len(prefix):] in CONDITION_CODES:
+            return mnemonic[len(prefix):]
+    return None
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One decoded (or to-be-encoded) instruction.
+
+    *addr* and *size* are filled in by the decoder; *size* lets clients
+    compute the fall-through address ``addr + size``.
+    """
+
+    mnemonic: str
+    operands: tuple[Operand, ...] = ()
+    addr: int | None = None
+    size: int | None = None
+
+    @property
+    def end(self) -> int:
+        """Address of the next sequential instruction."""
+        if self.addr is None or self.size is None:
+            raise ValueError("instruction has no address/size")
+        return self.addr + self.size
+
+    def at(self, addr: int, size: int) -> "Instruction":
+        """A copy of this instruction pinned to an address and byte size."""
+        return Instruction(self.mnemonic, self.operands, addr, size)
+
+    def is_control_flow(self) -> bool:
+        if self.mnemonic in ("jmp", "call", "ret", "hlt", "ud2", "int3", "syscall"):
+            return True
+        return self.mnemonic.startswith("j") and condition_of(self.mnemonic) is not None
+
+    def __str__(self) -> str:
+        ops = ", ".join(str(op) for op in self.operands)
+        text = f"{self.mnemonic} {ops}" if ops else self.mnemonic
+        if self.addr is not None:
+            return f"{self.addr:#x}: {text}"
+        return text
+
+
+def insn(mnemonic: str, *operands: Operand | int | str) -> Instruction:
+    """Convenience constructor: strings become registers, ints become Imm32.
+
+    >>> insn("mov", "rax", 5)
+    Instruction(mnemonic='mov', operands=(Reg(name='rax'), Imm(value=5, width=32)), ...)
+    """
+    converted: list[Operand] = []
+    for op in operands:
+        if isinstance(op, str):
+            converted.append(Reg(op))
+        elif isinstance(op, int):
+            converted.append(Imm(op, 32))
+        else:
+            converted.append(op)
+    return Instruction(normalize_mnemonic(mnemonic), tuple(converted))

@@ -1,0 +1,114 @@
+"""Operand model for the x86-64 subset: registers, immediates, memory.
+
+Operands are immutable value objects.  ``Mem`` covers the full ModRM/SIB
+addressing space we support::
+
+    [base]  [base+disp]  [base+index*scale+disp]  [index*scale+disp]
+    [disp32]  [rip+disp]
+
+Widths are in bits throughout.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.isa import registers
+
+
+@dataclass(frozen=True)
+class Reg:
+    """A general-purpose register operand, e.g. ``Reg("eax")``."""
+
+    name: str
+
+    def __post_init__(self) -> None:
+        if not registers.is_register(self.name):
+            raise ValueError(f"unknown register: {self.name!r}")
+
+    @property
+    def width(self) -> int:
+        return registers.reg_width(self.name)
+
+    @property
+    def number(self) -> int:
+        return registers.reg_number(self.name)
+
+    @property
+    def family(self) -> str:
+        return registers.family_of(self.name)
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class Imm:
+    """An immediate operand.  *value* is stored unsigned modulo 2**width."""
+
+    value: int
+    width: int = 32
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "value", self.value & ((1 << self.width) - 1))
+
+    @property
+    def signed(self) -> int:
+        sign_bit = 1 << (self.width - 1)
+        return self.value - (1 << self.width) if self.value & sign_bit else self.value
+
+    def __str__(self) -> str:
+        return hex(self.value)
+
+
+_PTR_NAMES = {8: "byte ptr", 16: "word ptr", 32: "dword ptr", 64: "qword ptr"}
+
+
+@dataclass(frozen=True)
+class Mem:
+    """A memory operand ``width ptr [base + index*scale + disp]``.
+
+    ``base`` / ``index`` are 64-bit register names or None; ``rip`` is
+    permitted as a base (RIP-relative addressing) with no index.
+    """
+
+    width: int
+    base: str | None = None
+    index: str | None = None
+    scale: int = 1
+    disp: int = 0
+
+    def __post_init__(self) -> None:
+        if self.width not in (8, 16, 32, 64):
+            raise ValueError(f"bad memory width: {self.width}")
+        if self.scale not in (1, 2, 4, 8):
+            raise ValueError(f"bad scale: {self.scale}")
+        if self.index is None and self.scale != 1:
+            # Scale is meaningless without an index; canonicalize so that
+            # encode/decode round-trips are exact.
+            object.__setattr__(self, "scale", 1)
+        if self.index == "rsp":
+            raise ValueError("rsp cannot be an index register")
+        if self.base == "rip" and self.index is not None:
+            raise ValueError("rip-relative addressing takes no index")
+        for reg in (self.base, self.index):
+            if reg is not None and reg != "rip" and registers.reg_width(reg) != 64:
+                raise ValueError(f"address registers must be 64-bit: {reg}")
+
+    def __str__(self) -> str:
+        parts = []
+        if self.base:
+            parts.append(self.base)
+        if self.index:
+            parts.append(f"{self.index}*{self.scale}")
+        addr = " + ".join(parts) if parts else ""
+        if self.disp or not parts:
+            disp = self.disp
+            if addr:
+                addr += f" - {-disp:#x}" if disp < 0 else f" + {disp:#x}"
+            else:
+                addr = f"{disp:#x}"
+        return f"{_PTR_NAMES[self.width]} [{addr}]"
+
+
+Operand = Reg | Imm | Mem

@@ -1,0 +1,85 @@
+"""x86-64 register model.
+
+Registers are identified by a *family* (the 64-bit architectural register,
+e.g. ``rax``) plus an access *width* in bits.  The encoder/decoder work with
+the 4-bit hardware register number; the symbolic layers work with the family
+name, so sub-register aliasing (``eax`` is the low half of ``rax``) is
+resolved uniformly through :func:`family_of`.
+"""
+
+from __future__ import annotations
+
+# Hardware encoding order.  Index in this tuple == 4-bit register number.
+GPR64 = (
+    "rax", "rcx", "rdx", "rbx", "rsp", "rbp", "rsi", "rdi",
+    "r8", "r9", "r10", "r11", "r12", "r13", "r14", "r15",
+)
+
+GPR32 = (
+    "eax", "ecx", "edx", "ebx", "esp", "ebp", "esi", "edi",
+    "r8d", "r9d", "r10d", "r11d", "r12d", "r13d", "r14d", "r15d",
+)
+
+GPR16 = (
+    "ax", "cx", "dx", "bx", "sp", "bp", "si", "di",
+    "r8w", "r9w", "r10w", "r11w", "r12w", "r13w", "r14w", "r15w",
+)
+
+# 8-bit registers as addressable with a REX prefix present (spl/bpl/sil/dil
+# instead of ah/ch/dh/bh).  We do not model the legacy high-byte registers.
+GPR8 = (
+    "al", "cl", "dl", "bl", "spl", "bpl", "sil", "dil",
+    "r8b", "r9b", "r10b", "r11b", "r12b", "r13b", "r14b", "r15b",
+)
+
+_BY_WIDTH = {64: GPR64, 32: GPR32, 16: GPR16, 8: GPR8}
+
+#: Map register name -> (hardware number, width in bits).
+REG_INFO: dict[str, tuple[int, int]] = {}
+for _width, _names in _BY_WIDTH.items():
+    for _num, _name in enumerate(_names):
+        REG_INFO[_name] = (_num, _width)
+
+#: Registers the 64-bit System V ABI requires callees to preserve.
+CALLEE_SAVED = ("rbx", "rbp", "r12", "r13", "r14", "r15")
+
+#: Caller-saved (volatile) registers under the System V ABI.
+CALLER_SAVED = ("rax", "rcx", "rdx", "rsi", "rdi", "r8", "r9", "r10", "r11")
+
+#: Integer argument registers, in order, under the System V ABI.
+ARG_REGISTERS = ("rdi", "rsi", "rdx", "rcx", "r8", "r9")
+
+#: Status flags we model.
+FLAGS = ("cf", "zf", "sf", "of", "pf")
+
+
+def is_register(name: str) -> bool:
+    """Return True if *name* names a general-purpose register we model."""
+    return name in REG_INFO
+
+
+def reg_number(name: str) -> int:
+    """Hardware (4-bit) register number of *name*."""
+    return REG_INFO[name][0]
+
+
+def reg_width(name: str) -> int:
+    """Access width of *name* in bits (8/16/32/64)."""
+    return REG_INFO[name][1]
+
+
+def reg_name(number: int, width: int) -> str:
+    """Register name for a hardware *number* at the given *width*."""
+    return _BY_WIDTH[width][number]
+
+
+def family_of(name: str) -> str:
+    """The 64-bit architectural register that *name* aliases (``eax``→``rax``)."""
+    number, _ = REG_INFO[name]
+    return GPR64[number]
+
+
+def with_width(name: str, width: int) -> str:
+    """The alias of *name*'s family at the given *width* (``rax``,32 → ``eax``)."""
+    number, _ = REG_INFO[name]
+    return _BY_WIDTH[width][number]

@@ -1,0 +1,5 @@
+"""Concrete x86-64 emulator: the executable ``→_B`` of Definition 3.1."""
+
+from repro.machine.cpu import CPU, MachineError, Memory, STACK_TOP, run_binary
+
+__all__ = ["CPU", "MachineError", "Memory", "STACK_TOP", "run_binary"]

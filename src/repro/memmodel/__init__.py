@@ -1,0 +1,18 @@
+"""Memory models (Section 3.2): trees, insertion, join, satisfaction."""
+
+from repro.memmodel.model import (
+    EMPTY,
+    InsResult,
+    MemModel,
+    MemTree,
+    ins,
+    join_models,
+    model_holds,
+    relation_in_model,
+    tree_holds,
+)
+
+__all__ = [
+    "EMPTY", "InsResult", "MemModel", "MemTree", "ins", "join_models",
+    "model_holds", "relation_in_model", "tree_holds",
+]

@@ -1,0 +1,487 @@
+"""Memory models: forests of memory trees (Section 3.2).
+
+Structure (Definition in the paper)::
+
+    MemTree ::= {C x N} x Mem        Mem ::= {MemTree}
+
+* regions in the same node **alias**;
+* children are **enclosed** in their parents;
+* siblings are **separate**.
+
+:func:`ins` (Definition 3.7) inserts a region, following proven relations
+where the solver can establish them and *forking* one model per possible
+relation where it cannot (the paper's nondeterministic try-out).  When a
+partial overlap cannot be excluded, the possibly-overlapping trees are
+**destroyed** (Section 1): their regions are recorded in ``destroyed`` so
+that subsequent reads produce unconstrained fresh values.
+
+Models are immutable; every operation returns new models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.expr import EvalEnv, EvalError, Expr, evaluate
+from repro.smt.solver import (
+    Assumption,
+    BoundsProvider,
+    NO_BOUNDS,
+    Region,
+    Relation,
+    decide_relation,
+    possible_relations,
+)
+
+
+@dataclass(frozen=True)
+class MemTree:
+    """A node of aliasing regions plus a sub-forest of enclosed children."""
+
+    regions: frozenset[Region]
+    children: frozenset["MemTree"] = frozenset()
+
+    @staticmethod
+    def leaf(region: Region) -> "MemTree":
+        return MemTree(frozenset({region}))
+
+    def all_regions(self) -> frozenset[Region]:
+        out = set(self.regions)
+        for child in self.children:
+            out |= child.all_regions()
+        return frozenset(out)
+
+    def representative(self) -> Region:
+        return min(self.regions, key=str)
+
+    def __str__(self) -> str:
+        node = "{" + ", ".join(sorted(map(str, self.regions))) + "}"
+        if not self.children:
+            return node
+        inner = ", ".join(sorted(str(c) for c in self.children))
+        return f"{node}⟨{inner}⟩"
+
+
+@dataclass(frozen=True)
+class MemModel:
+    """A forest of memory trees plus the set of destroyed regions."""
+
+    trees: frozenset[MemTree] = frozenset()
+    destroyed: frozenset[Region] = frozenset()
+
+    def all_regions(self) -> frozenset[Region]:
+        out = set()
+        for tree in self.trees:
+            out |= tree.all_regions()
+        return frozenset(out)
+
+    def __str__(self) -> str:
+        body = ", ".join(sorted(str(t) for t in self.trees))
+        if self.destroyed:
+            body += " ☠{" + ", ".join(sorted(map(str, self.destroyed))) + "}"
+        return "⟦" + body + "⟧"
+
+
+EMPTY = MemModel()
+
+
+@dataclass(frozen=True)
+class InsResult:
+    """One forked outcome of an insertion."""
+
+    model: MemModel
+    assumptions: tuple[Assumption, ...] = ()
+
+
+# -- relation between a region and a tree ---------------------------------------
+
+def _tree_relation(
+    region: Region, tree: MemTree, bounds: BoundsProvider
+) -> Relation | None:
+    """Necessary relation between *region* and *tree* (paper's lifted notation).
+
+    ≡ / ⪯ / ⪰ hold when some top-node region is necessarily so related;
+    ⋈ holds when *all* regions of the tree are necessarily separate.
+    """
+    top_decisions = [
+        decide_relation(region, other, bounds).relation for other in tree.regions
+    ]
+    for relation in (Relation.ALIAS, Relation.ENCLOSED):
+        if any(d is relation for d in top_decisions):
+            return relation
+    if any(d is Relation.ENCLOSES for d in top_decisions):
+        return Relation.ENCLOSES
+    all_regions = tree.all_regions()
+    if all(
+        decide_relation(region, other, bounds).relation is Relation.SEPARATE
+        for other in all_regions
+    ):
+        return Relation.SEPARATE
+    return None
+
+
+# -- insertion (Definition 3.7) ----------------------------------------------------
+
+def ins(
+    region: Region,
+    model: MemModel,
+    bounds: BoundsProvider = NO_BOUNDS,
+    max_forks: int = 8,
+) -> list[InsResult]:
+    """Insert *region* into *model*; returns the forked set of models.
+
+    Completeness (Lemma 3.11): for every possibly-true mapping of relations
+    between *region* and the regions already in the model, some returned
+    model realizes it — either structurally or via the destroyed set.
+    """
+    if any(
+        decide_relation(region, destroyed, bounds).relation is not Relation.SEPARATE
+        for destroyed in model.destroyed
+    ):
+        # Touching destroyed memory: the region itself is unconstrained.
+        return [InsResult(MemModel(model.trees, model.destroyed | {region}))]
+    results = _ins_tree(MemTree.leaf(region), list(_sorted(model.trees)), bounds)
+    if len(results) > max_forks:
+        # Too many case splits to track.  Truncating would silently drop
+        # state-space coverage (unsound); destroying the undecided regions
+        # covers *every* configuration at the cost of precision — exactly
+        # the paper's escape hatch (Section 1).
+        destroyed = model.destroyed | model.all_regions() | {region}
+        return [InsResult(MemModel(frozenset(), destroyed))]
+    out = []
+    for trees, destroyed, assumptions in results:
+        candidate = MemModel(frozenset(trees), model.destroyed | destroyed)
+        if not _model_consistent(candidate, bounds):
+            continue  # holds in no concrete state; pruning is sound
+        out.append(InsResult(candidate, tuple(assumptions)))
+    if not out:
+        # Every structured fork was inconsistent (pathological bounds):
+        # fall back to destroying the affected regions, which is always sound.
+        destroyed = model.destroyed | model.all_regions() | {region}
+        out.append(InsResult(MemModel(frozenset(), destroyed)))
+    return out
+
+
+def _model_consistent(model: MemModel, bounds: BoundsProvider) -> bool:
+    """Reject models whose structural claims are refuted by the solver."""
+
+    def tree_ok(tree: MemTree, parent: Region | None) -> bool:
+        regions = list(tree.regions)
+        for i, left in enumerate(regions):
+            for right in regions[i + 1:]:
+                if decide_relation(left, right, bounds).relation in (
+                    Relation.SEPARATE, Relation.ENCLOSED, Relation.ENCLOSES,
+                ):
+                    return False
+        rep = tree.representative()
+        if parent is not None and decide_relation(
+            rep, parent, bounds
+        ).relation is Relation.SEPARATE:
+            return False
+        return forest_ok(tree.children, rep)
+
+    def forest_ok(trees, parent: Region | None) -> bool:
+        reps = [t.representative() for t in trees]
+        for i, left in enumerate(reps):
+            for right in reps[i + 1:]:
+                if decide_relation(left, right, bounds).relation in (
+                    Relation.ALIAS, Relation.ENCLOSED, Relation.ENCLOSES,
+                ):
+                    return False
+        return all(tree_ok(t, parent) for t in trees)
+
+    return forest_ok(model.trees, None)
+
+
+def _sorted(trees) -> list[MemTree]:
+    return sorted(trees, key=str)
+
+
+def _ins_tree(
+    t0: MemTree, trees: list[MemTree], bounds: BoundsProvider
+) -> list[tuple[list[MemTree], frozenset[Region], list[Assumption]]]:
+    """Recursive core of Definition 3.7 over an ordered forest."""
+    if not trees:
+        return [([t0], frozenset(), [])]
+    t1, rest = trees[0], trees[1:]
+    rep = t0.representative()
+    relation = _tree_relation(rep, t1, bounds)
+    if relation is not None:
+        return _ins_with_relation(t0, t1, rest, relation, [], bounds)
+
+    # Unknown relation: fork over the possible cases (paper Section 1).
+    fork = possible_relations(rep, t1.representative(), bounds)
+    outcomes: list[tuple[list[MemTree], frozenset[Region], list[Assumption]]] = []
+    for case in fork.relations:
+        if not _case_consistent(case, rep, t1, bounds):
+            continue
+        outcomes += _ins_with_relation(
+            t0, t1, rest, case, list(fork.assumptions), bounds
+        )
+    if fork.may_partial:
+        # Destroy: drop every tree we cannot separate from t0.
+        destroyed = set(t0.all_regions()) | set(t1.all_regions())
+        survivors = []
+        for other in rest:
+            if _tree_relation(rep, other, bounds) is Relation.SEPARATE:
+                survivors.append(other)
+            else:
+                destroyed |= other.all_regions()
+        outcomes.append((survivors, frozenset(destroyed), list(fork.assumptions)))
+    return outcomes
+
+
+def _case_consistent(
+    case: Relation, region: Region, tree: MemTree, bounds: BoundsProvider
+) -> bool:
+    """Can *case* between *region* and *tree*'s top node coexist with the
+    proven relations to the rest of the tree?  Refutes forks that would
+    build models holding in no state (e.g. a SEPARATE sibling that provably
+    encloses one of the tree's children)."""
+    if case is Relation.SEPARATE:
+        return all(
+            decide_relation(region, other, bounds).relation
+            in (Relation.SEPARATE, None)
+            for other in tree.all_regions()
+        )
+    if case is Relation.ENCLOSES:
+        return all(
+            decide_relation(region, other, bounds).relation
+            is not Relation.SEPARATE
+            for other in tree.regions
+        )
+    return True
+
+
+def _ins_with_relation(
+    t0: MemTree,
+    t1: MemTree,
+    rest: list[MemTree],
+    relation: Relation,
+    assumptions: list[Assumption],
+    bounds: BoundsProvider,
+) -> list[tuple[list[MemTree], frozenset[Region], list[Assumption]]]:
+    if relation is Relation.ALIAS:
+        # insAL: merge nodes, re-insert the union of the children forests.
+        merged_children = _fold_forest(
+            list(t0.children) + list(t1.children), bounds
+        )
+        out = []
+        for children, destroyed, child_assumptions in merged_children:
+            merged = MemTree(t0.regions | t1.regions, frozenset(children))
+            out.append(([merged] + rest, destroyed,
+                        assumptions + child_assumptions))
+        return out
+    if relation is Relation.SEPARATE:
+        # insSEP: keep t1, recurse into the remainder.
+        out = []
+        for trees, destroyed, more in _ins_tree(t0, rest, bounds):
+            out.append(([t1] + trees, destroyed, assumptions + more))
+        return out
+    if relation is Relation.ENCLOSED:
+        # insENC: push t0 down into t1's children.
+        out = []
+        for children, destroyed, more in _ins_tree(
+            t0, _sorted(t1.children), bounds
+        ):
+            out.append(
+                ([MemTree(t1.regions, frozenset(children))] + rest,
+                 destroyed, assumptions + more)
+            )
+        return out
+    # insCON: t1 goes inside t0, then the grown t0 is inserted into the rest.
+    out = []
+    for children, destroyed, more in _ins_tree(t1, _sorted(t0.children), bounds):
+        grown = MemTree(t0.regions, frozenset(children))
+        for trees, destroyed2, more2 in _ins_tree(grown, rest, bounds):
+            out.append((trees, destroyed | destroyed2,
+                        assumptions + more + more2))
+    return out
+
+
+def _fold_forest(
+    trees: list[MemTree], bounds: BoundsProvider
+) -> list[tuple[list[MemTree], frozenset[Region], list[Assumption]]]:
+    """Insert every tree into an initially empty forest (fold of ins)."""
+    states: list[tuple[list[MemTree], frozenset[Region], list[Assumption]]] = [
+        ([], frozenset(), [])
+    ]
+    for tree in _sorted(trees):
+        next_states = []
+        for forest, destroyed, assumptions in states:
+            for forest2, destroyed2, more in _ins_tree(tree, forest, bounds):
+                next_states.append(
+                    (forest2, destroyed | destroyed2, assumptions + more)
+                )
+        states = next_states
+    return states
+
+
+# -- relation lookup within a model ------------------------------------------------
+
+def relation_in_model(model: MemModel, r0: Region, r1: Region) -> Relation | None:
+    """The relation the model's *structure* records between two regions."""
+    if r0 == r1:
+        return Relation.ALIAS
+    if r0 in model.destroyed or r1 in model.destroyed:
+        return None
+
+    def locate(tree: MemTree, region: Region, path: tuple[MemTree, ...]):
+        if region in tree.regions:
+            return path + (tree,)
+        for child in tree.children:
+            found = locate(child, region, path + (tree,))
+            if found:
+                return found
+        return None
+
+    paths = {}
+    for region in (r0, r1):
+        for tree in model.trees:
+            found = locate(tree, region, ())
+            if found:
+                paths[region] = found
+                break
+    if r0 not in paths or r1 not in paths:
+        return None
+    path0, path1 = paths[r0], paths[r1]
+    if path0[-1] is path1[-1]:
+        return Relation.ALIAS
+    if len(path0) < len(path1) and path1[: len(path0)] == path0:
+        return Relation.ENCLOSES  # r1 is below r0's node
+    if len(path1) < len(path0) and path0[: len(path1)] == path1:
+        return Relation.ENCLOSED
+    return Relation.SEPARATE
+
+
+# -- concrete satisfaction (Definition 3.9) ------------------------------------------
+
+def _region_bytes(region: Region, env: EvalEnv) -> set[int]:
+    addr = evaluate(region.addr, env)
+    return set(range(addr, addr + region.size))
+
+
+def tree_holds(tree: MemTree, env: EvalEnv) -> bool:
+    try:
+        spans = [_region_bytes(region, env) for region in tree.regions]
+    except EvalError:
+        return False
+    first = spans[0]
+    if any(span != first for span in spans[1:]):
+        return False
+    for child in tree.children:
+        try:
+            child_span = _region_bytes(
+                min(child.regions, key=str), env
+            )
+        except EvalError:
+            return False
+        if not child_span <= first:
+            return False
+        if not tree_holds(child, env):
+            return False
+    # Sibling children must be pairwise separate.
+    return forest_separate(tree.children, env)
+
+
+def forest_separate(trees, env: EvalEnv) -> bool:
+    spans = []
+    for tree in trees:
+        try:
+            spans.append(_region_bytes(tree.representative(), env))
+        except EvalError:
+            return False
+    for i, left in enumerate(spans):
+        for right in spans[i + 1:]:
+            if left & right:
+                return False
+    return True
+
+
+def model_holds(model: MemModel, env: EvalEnv) -> bool:
+    """``s ⊢ M`` (Definition 3.9); destroyed regions impose nothing."""
+    if not forest_separate(model.trees, env):
+        return False
+    return all(tree_holds(tree, env) for tree in model.trees)
+
+
+# -- join (Definition 3.12) -----------------------------------------------------------
+
+def join_models(m0: MemModel, m1: MemModel,
+                parent: Region | None = None) -> MemModel:
+    """Partition trees by shared top-level regions (the paper's ``C⁺``
+    equivalence); per class, intersect the region sets and join the child
+    forests.  A class represented on only one side is dropped: the join is
+    a *disjunction*, and the other side's states support no claim about
+    those regions.  *parent* is set when joining a node's child forests:
+    one-sided children survive only with provable enclosure in it."""
+    distinct = list(m0.trees | m1.trees)
+    classes: list[list[MemTree]] = []
+    for tree in sorted(distinct, key=str):
+        touching = [
+            members for members in classes
+            if any(member.regions & tree.regions for member in members)
+        ]
+        merged = [tree]
+        for members in touching:
+            merged += members
+            classes.remove(members)
+        classes.append(merged)
+
+    joined = set()
+    one_sided: list[MemTree] = []
+    for members in classes:
+        in0 = [t for t in members if t in m0.trees]
+        in1 = [t for t in members if t in m1.trees]
+        if not in0 or not in1:
+            one_sided += members
+            continue
+        common = frozenset.intersection(*(t.regions for t in members))
+        if not common:
+            continue
+        # Within one side, grouped trees all hold conjunctively, so their
+        # children pool; across sides, children forests are joined.
+        children0 = frozenset().union(*(t.children for t in in0))
+        children1 = frozenset().union(*(t.children for t in in1))
+        child_join = join_models(
+            MemModel(children0), MemModel(children1),
+            parent=min(common, key=str),
+        )
+        joined.add(MemTree(common, child_join.trees))
+
+    # A tree known on one side only survives the (disjunctive) join exactly
+    # when its relations are *necessary* — provable in every state, hence in
+    # the other side's states too (this is what makes Example 3.13 work).
+    # "Necessary" shows up as a deterministic, destruction-free insertion.
+    forest = _sorted(joined)
+    for tree in _sorted(one_sided):
+        if not _tree_necessary(tree):
+            continue
+        if parent is not None and decide_relation(
+            tree.representative(), parent
+        ).relation is not Relation.ENCLOSED:
+            # The enclosure in the (new) parent must itself be provable.
+            continue
+        outcomes = _ins_tree(tree, forest, NO_BOUNDS)
+        if len(outcomes) == 1 and not outcomes[0][1]:
+            forest = outcomes[0][0]
+    return MemModel(frozenset(forest), m0.destroyed | m1.destroyed)
+
+
+def _tree_necessary(tree: MemTree) -> bool:
+    """All of the tree's internal claims are provable in every state."""
+    regions = list(tree.regions)
+    for i, left in enumerate(regions):
+        for right in regions[i + 1:]:
+            if decide_relation(left, right).relation is not Relation.ALIAS:
+                return False
+    reps = [child.representative() for child in tree.children]
+    rep = tree.representative()
+    for child_rep in reps:
+        if decide_relation(child_rep, rep).relation is not Relation.ENCLOSED:
+            return False
+    for i, left in enumerate(reps):
+        for right in reps[i + 1:]:
+            if decide_relation(left, right).relation is not Relation.SEPARATE:
+                return False
+    return all(_tree_necessary(child) for child in tree.children)

@@ -1,0 +1,15 @@
+"""A mini-C compiler targeting the repro x86-64 subset.
+
+The corpus substrate: C-like sources compile to honest machine code in ELF
+binaries, which the lifter then analyses.  ``compile_source`` is the whole
+pipeline (lex → parse → codegen → Binary).
+"""
+
+from repro.minicc.codegen import CodegenError, Compiler, compile_source
+from repro.minicc.lexer import LexError, tokenize
+from repro.minicc.parser import ParseError, parse
+
+__all__ = [
+    "CodegenError", "Compiler", "compile_source",
+    "LexError", "tokenize", "ParseError", "parse",
+]

@@ -1,0 +1,198 @@
+"""AST for mini-C.
+
+Types are width-based: ``char`` (1 byte), ``int`` (4), ``long`` (8),
+pointers (8).  Function pointers are plain ``long`` values obtained by
+naming a function; calling a non-function expression emits an indirect
+call.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class CType:
+    base: str           # "char" | "int" | "long" | "void"
+    pointers: int = 0   # levels of indirection
+
+    @property
+    def is_pointer(self) -> bool:
+        return self.pointers > 0
+
+    @property
+    def size(self) -> int:
+        if self.is_pointer:
+            return 8
+        return {"char": 1, "int": 4, "long": 8, "void": 0}[self.base]
+
+    def pointee(self) -> "CType":
+        if not self.is_pointer:
+            raise TypeError(f"not a pointer: {self}")
+        return CType(self.base, self.pointers - 1)
+
+    def pointer_to(self) -> "CType":
+        return CType(self.base, self.pointers + 1)
+
+    def __str__(self) -> str:
+        return self.base + "*" * self.pointers
+
+
+LONG = CType("long")
+INT = CType("int")
+CHAR = CType("char")
+VOID = CType("void")
+
+
+# -- expressions -----------------------------------------------------------------
+
+@dataclass
+class Num:
+    value: int
+
+
+@dataclass
+class Name:
+    ident: str
+
+
+@dataclass
+class Unary:
+    op: str          # "-" "!" "~" "*" "&"
+    operand: "Expr"
+
+
+@dataclass
+class Binary:
+    op: str
+    left: "Expr"
+    right: "Expr"
+
+
+@dataclass
+class Assign:
+    target: "Expr"   # Name / Unary("*") / Index
+    value: "Expr"
+
+
+@dataclass
+class Index:
+    base: "Expr"
+    index: "Expr"
+
+
+@dataclass
+class Call:
+    callee: "Expr"   # Name (direct) or anything else (indirect)
+    args: list
+
+
+Expr = Num | Name | Unary | Binary | Assign | Index | Call
+
+
+# -- statements -------------------------------------------------------------------
+
+@dataclass
+class ExprStmt:
+    expr: Expr
+
+
+@dataclass
+class Decl:
+    ctype: CType
+    name: str
+    array: int | None = None       # element count for local arrays
+    init: Expr | None = None
+
+
+@dataclass
+class If:
+    cond: Expr
+    then: "Stmt"
+    otherwise: "Stmt | None" = None
+
+
+@dataclass
+class While:
+    cond: Expr
+    body: "Stmt"
+
+
+@dataclass
+class For:
+    init: "Stmt | None"
+    cond: Expr | None
+    step: Expr | None
+    body: "Stmt"
+
+
+@dataclass
+class Return:
+    value: Expr | None = None
+
+
+@dataclass
+class Break:
+    pass
+
+
+@dataclass
+class Continue:
+    pass
+
+
+@dataclass
+class Case:
+    value: int | None   # None = default
+    body: list
+
+
+@dataclass
+class Switch:
+    scrutinee: Expr
+    cases: list
+
+
+@dataclass
+class Block:
+    statements: list
+
+
+Stmt = ExprStmt | Decl | If | While | For | Return | Break | Continue | Switch | Block
+
+
+# -- top level ----------------------------------------------------------------------
+
+@dataclass
+class Param:
+    ctype: CType
+    name: str
+
+
+@dataclass
+class Function:
+    ctype: CType
+    name: str
+    params: list
+    body: Block
+
+
+@dataclass
+class Global:
+    ctype: CType
+    name: str
+    array: int | None = None
+    init: int | list | None = None
+
+
+@dataclass
+class Extern:
+    ctype: CType
+    name: str
+
+
+@dataclass
+class Program:
+    functions: list = field(default_factory=list)
+    globals: list = field(default_factory=list)
+    externs: list = field(default_factory=list)

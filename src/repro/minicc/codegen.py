@@ -1,0 +1,709 @@
+"""Code generation: mini-C AST → x86-64 via the assembler/builder.
+
+The style is deliberately close to ``gcc -O0``: locals live at fixed
+``rbp`` offsets, expressions evaluate into ``rax`` with a push/pop
+discipline for temporaries, and dense ``switch`` statements compile to
+rodata jump tables (the construct Table 1's resolved-indirection column
+measures).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+
+from repro.elf import Binary, BinaryBuilder
+from repro.isa import Imm, Mem, abs64
+from repro.minicc import cast as c
+
+
+class CodegenError(ValueError):
+    pass
+
+
+_ARG_REGS = ("rdi", "rsi", "rdx", "rcx", "r8", "r9")
+_ARG_REGS32 = ("edi", "esi", "edx", "ecx", "r8d", "r9d")
+
+#: Jump tables are emitted when the case range is at most this dense bound.
+_MAX_TABLE_SPAN = 256
+
+
+@dataclass
+class _Local:
+    offset: int        # negative rbp offset of the slot (or array base)
+    ctype: c.CType
+    array: int | None  # element count when this is an array
+
+
+class _FunctionCompiler:
+    def __init__(self, compiler: "Compiler", function: c.Function):
+        self.compiler = compiler
+        self.function = function
+        self.text = compiler.builder.text
+        self.locals: dict[str, _Local] = {}
+        self.frame_size = 0
+        self.loop_stack: list[tuple[str, str]] = []  # (break, continue)
+
+    # -- label helpers ------------------------------------------------------------
+    def label(self, hint: str) -> str:
+        return f".L_{self.function.name}_{hint}_{next(self.compiler.counter)}"
+
+    # -- leaf operands --------------------------------------------------------------
+    # Loading simple operands straight into a scratch register (instead of
+    # the push/pop temporary discipline) matches what real -O0 compilers
+    # emit and keeps loop-carried pointers analyzable.
+    def is_leaf(self, expr) -> bool:
+        if isinstance(expr, c.Num):
+            return -(1 << 31) <= expr.value < (1 << 31)
+        if isinstance(expr, c.Name):
+            slot = self.locals.get(expr.ident)
+            return slot is not None
+        return False
+
+    def emit_leaf(self, reg: str, expr) -> c.CType:
+        """Load a leaf operand into *reg* (64-bit) without touching rax."""
+        t = self.text
+        if isinstance(expr, c.Num):
+            t.emit("mov", reg, Imm(expr.value, 32))
+            return c.LONG
+        slot = self.locals[expr.ident]
+        if slot.array is not None:
+            t.emit("lea", reg, Mem(64, base="rbp", disp=slot.offset))
+            return slot.ctype.pointer_to()
+        if slot.ctype.size == 8 or slot.ctype.is_pointer:
+            t.emit("mov", reg, Mem(64, base="rbp", disp=slot.offset))
+        elif slot.ctype.size == 4:
+            t.emit("movsxd", reg, Mem(32, base="rbp", disp=slot.offset))
+        else:
+            t.emit("movsx", reg, Mem(8, base="rbp", disp=slot.offset))
+        return slot.ctype
+
+    # -- frame layout ----------------------------------------------------------------
+    def alloc_local(self, name: str, ctype: c.CType, array: int | None) -> _Local:
+        size = ctype.size * (array or 1)
+        size = (size + 7) & ~7
+        self.frame_size += size
+        slot = _Local(-self.frame_size, ctype, array)
+        self.locals[name] = slot
+        return slot
+
+    def _collect_frame(self, stmt) -> None:
+        """Pre-scan for declarations so the prologue can reserve the frame."""
+        if isinstance(stmt, c.Block):
+            for inner in stmt.statements:
+                self._collect_frame(inner)
+        elif isinstance(stmt, c.Decl):
+            if stmt.name in self.locals:
+                # Re-declaration in a sibling scope (e.g. two for-loops
+                # using `long i`): reuse the slot if the types agree.
+                slot = self.locals[stmt.name]
+                if slot.ctype != stmt.ctype or slot.array != stmt.array:
+                    raise CodegenError(
+                        f"conflicting redeclaration of {stmt.name!r}"
+                    )
+            else:
+                self.alloc_local(stmt.name, stmt.ctype, stmt.array)
+        elif isinstance(stmt, c.If):
+            self._collect_frame(stmt.then)
+            if stmt.otherwise:
+                self._collect_frame(stmt.otherwise)
+        elif isinstance(stmt, (c.While,)):
+            self._collect_frame(stmt.body)
+        elif isinstance(stmt, c.For):
+            if stmt.init is not None:
+                self._collect_frame(stmt.init)
+            self._collect_frame(stmt.body)
+        elif isinstance(stmt, c.Switch):
+            for case in stmt.cases:
+                for inner in case.body:
+                    self._collect_frame(inner)
+
+    # -- entry point --------------------------------------------------------------------
+    def compile(self) -> None:
+        t = self.text
+        t.label(self.function.name)
+        t.emit("push", "rbp")
+        t.emit("mov", "rbp", "rsp")
+        for index, param in enumerate(self.function.params):
+            if index < len(_ARG_REGS):
+                self.alloc_local(param.name, param.ctype, None)
+            else:
+                # System V: the 7th+ arguments live in the caller's frame at
+                # [rbp + 16 + 8k]; they are accessed in place.
+                offset = 16 + 8 * (index - len(_ARG_REGS))
+                self.locals[param.name] = _Local(offset, param.ctype, None)
+        self._collect_frame(self.function.body)
+        frame = (self.frame_size + 15) & ~15
+        if frame:
+            t.emit("sub", "rsp", Imm(frame, 32))
+        for index, param in enumerate(self.function.params):
+            if index >= len(_ARG_REGS):
+                break
+            slot = self.locals[param.name]
+            t.emit("mov", Mem(64, base="rbp", disp=slot.offset), _ARG_REGS[index])
+        self.compile_block(self.function.body)
+        # Fall-off-the-end return (value unspecified, rax as-is).
+        self.emit_epilogue()
+
+    def emit_epilogue(self) -> None:
+        self.text.emit("leave")
+        self.text.emit("ret")
+
+    # -- statements -------------------------------------------------------------------------
+    def compile_block(self, block: c.Block) -> None:
+        for stmt in block.statements:
+            self.compile_statement(stmt)
+
+    def compile_statement(self, stmt) -> None:
+        t = self.text
+        if isinstance(stmt, c.Block):
+            self.compile_block(stmt)
+        elif isinstance(stmt, c.ExprStmt):
+            self.compile_expr(stmt.expr)
+        elif isinstance(stmt, c.Decl):
+            if stmt.init is not None:
+                self.compile_expr(stmt.init)
+                slot = self.locals[stmt.name]
+                self.store_to(Mem(_width(slot.ctype),
+                                  base="rbp", disp=slot.offset), slot.ctype)
+        elif isinstance(stmt, c.Return):
+            if stmt.value is not None:
+                self.compile_expr(stmt.value)
+            self.emit_epilogue()
+        elif isinstance(stmt, c.If):
+            else_label = self.label("else")
+            end_label = self.label("endif")
+            self.compile_condition(stmt.cond, else_label)
+            self.compile_statement(stmt.then)
+            if stmt.otherwise is not None:
+                t.emit("jmp", end_label)
+                t.label(else_label)
+                self.compile_statement(stmt.otherwise)
+                t.label(end_label)
+            else:
+                t.label(else_label)
+        elif isinstance(stmt, c.While):
+            head = self.label("while")
+            done = self.label("endwhile")
+            t.label(head)
+            self.compile_condition(stmt.cond, done)
+            self.loop_stack.append((done, head))
+            self.compile_statement(stmt.body)
+            self.loop_stack.pop()
+            t.emit("jmp", head)
+            t.label(done)
+        elif isinstance(stmt, c.For):
+            if stmt.init is not None:
+                self.compile_statement(stmt.init)
+            head = self.label("for")
+            step_label = self.label("forstep")
+            done = self.label("endfor")
+            t.label(head)
+            if stmt.cond is not None:
+                self.compile_condition(stmt.cond, done)
+            self.loop_stack.append((done, step_label))
+            self.compile_statement(stmt.body)
+            self.loop_stack.pop()
+            t.label(step_label)
+            if stmt.step is not None:
+                self.compile_expr(stmt.step)
+            t.emit("jmp", head)
+            t.label(done)
+        elif isinstance(stmt, c.Break):
+            if not self.loop_stack:
+                raise CodegenError("break outside loop")
+            t.emit("jmp", self.loop_stack[-1][0])
+        elif isinstance(stmt, c.Continue):
+            if not self.loop_stack:
+                raise CodegenError("continue outside loop")
+            t.emit("jmp", self.loop_stack[-1][1])
+        elif isinstance(stmt, c.Switch):
+            self.compile_switch(stmt)
+        else:
+            raise CodegenError(f"unknown statement {stmt!r}")
+
+    def compile_condition(self, cond, false_label: str) -> None:
+        """Evaluate *cond*; jump to *false_label* when it is zero."""
+        t = self.text
+        if isinstance(cond, c.Binary) and cond.op in (
+            "<", "<=", ">", ">=", "==", "!="
+        ):
+            if self.is_leaf(cond.right):
+                self.compile_expr(cond.left)
+                self.emit_leaf("rcx", cond.right)
+            else:
+                self.compile_expr(cond.right)
+                t.emit("push", "rax")
+                self.compile_expr(cond.left)
+                t.emit("pop", "rcx")
+            t.emit("cmp", "rax", "rcx")
+            negated = {"<": "ge", "<=": "g", ">": "le", ">=": "l",
+                       "==": "ne", "!=": "e"}[cond.op]
+            t.emit(f"j{negated}", false_label)
+            return
+        self.compile_expr(cond)
+        t.emit("test", "rax", "rax")
+        t.emit("je", false_label)
+
+    def compile_switch(self, stmt: c.Switch) -> None:
+        t = self.text
+        self.compile_expr(stmt.scrutinee)
+        end_label = self.label("endswitch")
+        default_label = end_label
+        case_labels: dict[int, str] = {}
+        for case in stmt.cases:
+            if case.value is None:
+                default_label = self.label("default")
+            else:
+                case_labels[case.value] = self.label(f"case{case.value & 0xffff}")
+
+        values = sorted(case_labels)
+        dense = (
+            len(values) >= 3
+            and values[-1] - values[0] < _MAX_TABLE_SPAN
+            and min(values) >= 0
+        )
+        if dense:
+            low, high = values[0], values[-1]
+            table_label = self.label("jumptable")
+            if low:
+                t.emit("sub", "rax", Imm(low, 32))
+            t.emit("cmp", "rax", Imm(high - low, 32))
+            t.emit("ja", default_label)
+            t.emit("movabs", "rcx", abs64(table_label))
+            t.emit("mov", "rax", Mem(64, base="rcx", index="rax", scale=8))
+            t.emit("jmp", "rax")
+            rodata = self.compiler.builder.rodata
+            rodata.align(8)
+            rodata.label(table_label)
+            for value in range(low, high + 1):
+                rodata.quad(abs64(case_labels.get(value, default_label)))
+        else:
+            for value in values:
+                t.emit("cmp", "rax", Imm(value, 32))
+                t.emit("je", case_labels[value])
+            t.emit("jmp", default_label)
+
+        self.loop_stack.append((end_label, end_label))
+        for case in stmt.cases:
+            if case.value is None:
+                t.label(default_label)
+            else:
+                t.label(case_labels[case.value])
+            for inner in case.body:
+                self.compile_statement(inner)
+        self.loop_stack.pop()
+        t.label(end_label)
+
+    # -- expressions ---------------------------------------------------------------------------
+    def compile_expr(self, expr) -> c.CType:
+        """Evaluate *expr* into rax (64-bit, sign-extended); returns its type."""
+        t = self.text
+        if isinstance(expr, c.Num):
+            if -(1 << 31) <= expr.value < (1 << 31):
+                t.emit("mov", "rax", Imm(expr.value, 32))
+            else:
+                t.emit("movabs", "rax", Imm(expr.value, 64))
+            return c.LONG
+        if isinstance(expr, c.Name):
+            return self.load_name(expr.ident)
+        if isinstance(expr, c.Assign):
+            return self.compile_assign(expr)
+        if isinstance(expr, c.Unary):
+            return self.compile_unary(expr)
+        if isinstance(expr, c.Binary):
+            return self.compile_binary(expr)
+        if isinstance(expr, c.Index):
+            ctype = self.compile_address_of(expr)
+            self.load_from_rax_address(ctype)
+            return ctype
+        if isinstance(expr, c.Call):
+            return self.compile_call(expr)
+        raise CodegenError(f"unknown expression {expr!r}")
+
+    def load_name(self, ident: str) -> c.CType:
+        t = self.text
+        compiler = self.compiler
+        if ident in self.locals:
+            slot = self.locals[ident]
+            if slot.array is not None:
+                t.emit("lea", "rax", Mem(64, base="rbp", disp=slot.offset))
+                return slot.ctype.pointer_to()
+            self.load_slot(Mem(_width(slot.ctype), base="rbp", disp=slot.offset),
+                           slot.ctype)
+            return slot.ctype
+        if ident in compiler.globals:
+            glob = compiler.globals[ident]
+            t.emit("movabs", "rax", abs64(f"g_{ident}"))
+            if glob.array is not None:
+                return glob.ctype.pointer_to()
+            self.load_from_rax_address(glob.ctype)
+            return glob.ctype
+        if ident in compiler.function_names:
+            t.emit("movabs", "rax", abs64(ident))
+            return c.LONG  # function pointer value
+        if ident in compiler.extern_names:
+            t.emit("movabs", "rax", abs64(ident))
+            return c.LONG
+        raise CodegenError(f"undefined identifier {ident!r}")
+
+    def load_slot(self, mem: Mem, ctype: c.CType) -> None:
+        t = self.text
+        if ctype.size == 8 or ctype.is_pointer:
+            t.emit("mov", "rax", Mem(64, base=mem.base, index=mem.index,
+                                     scale=mem.scale, disp=mem.disp))
+        elif ctype.size == 4:
+            t.emit("movsxd", "rax",
+                   Mem(32, base=mem.base, index=mem.index,
+                       scale=mem.scale, disp=mem.disp))
+        else:
+            t.emit("movsx", "rax",
+                   Mem(8, base=mem.base, index=mem.index,
+                       scale=mem.scale, disp=mem.disp))
+
+    def load_from_rax_address(self, ctype: c.CType) -> None:
+        self.load_slot(Mem(_width(ctype), base="rax"), ctype)
+
+    def store_to(self, mem: Mem, ctype: c.CType) -> None:
+        """Store rax (truncated to the type's width) to *mem*."""
+        t = self.text
+        width = _width(ctype)
+        if width == 64:
+            t.emit("mov", mem, "rax")
+        elif width == 32:
+            t.emit("mov", Mem(32, base=mem.base, index=mem.index,
+                              scale=mem.scale, disp=mem.disp), "eax")
+        else:
+            t.emit("mov", Mem(8, base=mem.base, index=mem.index,
+                              scale=mem.scale, disp=mem.disp), "al")
+
+    def compile_address_of(self, expr) -> c.CType:
+        """Evaluate the address of an lvalue into rax; returns element type."""
+        t = self.text
+        if isinstance(expr, c.Name):
+            if expr.ident in self.locals:
+                slot = self.locals[expr.ident]
+                t.emit("lea", "rax", Mem(64, base="rbp", disp=slot.offset))
+                return slot.ctype
+            if expr.ident in self.compiler.globals:
+                t.emit("movabs", "rax", abs64(f"g_{expr.ident}"))
+                return self.compiler.globals[expr.ident].ctype
+            if expr.ident in self.compiler.function_names or \
+                    expr.ident in self.compiler.extern_names:
+                t.emit("movabs", "rax", abs64(expr.ident))
+                return c.LONG
+            raise CodegenError(f"cannot take address of {expr.ident!r}")
+        if isinstance(expr, c.Unary) and expr.op == "*":
+            ctype = self.compile_expr(expr.operand)
+            return ctype.pointee() if ctype.is_pointer else c.LONG
+        if isinstance(expr, c.Index):
+            t = self.text
+            if self.is_leaf(expr.index):
+                base_type = self.compile_expr(expr.base)
+                element = base_type.pointee() if base_type.is_pointer else c.LONG
+                self.emit_leaf("rcx", expr.index)
+                scale = element.size
+                if scale == 1:
+                    t.emit("add", "rax", "rcx")
+                elif scale in (2, 4, 8):
+                    t.emit("lea", "rax",
+                           Mem(64, base="rax", index="rcx", scale=scale))
+                else:
+                    t.emit("imul", "rcx", "rcx", Imm(scale, 32))
+                    t.emit("add", "rax", "rcx")
+                return element
+            base_type = self.compile_expr(expr.base)
+            element = base_type.pointee() if base_type.is_pointer else c.LONG
+            t.emit("push", "rax")
+            self.compile_expr(expr.index)
+            scale = element.size
+            if scale in (1, 2, 4, 8):
+                t.emit("pop", "rcx")
+                if scale == 1:
+                    t.emit("add", "rax", "rcx")
+                else:
+                    t.emit(
+                        "lea", "rax",
+                        Mem(64, base="rcx", index="rax", scale=scale),
+                    )
+            else:
+                t.emit("imul", "rax", "rax", Imm(scale, 32))
+                t.emit("pop", "rcx")
+                t.emit("add", "rax", "rcx")
+            return element
+        raise CodegenError(f"not an lvalue: {expr!r}")
+
+    def is_simple_lvalue(self, target) -> bool:
+        """True when try_address_into_rcx will succeed (no code emitted)."""
+        if isinstance(target, c.Name):
+            if target.ident in self.locals:
+                return self.locals[target.ident].array is None
+            glob = self.compiler.globals.get(target.ident)
+            return glob is not None and glob.array is None
+        if isinstance(target, c.Unary) and target.op == "*":
+            return self.is_leaf(target.operand)
+        if isinstance(target, c.Index):
+            return self.is_leaf(target.base) and self.is_leaf(target.index)
+        return False
+
+    def try_address_into_rcx(self, target) -> c.CType | None:
+        """Compute a simple lvalue's address into rcx (scratch rdx) without
+        touching rax; returns the element type, or None if too complex."""
+        t = self.text
+        if isinstance(target, c.Name):
+            if target.ident in self.locals:
+                slot = self.locals[target.ident]
+                if slot.array is None:
+                    t.emit("lea", "rcx", Mem(64, base="rbp", disp=slot.offset))
+                    return slot.ctype
+                return None
+            if target.ident in self.compiler.globals:
+                glob = self.compiler.globals[target.ident]
+                if glob.array is None:
+                    t.emit("movabs", "rcx", abs64(f"g_{target.ident}"))
+                    return glob.ctype
+            return None
+        if isinstance(target, c.Unary) and target.op == "*" and \
+                self.is_leaf(target.operand):
+            ctype = self.emit_leaf("rcx", target.operand)
+            return ctype.pointee() if ctype.is_pointer else c.LONG
+        if isinstance(target, c.Index) and self.is_leaf(target.base) and \
+                self.is_leaf(target.index):
+            base_type = self.emit_leaf("rcx", target.base)
+            element = base_type.pointee() if base_type.is_pointer else c.LONG
+            self.emit_leaf("rdx", target.index)
+            scale = element.size
+            if scale == 1:
+                t.emit("add", "rcx", "rdx")
+            elif scale in (2, 4, 8):
+                t.emit("lea", "rcx", Mem(64, base="rcx", index="rdx", scale=scale))
+            else:
+                t.emit("imul", "rdx", "rdx", Imm(scale, 32))
+                t.emit("add", "rcx", "rdx")
+            return element
+        return None
+
+    def compile_assign(self, expr: c.Assign) -> c.CType:
+        t = self.text
+        target = expr.target
+        if isinstance(target, c.Name) and target.ident in self.locals \
+                and self.locals[target.ident].array is None:
+            ctype = self.locals[target.ident].ctype
+            self.compile_expr(expr.value)
+            slot = self.locals[target.ident]
+            self.store_to(Mem(_width(ctype), base="rbp", disp=slot.offset), ctype)
+            return ctype
+        # Value first, then a register-only address computation when the
+        # target is simple — avoids spilling loop-carried pointers.
+        if self.is_simple_lvalue(target):
+            self.compile_expr(expr.value)
+            ctype = self.try_address_into_rcx(target)
+            assert ctype is not None
+            self.store_to(Mem(_width(ctype), base="rcx"), ctype)
+            return ctype
+        ctype = self.compile_address_of(target)
+        t.emit("push", "rax")
+        self.compile_expr(expr.value)
+        t.emit("pop", "rcx")
+        self.store_to(Mem(_width(ctype), base="rcx"), ctype)
+        return ctype
+
+    def compile_unary(self, expr: c.Unary) -> c.CType:
+        t = self.text
+        if expr.op == "&":
+            element = self.compile_address_of(expr.operand)
+            return element.pointer_to()
+        if expr.op == "*":
+            ctype = self.compile_expr(expr.operand)
+            element = ctype.pointee() if ctype.is_pointer else c.LONG
+            self.load_from_rax_address(element)
+            return element
+        ctype = self.compile_expr(expr.operand)
+        if expr.op == "-":
+            t.emit("neg", "rax")
+        elif expr.op == "~":
+            t.emit("not", "rax")
+        elif expr.op == "!":
+            t.emit("test", "rax", "rax")
+            t.emit("sete", "al")
+            t.emit("movzx", "eax", "al")
+        return c.LONG if expr.op != "-" else ctype
+
+    def compile_binary(self, expr: c.Binary) -> c.CType:
+        t = self.text
+        if expr.op in ("&&", "||"):
+            return self.compile_short_circuit(expr)
+        if self.is_leaf(expr.right):
+            left_type = self.compile_expr(expr.left)
+            right_type = self.emit_leaf("rcx", expr.right)
+        else:
+            # Evaluate right first so the left lands in rax without a swap.
+            right_type = self.compile_expr(expr.right)
+            t.emit("push", "rax")
+            left_type = self.compile_expr(expr.left)
+            t.emit("pop", "rcx")
+
+        # Pointer arithmetic: scale the integer side.
+        if expr.op in ("+", "-") and left_type.is_pointer and \
+                not right_type.is_pointer:
+            scale = left_type.pointee().size
+            if scale > 1:
+                t.emit("imul", "rcx", "rcx", Imm(scale, 32))
+
+        op = expr.op
+        if op == "+":
+            t.emit("add", "rax", "rcx")
+        elif op == "-":
+            t.emit("sub", "rax", "rcx")
+        elif op == "*":
+            t.emit("imul", "rax", "rcx")
+        elif op in ("/", "%"):
+            t.emit("cqo")
+            t.emit("idiv", "rcx")
+            if op == "%":
+                t.emit("mov", "rax", "rdx")
+        elif op == "&":
+            t.emit("and", "rax", "rcx")
+        elif op == "|":
+            t.emit("or", "rax", "rcx")
+        elif op == "^":
+            t.emit("xor", "rax", "rcx")
+        elif op in ("<<", ">>"):
+            # Count must be in cl; it is in rcx already.
+            t.emit("shl" if op == "<<" else "sar", "rax", "cl")
+        elif op in ("<", "<=", ">", ">=", "==", "!="):
+            t.emit("cmp", "rax", "rcx")
+            cc = {"<": "l", "<=": "le", ">": "g", ">=": "ge",
+                  "==": "e", "!=": "ne"}[op]
+            t.emit(f"set{cc}", "al")
+            t.emit("movzx", "eax", "al")
+            return c.LONG
+        else:
+            raise CodegenError(f"unknown operator {op!r}")
+        return left_type if left_type.is_pointer else c.LONG
+
+    def compile_short_circuit(self, expr: c.Binary) -> c.CType:
+        t = self.text
+        out = self.label("sc_end")
+        self.compile_expr(expr.left)
+        t.emit("test", "rax", "rax")
+        if expr.op == "&&":
+            t.emit("mov", "eax", Imm(0, 32))
+            t.emit("je", out)
+        else:
+            t.emit("mov", "eax", Imm(1, 32))
+            t.emit("jne", out)
+        self.compile_expr(expr.right)
+        t.emit("test", "rax", "rax")
+        t.emit("setne", "al")
+        t.emit("movzx", "eax", "al")
+        t.label(out)
+        return c.LONG
+
+    def compile_call(self, expr: c.Call) -> c.CType:
+        t = self.text
+        compiler = self.compiler
+        callee = expr.callee
+        # C function-call semantics: (*f)(x) and f(x) through a function
+        # pointer both call the pointer *value* — no memory dereference.
+        while isinstance(callee, c.Unary) and callee.op == "*":
+            callee = callee.operand
+        direct: str | None = None
+        if isinstance(callee, c.Name):
+            ident = callee.ident
+            if ident in compiler.function_names or ident in compiler.extern_names:
+                if ident not in self.locals and ident not in compiler.globals:
+                    direct = ident
+        if direct is None:
+            self.compile_expr(callee)
+            t.emit("push", "rax")
+        register_args = expr.args[:len(_ARG_REGS)]
+        stack_args = expr.args[len(_ARG_REGS):]
+        # Stack args pushed right-to-left so arg7 ends nearest the call frame.
+        for arg in reversed(stack_args):
+            self.compile_expr(arg)
+            t.emit("push", "rax")
+        # With the callee (if indirect) below the stack args, move it into
+        # r10 via a temporary load from its slot before arguments spill.
+        for arg in register_args:
+            self.compile_expr(arg)
+            t.emit("push", "rax")
+        for index in reversed(range(len(register_args))):
+            t.emit("pop", _ARG_REGS[index])
+        if direct is not None:
+            if direct in compiler.extern_names:
+                compiler.builder.extern(direct)
+            t.emit("call", direct)
+        else:
+            if stack_args:
+                # The callee value sits below the stack args: load it.
+                t.emit("mov", "r10",
+                       Mem(64, base="rsp", disp=8 * len(stack_args)))
+                t.emit("call", "r10")
+                t.emit("add", "rsp", Imm(8 * len(stack_args) + 8, 32))
+                return c.LONG
+            t.emit("pop", "r10")
+            t.emit("call", "r10")
+            return c.LONG
+        if stack_args:
+            t.emit("add", "rsp", Imm(8 * len(stack_args), 32))
+        return c.LONG
+
+
+def _width(ctype: c.CType) -> int:
+    if ctype.is_pointer:
+        return 64
+    return max(ctype.size * 8, 8)
+
+
+class Compiler:
+    """Compiles a mini-C program into a Binary."""
+
+    def __init__(self, program: c.Program, name: str = "a.out",
+                 entry: str = "main", optimize: int = 0):
+        self.program = program
+        self.name = name
+        self.entry = entry
+        self.optimize = optimize
+        self.builder = BinaryBuilder(name)
+        self.counter = itertools.count()
+        self.globals = {glob.name: glob for glob in program.globals}
+        self.function_names = {fn.name for fn in program.functions}
+        self.extern_names = {ext.name for ext in program.externs}
+
+    def compile(self, export_labels: bool = False) -> Binary:
+        for name in sorted(self.extern_names):
+            self.builder.extern(name)
+        for function in self.program.functions:
+            _FunctionCompiler(self, function).compile()
+        if self.optimize:
+            from repro.minicc.peephole import optimize_items
+
+            self.builder.text._items = optimize_items(self.builder.text._items)
+        data = self.builder.data
+        for glob in self.program.globals:
+            data.align(8)
+            data.label(f"g_{glob.name}")
+            count = glob.array or 1
+            size = glob.ctype.size
+            values: list[int]
+            if isinstance(glob.init, list):
+                values = glob.init + [0] * (count - len(glob.init))
+            elif glob.init is not None:
+                values = [glob.init] + [0] * (count - 1)
+            else:
+                values = [0] * count
+            for value in values:
+                data.raw((value & ((1 << (size * 8)) - 1)).to_bytes(size, "little"))
+        return self.builder.build(entry=self.entry, export_labels=export_labels)
+
+
+def compile_source(source: str, name: str = "a.out", entry: str = "main",
+                   export_labels: bool = False, optimize: int = 0) -> Binary:
+    """Compile mini-C *source* text into a loaded Binary.
+
+    *optimize* = 1 enables the peephole passes (store-load forwarding,
+    immediate folding, jump threading) — the corpus's "-O1" flavour."""
+    from repro.minicc.parser import parse
+
+    return Compiler(parse(source), name, entry, optimize).compile(export_labels)

@@ -1,0 +1,102 @@
+"""Lexer for the mini-C language the corpus is compiled from."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+KEYWORDS = frozenset({
+    "int", "long", "char", "void", "if", "else", "while", "for", "return",
+    "break", "continue", "switch", "case", "default", "extern", "sizeof",
+})
+
+# Longest-first so '<<=' style lookahead never misfires.
+SYMBOLS = (
+    "<<", ">>", "<=", ">=", "==", "!=", "&&", "||",
+    "+", "-", "*", "/", "%", "&", "|", "^", "~", "!", "<", ">", "=",
+    "(", ")", "{", "}", "[", "]", ";", ",", ":",
+)
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str   # "num" | "ident" | "keyword" | "symbol" | "string" | "eof"
+    text: str
+    value: int = 0
+    line: int = 0
+
+
+class LexError(SyntaxError):
+    pass
+
+
+def tokenize(source: str) -> list[Token]:
+    tokens: list[Token] = []
+    pos = 0
+    line = 1
+    length = len(source)
+    while pos < length:
+        ch = source[pos]
+        if ch == "\n":
+            line += 1
+            pos += 1
+            continue
+        if ch.isspace():
+            pos += 1
+            continue
+        if source.startswith("//", pos):
+            end = source.find("\n", pos)
+            pos = length if end < 0 else end
+            continue
+        if source.startswith("/*", pos):
+            end = source.find("*/", pos + 2)
+            if end < 0:
+                raise LexError(f"line {line}: unterminated comment")
+            line += source.count("\n", pos, end)
+            pos = end + 2
+            continue
+        if ch.isdigit():
+            start = pos
+            if source.startswith("0x", pos) or source.startswith("0X", pos):
+                pos += 2
+                while pos < length and source[pos] in "0123456789abcdefABCDEF":
+                    pos += 1
+                value = int(source[start:pos], 16)
+            else:
+                while pos < length and source[pos].isdigit():
+                    pos += 1
+                value = int(source[start:pos])
+            tokens.append(Token("num", source[start:pos], value, line))
+            continue
+        if ch.isalpha() or ch == "_":
+            start = pos
+            while pos < length and (source[pos].isalnum() or source[pos] == "_"):
+                pos += 1
+            text = source[start:pos]
+            kind = "keyword" if text in KEYWORDS else "ident"
+            tokens.append(Token(kind, text, 0, line))
+            continue
+        if ch == "'":
+            if pos + 2 < length and source[pos + 1] == "\\":
+                escape = {"n": 10, "t": 9, "0": 0, "\\": 92, "'": 39}
+                value = escape.get(source[pos + 2])
+                if value is None or source[pos + 3] != "'":
+                    raise LexError(f"line {line}: bad character literal")
+                tokens.append(Token("num", source[pos:pos + 4], value, line))
+                pos += 4
+            elif pos + 2 < length and source[pos + 2] == "'":
+                tokens.append(
+                    Token("num", source[pos:pos + 3], ord(source[pos + 1]), line)
+                )
+                pos += 3
+            else:
+                raise LexError(f"line {line}: bad character literal")
+            continue
+        for symbol in SYMBOLS:
+            if source.startswith(symbol, pos):
+                tokens.append(Token("symbol", symbol, 0, line))
+                pos += len(symbol)
+                break
+        else:
+            raise LexError(f"line {line}: unexpected character {ch!r}")
+    tokens.append(Token("eof", "", 0, line))
+    return tokens

@@ -1,0 +1,306 @@
+"""Recursive-descent parser for mini-C."""
+
+from __future__ import annotations
+
+from repro.minicc import cast as c
+from repro.minicc.lexer import Token, tokenize
+
+
+class ParseError(SyntaxError):
+    pass
+
+
+class Parser:
+    def __init__(self, source: str):
+        self.tokens = tokenize(source)
+        self.pos = 0
+
+    # -- token helpers -----------------------------------------------------------
+    def peek(self) -> Token:
+        return self.tokens[self.pos]
+
+    def advance(self) -> Token:
+        token = self.tokens[self.pos]
+        self.pos += 1
+        return token
+
+    def at(self, kind: str, text: str | None = None) -> bool:
+        token = self.peek()
+        return token.kind == kind and (text is None or token.text == text)
+
+    def accept(self, kind: str, text: str | None = None) -> Token | None:
+        if self.at(kind, text):
+            return self.advance()
+        return None
+
+    def expect(self, kind: str, text: str | None = None) -> Token:
+        token = self.accept(kind, text)
+        if token is None:
+            actual = self.peek()
+            want = text or kind
+            raise ParseError(
+                f"line {actual.line}: expected {want!r}, found {actual.text!r}"
+            )
+        return token
+
+    # -- types ---------------------------------------------------------------------
+    def at_type(self) -> bool:
+        return self.peek().kind == "keyword" and self.peek().text in (
+            "int", "long", "char", "void"
+        )
+
+    def parse_type(self) -> c.CType:
+        base = self.expect("keyword").text
+        pointers = 0
+        while self.accept("symbol", "*"):
+            pointers += 1
+        return c.CType(base, pointers)
+
+    # -- program ---------------------------------------------------------------------
+    def parse_program(self) -> c.Program:
+        program = c.Program()
+        while not self.at("eof"):
+            if self.accept("keyword", "extern"):
+                ctype = self.parse_type()
+                name = self.expect("ident").text
+                self.expect("symbol", "(")
+                while not self.accept("symbol", ")"):
+                    self.advance()
+                self.expect("symbol", ";")
+                program.externs.append(c.Extern(ctype, name))
+                continue
+            ctype = self.parse_type()
+            name = self.expect("ident").text
+            if self.at("symbol", "("):
+                program.functions.append(self.parse_function(ctype, name))
+            else:
+                program.globals.append(self.parse_global(ctype, name))
+        return program
+
+    def parse_function(self, ctype: c.CType, name: str) -> c.Function:
+        self.expect("symbol", "(")
+        params: list[c.Param] = []
+        if not self.at("symbol", ")"):
+            while True:
+                ptype = self.parse_type()
+                pname = self.expect("ident").text
+                params.append(c.Param(ptype, pname))
+                if not self.accept("symbol", ","):
+                    break
+        self.expect("symbol", ")")
+        body = self.parse_block()
+        return c.Function(ctype, name, params, body)
+
+    def parse_global(self, ctype: c.CType, name: str) -> c.Global:
+        array = None
+        if self.accept("symbol", "["):
+            array = self.expect("num").value
+            self.expect("symbol", "]")
+        init = None
+        if self.accept("symbol", "="):
+            if self.accept("symbol", "{"):
+                init = []
+                while not self.accept("symbol", "}"):
+                    sign = -1 if self.accept("symbol", "-") else 1
+                    init.append(sign * self.expect("num").value)
+                    self.accept("symbol", ",")
+            else:
+                sign = -1 if self.accept("symbol", "-") else 1
+                init = sign * self.expect("num").value
+        self.expect("symbol", ";")
+        return c.Global(ctype, name, array, init)
+
+    # -- statements ----------------------------------------------------------------------
+    def parse_block(self) -> c.Block:
+        self.expect("symbol", "{")
+        statements = []
+        while not self.accept("symbol", "}"):
+            statements.append(self.parse_statement())
+        return c.Block(statements)
+
+    def parse_statement(self) -> c.Stmt:
+        if self.at("symbol", "{"):
+            return self.parse_block()
+        if self.accept("keyword", "if"):
+            self.expect("symbol", "(")
+            cond = self.parse_expr()
+            self.expect("symbol", ")")
+            then = self.parse_statement()
+            otherwise = None
+            if self.accept("keyword", "else"):
+                otherwise = self.parse_statement()
+            return c.If(cond, then, otherwise)
+        if self.accept("keyword", "while"):
+            self.expect("symbol", "(")
+            cond = self.parse_expr()
+            self.expect("symbol", ")")
+            return c.While(cond, self.parse_statement())
+        if self.accept("keyword", "for"):
+            self.expect("symbol", "(")
+            init = None
+            if not self.at("symbol", ";"):
+                init = (
+                    self.parse_decl()
+                    if self.at_type()
+                    else c.ExprStmt(self.parse_expr())
+                )
+                if isinstance(init, c.Decl):
+                    return self._finish_for(init)
+            self.expect("symbol", ";")
+            return self._finish_for(init, consumed_semi=True)
+        if self.accept("keyword", "return"):
+            value = None
+            if not self.at("symbol", ";"):
+                value = self.parse_expr()
+            self.expect("symbol", ";")
+            return c.Return(value)
+        if self.accept("keyword", "break"):
+            self.expect("symbol", ";")
+            return c.Break()
+        if self.accept("keyword", "continue"):
+            self.expect("symbol", ";")
+            return c.Continue()
+        if self.accept("keyword", "switch"):
+            return self.parse_switch()
+        if self.at_type():
+            return self.parse_decl()
+        expr = self.parse_expr()
+        self.expect("symbol", ";")
+        return c.ExprStmt(expr)
+
+    def _finish_for(self, init, consumed_semi: bool = False) -> c.For:
+        # `init` is a Decl (whose parse consumed the ';') or an ExprStmt.
+        if not consumed_semi and isinstance(init, c.ExprStmt):
+            self.expect("symbol", ";")
+        cond = None
+        if not self.at("symbol", ";"):
+            cond = self.parse_expr()
+        self.expect("symbol", ";")
+        step = None
+        if not self.at("symbol", ")"):
+            step = self.parse_expr()
+        self.expect("symbol", ")")
+        return c.For(init, cond, step, self.parse_statement())
+
+    def parse_decl(self) -> c.Decl:
+        ctype = self.parse_type()
+        name = self.expect("ident").text
+        array = None
+        if self.accept("symbol", "["):
+            array = self.expect("num").value
+            self.expect("symbol", "]")
+        init = None
+        if self.accept("symbol", "="):
+            init = self.parse_expr()
+        self.expect("symbol", ";")
+        return c.Decl(ctype, name, array, init)
+
+    def parse_switch(self) -> c.Switch:
+        self.expect("symbol", "(")
+        scrutinee = self.parse_expr()
+        self.expect("symbol", ")")
+        self.expect("symbol", "{")
+        cases: list[c.Case] = []
+        while not self.accept("symbol", "}"):
+            if self.accept("keyword", "case"):
+                sign = -1 if self.accept("symbol", "-") else 1
+                value = sign * self.expect("num").value
+                self.expect("symbol", ":")
+                cases.append(c.Case(value, []))
+            elif self.accept("keyword", "default"):
+                self.expect("symbol", ":")
+                cases.append(c.Case(None, []))
+            else:
+                if not cases:
+                    raise ParseError("statement before first case label")
+                cases[-1].body.append(self.parse_statement())
+        return c.Switch(scrutinee, cases)
+
+    # -- expressions (precedence climbing) ----------------------------------------------
+    def parse_expr(self) -> c.Expr:
+        return self.parse_assignment()
+
+    def parse_assignment(self) -> c.Expr:
+        left = self.parse_logical_or()
+        if self.accept("symbol", "="):
+            value = self.parse_assignment()
+            return c.Assign(left, value)
+        return left
+
+    def _binary_level(self, operators: tuple[str, ...], next_level):
+        expr = next_level()
+        while self.peek().kind == "symbol" and self.peek().text in operators:
+            op = self.advance().text
+            expr = c.Binary(op, expr, next_level())
+        return expr
+
+    def parse_logical_or(self) -> c.Expr:
+        return self._binary_level(("||",), self.parse_logical_and)
+
+    def parse_logical_and(self) -> c.Expr:
+        return self._binary_level(("&&",), self.parse_bitor)
+
+    def parse_bitor(self) -> c.Expr:
+        return self._binary_level(("|",), self.parse_bitxor)
+
+    def parse_bitxor(self) -> c.Expr:
+        return self._binary_level(("^",), self.parse_bitand)
+
+    def parse_bitand(self) -> c.Expr:
+        return self._binary_level(("&",), self.parse_equality)
+
+    def parse_equality(self) -> c.Expr:
+        return self._binary_level(("==", "!="), self.parse_relational)
+
+    def parse_relational(self) -> c.Expr:
+        return self._binary_level(("<", "<=", ">", ">="), self.parse_shift)
+
+    def parse_shift(self) -> c.Expr:
+        return self._binary_level(("<<", ">>"), self.parse_additive)
+
+    def parse_additive(self) -> c.Expr:
+        return self._binary_level(("+", "-"), self.parse_multiplicative)
+
+    def parse_multiplicative(self) -> c.Expr:
+        return self._binary_level(("*", "/", "%"), self.parse_unary)
+
+    def parse_unary(self) -> c.Expr:
+        for op in ("-", "!", "~", "*", "&"):
+            if self.accept("symbol", op):
+                return c.Unary(op, self.parse_unary())
+        return self.parse_postfix()
+
+    def parse_postfix(self) -> c.Expr:
+        expr = self.parse_primary()
+        while True:
+            if self.accept("symbol", "["):
+                index = self.parse_expr()
+                self.expect("symbol", "]")
+                expr = c.Index(expr, index)
+            elif self.accept("symbol", "("):
+                args = []
+                if not self.at("symbol", ")"):
+                    while True:
+                        args.append(self.parse_assignment())
+                        if not self.accept("symbol", ","):
+                            break
+                self.expect("symbol", ")")
+                expr = c.Call(expr, args)
+            else:
+                return expr
+
+    def parse_primary(self) -> c.Expr:
+        if self.at("num"):
+            return c.Num(self.advance().value)
+        if self.at("ident"):
+            return c.Name(self.advance().text)
+        if self.accept("symbol", "("):
+            expr = self.parse_expr()
+            self.expect("symbol", ")")
+            return expr
+        token = self.peek()
+        raise ParseError(f"line {token.line}: unexpected {token.text!r}")
+
+
+def parse(source: str) -> c.Program:
+    return Parser(source).parse_program()

@@ -1,0 +1,158 @@
+"""A small peephole optimizer: the compiler's ``-O1`` flavour.
+
+The paper targets binaries "compiled with various levels of optimization";
+the corpus builds some binaries optimized and some not.  The passes work
+on the assembler's item stream before layout (labels act as barriers, so
+no transformation crosses a join point):
+
+* **store-load forwarding** — ``mov [slot], r ; mov r', [slot]`` becomes
+  ``mov [slot], r ; mov r', r``;
+* **redundant-load elimination** — a reload of the slot just stored to the
+  same register is dropped;
+* **immediate folding** — ``mov rcx, imm ; <op> x, rcx`` becomes
+  ``<op> x, imm`` (safe by a minicc invariant: rcx is never live past the
+  instruction that consumes it);
+* **jump-to-next elimination** — ``jmp L`` immediately followed by ``L:``.
+"""
+
+from __future__ import annotations
+
+from repro.isa.assembler import _Item
+from repro.isa.instruction import ALU_OPS, Instruction
+from repro.isa.operands import Imm, Mem, Reg
+
+
+def _is_insn(item: _Item) -> bool:
+    return item.kind == "insn"
+
+
+def _reads_reg(instr: Instruction, name: str) -> bool:
+    for op in instr.operands:
+        if isinstance(op, Reg) and op.family == name:
+            return True
+        if isinstance(op, Mem) and name in (op.base, op.index):
+            return True
+    return False
+
+
+def _same_mem(a: Mem, b: Mem) -> bool:
+    return (a.base, a.index, a.scale, a.disp, a.width) == \
+        (b.base, b.index, b.scale, b.disp, b.width)
+
+
+def _fold_jump_to_next(items: list[_Item]) -> list[_Item]:
+    out: list[_Item] = []
+    for index, item in enumerate(items):
+        if item.kind == "insn_ref":
+            mnemonic, operands = item.payload
+            if mnemonic == "jmp" and len(operands) == 1 and \
+                    getattr(operands[0], "kind", None) == "rel32":
+                # Find the next label; drop the jmp if it targets it.
+                peek = index + 1
+                while peek < len(items) and items[peek].kind == "label":
+                    if items[peek].payload == operands[0].label:
+                        break
+                    peek += 1
+                else:
+                    out.append(item)
+                    continue
+                if peek < len(items) and items[peek].kind == "label" and \
+                        items[peek].payload == operands[0].label:
+                    continue  # fallthrough suffices
+        out.append(item)
+    return out
+
+
+def _forward_stores(items: list[_Item]) -> list[_Item]:
+    out: list[_Item] = []
+    for item in items:
+        if _is_insn(item) and out and _is_insn(out[-1]):
+            prev: Instruction = out[-1].payload
+            cur: Instruction = item.payload
+            if (
+                prev.mnemonic == "mov" and cur.mnemonic == "mov"
+                and len(prev.operands) == 2 and len(cur.operands) == 2
+                and isinstance(prev.operands[0], Mem)
+                and isinstance(prev.operands[1], Reg)
+                and isinstance(cur.operands[1], Mem)
+                and isinstance(cur.operands[0], Reg)
+                and _same_mem(prev.operands[0], cur.operands[1])
+                and prev.operands[1].width == cur.operands[0].width
+            ):
+                stored = prev.operands[1]
+                target = cur.operands[0]
+                if target.family == stored.family:
+                    continue  # reload of the same register: drop entirely
+                out.append(_Item("insn", Instruction(
+                    "mov", (target, stored)
+                )))
+                continue
+        out.append(item)
+    return out
+
+
+def _fold_immediates(items: list[_Item]) -> list[_Item]:
+    out: list[_Item] = []
+    index = 0
+    while index < len(items):
+        item = items[index]
+        nxt = items[index + 1] if index + 1 < len(items) else None
+        if (
+            _is_insn(item) and nxt is not None and _is_insn(nxt)
+            and item.payload.mnemonic == "mov"
+            and len(item.payload.operands) == 2
+            and isinstance(item.payload.operands[0], Reg)
+            and item.payload.operands[0].family == "rcx"
+            and isinstance(item.payload.operands[1], Imm)
+            and -(1 << 31) <= item.payload.operands[1].signed < (1 << 31)
+        ):
+            imm = item.payload.operands[1]
+            user: Instruction = nxt.payload
+            # Compiler invariant: minicc never keeps rcx live past the
+            # instruction that consumes it, so folding the immediate into
+            # the consumer is always safe here.
+            if (
+                user.mnemonic in ALU_OPS
+                and len(user.operands) == 2
+                and isinstance(user.operands[1], Reg)
+                and user.operands[1].family == "rcx"
+                and not _reads_reg_in_dst(user, "rcx")
+            ):
+                out.append(_Item("insn", Instruction(
+                    user.mnemonic,
+                    (user.operands[0], Imm(imm.signed, 32)),
+                )))
+                index += 2
+                continue
+        out.append(item)
+        index += 1
+    return out
+
+
+def _reads_reg_in_dst(instr: Instruction, name: str) -> bool:
+    dst = instr.operands[0]
+    if isinstance(dst, Reg):
+        return dst.family == name
+    if isinstance(dst, Mem):
+        return name in (dst.base, dst.index)
+    return False
+
+
+def _operand_reads_rcx(op) -> bool:
+    if isinstance(op, Reg):
+        return op.family == "rcx"
+    if isinstance(op, Mem):
+        return "rcx" in (op.base, op.index)
+    return False
+
+
+def optimize_items(items: list[_Item]) -> list[_Item]:
+    """Apply all peephole passes until a fixed point (bounded)."""
+    for _ in range(4):
+        before = len(items)
+        items = _fold_jump_to_next(items)
+        items = _forward_stores(items)
+        items = _fold_immediates(items)
+        if len(items) == before:
+            break
+    return items

@@ -1,0 +1,11 @@
+"""Predicates: clauses, flag state, valuations, range-abstraction join."""
+
+from repro.pred.clause import Clause, clause_interval, intersect_intervals
+from repro.pred.flags import FlagState, condition_clause
+from repro.pred.predicate import Predicate, join_predicates, less_abstract
+
+__all__ = [
+    "Clause", "clause_interval", "intersect_intervals",
+    "FlagState", "condition_clause",
+    "Predicate", "join_predicates", "less_abstract",
+]

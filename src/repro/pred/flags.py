@@ -1,0 +1,140 @@
+"""Symbolic flag state.
+
+Rather than tracking the five status flags as independent bits, the
+predicate records the *operation that last set them* — the standard trick
+for binary lifting.  A conditional branch then refines the predicate with
+the exact relational clause its condition encodes (e.g. ``ja`` after
+``cmp a, b`` asserts ``a >u b`` on the taken edge).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.expr import Expr
+from repro.pred.clause import Clause
+
+
+@dataclass(frozen=True)
+class FlagState:
+    """Flags as set by the last flag-writing instruction.
+
+    ``kind`` is ``cmp`` (flags of ``a - b``), ``test`` (flags of ``a & b``)
+    or ``arith`` (flags of a result value ``a``; only ZF/SF are modelled
+    precisely, so only equality/sign conditions resolve).
+    """
+
+    kind: str  # "cmp" | "test" | "arith"
+    a: Expr
+    b: Expr | None
+    width: int
+
+    def __str__(self) -> str:
+        if self.b is None:
+            return f"flags({self.kind} {self.a})"
+        return f"flags({self.kind} {self.a}, {self.b})"
+
+
+#: condition code -> (clause op for cmp-taken, needs_signed)
+_CMP_TAKEN = {
+    "e": "eq", "ne": "ne",
+    "b": "ltu", "ae": "geu", "be": "leu", "a": "gtu",
+    "l": "lts", "ge": "ges", "le": "les", "g": "gts",
+    # s/ns map to sign of a - b: expressible as signed comparison with 0 is
+    # wrong in general (overflow); we only use SF for arith kind.
+}
+
+
+def condition_clause(flags: FlagState, cc: str, taken: bool) -> Clause | None:
+    """The clause that holds on the (not-)taken edge of ``j<cc>``.
+
+    Returns None when the modelled flag state cannot express the condition
+    (the caller then simply learns nothing — sound, less precise).
+    """
+    if flags.kind == "cmp" and flags.b is not None:
+        op = _CMP_TAKEN.get(cc)
+        if op is None:
+            return None
+        clause = Clause(flags.a, op, flags.b, flags.width)
+        return clause if taken else clause.negated()
+    if flags.kind == "test" and flags.b is not None and flags.a == flags.b:
+        # test x, x: ZF <=> x == 0; SF <=> x <s 0.
+        if cc == "e":
+            clause = Clause(flags.a, "eq", _zero(flags.width), flags.width)
+        elif cc == "ne":
+            clause = Clause(flags.a, "ne", _zero(flags.width), flags.width)
+        elif cc == "s":
+            clause = Clause(flags.a, "lts", _zero(flags.width), flags.width)
+        elif cc == "ns":
+            clause = Clause(flags.a, "ges", _zero(flags.width), flags.width)
+        elif cc in ("le", "be"):  # x <=s 0 / x <=u 0 under test x,x semantics
+            clause = Clause(flags.a, "les" if cc == "le" else "eq",
+                            _zero(flags.width), flags.width)
+        elif cc == "g":
+            clause = Clause(flags.a, "gts", _zero(flags.width), flags.width)
+        elif cc == "a":
+            clause = Clause(flags.a, "ne", _zero(flags.width), flags.width)
+        else:
+            return None
+        return clause if taken else clause.negated()
+    if flags.kind == "arith":
+        # Result value in a; ZF <=> a == 0, SF <=> a <s 0.
+        if cc == "e":
+            clause = Clause(flags.a, "eq", _zero(flags.width), flags.width)
+        elif cc == "ne":
+            clause = Clause(flags.a, "ne", _zero(flags.width), flags.width)
+        elif cc == "s":
+            clause = Clause(flags.a, "lts", _zero(flags.width), flags.width)
+        elif cc == "ns":
+            clause = Clause(flags.a, "ges", _zero(flags.width), flags.width)
+        else:
+            return None
+        return clause if taken else clause.negated()
+    return None
+
+
+def condition_expr(flags: FlagState, cc: str):
+    """A width-1 expression for condition *cc* under *flags*, or None.
+
+    Used by ``setcc``/``cmovcc`` to compute data values from conditions.
+    """
+    from repro.expr import simplify as s
+
+    if flags.kind == "cmp" and flags.b is not None:
+        a, b, width = flags.a, flags.b, flags.width
+        table = {
+            "e": lambda: s.eq(a, b, width),
+            "ne": lambda: s.bool_not(s.eq(a, b, width)),
+            "b": lambda: s.ltu(a, b, width),
+            "ae": lambda: s.bool_not(s.ltu(a, b, width)),
+            "be": lambda: s.leu(a, b, width),
+            "a": lambda: s.bool_not(s.leu(a, b, width)),
+            "l": lambda: s.lts(a, b, width),
+            "ge": lambda: s.bool_not(s.lts(a, b, width)),
+            "le": lambda: s.les(a, b, width),
+            "g": lambda: s.bool_not(s.les(a, b, width)),
+        }
+        builder = table.get(cc)
+        return builder() if builder else None
+    clause = condition_clause(flags, cc, taken=True)
+    if clause is None:
+        return None
+    from repro.expr import simplify as s
+
+    op_map = {
+        "eq": s.eq, "ltu": s.ltu, "leu": s.leu, "lts": s.lts, "les": s.les,
+    }
+    negated = {
+        "ne": s.eq, "geu": s.ltu, "gtu": s.leu, "ges": s.lts, "gts": s.les,
+    }
+    if clause.op in op_map:
+        return op_map[clause.op](clause.lhs, clause.rhs, clause.width)
+    if clause.op in negated:
+        return s.bool_not(negated[clause.op](clause.lhs, clause.rhs, clause.width))
+    return None
+
+
+def _zero(width: int):
+    from repro.expr import const
+
+    return const(0, width)

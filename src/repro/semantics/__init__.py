@@ -1,0 +1,25 @@
+"""Symbolic instruction semantics τ and the step function of Definition 4.2."""
+
+from repro.semantics.events import (
+    CallEvent,
+    Event,
+    RetEvent,
+    TerminalEvent,
+    UnknownWriteEvent,
+)
+from repro.semantics.memory import havoc_non_stack, read_region, write_region
+from repro.semantics.state import (
+    LiftContext,
+    NameGen,
+    SymState,
+    initial_state,
+    join_states,
+)
+from repro.semantics.tau import Successor, UnsupportedInstruction, step
+
+__all__ = [
+    "CallEvent", "Event", "RetEvent", "TerminalEvent", "UnknownWriteEvent",
+    "havoc_non_stack", "read_region", "write_region",
+    "LiftContext", "NameGen", "SymState", "initial_state", "join_states",
+    "Successor", "UnsupportedInstruction", "step",
+]

@@ -1,0 +1,44 @@
+"""Events emitted by τ for the lifter to act on."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.expr import Expr
+
+
+@dataclass(frozen=True)
+class CallEvent:
+    """A call instruction; the lifter applies the context-free call policy."""
+
+    target: Expr | None  # evaluated target (None: unresolvable address)
+    return_addr: int
+
+
+@dataclass(frozen=True)
+class RetEvent:
+    """A ret instruction: rip was set to the popped value."""
+
+    target: Expr | None
+    rsp_after: Expr | None  # rsp after the pop (should be rsp0 + 8)
+
+
+@dataclass(frozen=True)
+class TerminalEvent:
+    """Execution stops here (hlt / ud2 / int3 / syscall-exit)."""
+
+    reason: str
+
+
+@dataclass(frozen=True)
+class UnknownWriteEvent:
+    """A memory write whose destination could not be evaluated.
+
+    The relation of the write to the return-address region is unknown, so
+    return-address integrity is unprovable: the function must be rejected
+    (paper Section 1)."""
+
+    detail: str
+
+
+Event = CallEvent | RetEvent | TerminalEvent | UnknownWriteEvent

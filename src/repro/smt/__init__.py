@@ -1,0 +1,26 @@
+"""Bit-vector decision procedures replacing Z3 for Definition 3.6 queries."""
+
+from repro.smt.intervals import Interval, TOP, from_width, singleton
+from repro.smt.linear import Linear, difference, linearize
+from repro.smt.solver import (
+    Assumption,
+    BoundsProvider,
+    Decision,
+    Fork,
+    NO_BOUNDS,
+    Region,
+    Relation,
+    decide_relation,
+    expr_interval,
+    is_global_pointer,
+    is_stack_pointer,
+    possible_relations,
+)
+
+__all__ = [
+    "Interval", "TOP", "from_width", "singleton",
+    "Linear", "difference", "linearize",
+    "Assumption", "BoundsProvider", "Decision", "Fork", "NO_BOUNDS",
+    "Region", "Relation", "decide_relation", "expr_interval",
+    "is_global_pointer", "is_stack_pointer", "possible_relations",
+]

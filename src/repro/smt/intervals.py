@@ -1,0 +1,81 @@
+"""Unsigned interval arithmetic over 64-bit values.
+
+The solver bounds symbolic pointer differences and jump-table indices with
+intervals ``[lo, hi]`` (inclusive, unsigned).  All operations are
+*conservative*: the result interval contains every value the operation can
+produce for inputs in the argument intervals, and ``TOP`` is returned
+whenever wraparound makes a tight bound unsound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.expr.ast import MASK64
+
+
+@dataclass(frozen=True)
+class Interval:
+    """An inclusive unsigned interval ``[lo, hi]`` with ``lo <= hi``."""
+
+    lo: int
+    hi: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.lo <= self.hi <= MASK64:
+            raise ValueError(f"bad interval [{self.lo:#x}, {self.hi:#x}]")
+
+    @property
+    def is_top(self) -> bool:
+        return self.lo == 0 and self.hi == MASK64
+
+    @property
+    def is_singleton(self) -> bool:
+        return self.lo == self.hi
+
+    def size(self) -> int:
+        return self.hi - self.lo + 1
+
+    def contains(self, value: int) -> bool:
+        return self.lo <= value <= self.hi
+
+    def intersect(self, other: "Interval") -> "Interval | None":
+        lo, hi = max(self.lo, other.lo), min(self.hi, other.hi)
+        return Interval(lo, hi) if lo <= hi else None
+
+    def union(self, other: "Interval") -> "Interval":
+        return Interval(min(self.lo, other.lo), max(self.hi, other.hi))
+
+    def add(self, other: "Interval") -> "Interval":
+        lo, hi = self.lo + other.lo, self.hi + other.hi
+        # Wraparound is fine as long as both endpoints land in the same
+        # 2^64 window (the value set stays a contiguous unsigned range).
+        if (lo >> 64) != (hi >> 64):
+            return TOP
+        return Interval(lo & MASK64, hi & MASK64)
+
+    def add_const(self, value: int) -> "Interval":
+        return self.add(Interval(value & MASK64, value & MASK64))
+
+    def scale(self, factor: int) -> "Interval":
+        if factor == 0:
+            return Interval(0, 0)
+        if factor < 0:
+            return TOP  # negative coefficients flip the range; keep it simple
+        lo, hi = self.lo * factor, self.hi * factor
+        if (lo >> 64) != (hi >> 64):
+            return TOP
+        return Interval(lo & MASK64, hi & MASK64)
+
+
+TOP = Interval(0, MASK64)
+
+
+def singleton(value: int) -> Interval:
+    value &= MASK64
+    return Interval(value, value)
+
+
+def from_width(width: int) -> Interval:
+    """The full range of a *width*-bit unsigned value."""
+    return Interval(0, (1 << width) - 1)

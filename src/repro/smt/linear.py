@@ -1,0 +1,85 @@
+"""Linear normal form for pointer expressions.
+
+Thanks to the canonicalizing constructors in :mod:`repro.expr.simplify`,
+every pointer expression the lifter produces is already a sum of
+coefficient-scaled terms plus a constant.  :func:`linearize` exposes that
+structure as a mapping ``{term: coeff}`` + constant, which is what the
+difference-logic core of the solver works over.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import lru_cache
+
+from repro.expr.ast import App, Const, Expr, expr_key
+
+
+@dataclass(frozen=True)
+class Linear:
+    """``sum(coeff * term) + const`` with signed coefficients."""
+
+    terms: tuple[tuple[Expr, int], ...]  # sorted by str(term)
+    const: int
+
+    @property
+    def is_const(self) -> bool:
+        return not self.terms
+
+    def term_dict(self) -> dict[Expr, int]:
+        return dict(self.terms)
+
+
+@lru_cache(maxsize=65536)
+def linearize(expr: Expr, width: int = 64) -> Linear:
+    """Decompose *expr* into linear normal form at the given width.
+
+    Expressions are immutable value objects, so the decomposition is
+    memoized (this sits on the lifter's hottest path)."""
+    terms: dict[Expr, int] = {}
+    const = 0
+
+    def absorb(node: Expr, coeff: int) -> None:
+        nonlocal const
+        if isinstance(node, Const):
+            const += coeff * node.value
+            return
+        if isinstance(node, App) and node.op == "add" and node.width == width:
+            for arg in node.args:
+                absorb(arg, coeff)
+            return
+        if (
+            isinstance(node, App)
+            and node.op == "mul"
+            and node.width == width
+            and len(node.args) == 2
+            and isinstance(node.args[1], Const)
+        ):
+            absorb(node.args[0], coeff * node.args[1].signed)
+            return
+        terms[node] = terms.get(node, 0) + coeff
+
+    absorb(expr, 1)
+    cleaned = tuple(
+        sorted(
+            ((term, coeff) for term, coeff in terms.items() if coeff),
+            key=lambda pair: expr_key(pair[0]),
+        )
+    )
+    return Linear(cleaned, const & ((1 << width) - 1))
+
+
+def difference(a: Expr, b: Expr) -> Linear:
+    """Linear form of ``a - b`` (useful: constant result decides relations)."""
+    left = linearize(a)
+    right = linearize(b)
+    terms = left.term_dict()
+    for term, coeff in right.terms:
+        terms[term] = terms.get(term, 0) - coeff
+    cleaned = tuple(
+        sorted(
+            ((term, coeff) for term, coeff in terms.items() if coeff),
+            key=lambda pair: expr_key(pair[0]),
+        )
+    )
+    return Linear(cleaned, (left.const - right.const) & ((1 << 64) - 1))

@@ -1,0 +1,328 @@
+"""Decision procedures for the memory-relation queries of Definition 3.6.
+
+The paper discharges "necessarily aliasing / separate / enclosed" queries by
+translating pointer expressions to Z3 bit-vectors.  Z3 is not available in
+this environment, so this module implements a sound specialized procedure
+for the query shapes the lifter produces:
+
+* pointer expressions are put in linear normal form (``Σ cᵢ·tᵢ + k``);
+* a **constant difference** decides the relation exactly;
+* otherwise the difference is bounded with **interval arithmetic**, where
+  term intervals come from the current predicate's clauses (the
+  :class:`BoundsProvider` hook);
+* two **domain assumptions** — recorded explicitly, never silent — mirror
+  the implicit assumptions the paper notes must be exported to Isabelle
+  (Section 5.2):
+
+  - *stack/global separation*: pointers into the local stack frame
+    (linear in ``rsp0``) do not overlap constant-address global regions;
+  - *access alignment*: an ``n``-byte access (n ∈ {1,2,4,8}) is ``n``-
+    aligned, so two differently-based accesses never *partially* overlap —
+    they alias, enclose, or are separate.  This is what lets the lifter
+    fork a clean aliasing/separation case split (Figure 1) instead of
+    destroying memory; for non-power-of-two regions the fork is abandoned
+    and memory is destroyed, as in Section 1.
+
+Every answer is either a proven relation, a set of *possible* relations to
+fork over, or "may partially overlap" (→ destroy).  Unknown never becomes a
+claim: precision can be lost, soundness cannot.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Protocol
+
+from repro.expr.ast import App, Const, Deref, Expr, MASK64, Var
+from repro.expr.simplify import sub
+from repro.smt.intervals import TOP, Interval, from_width, singleton
+from repro.smt.linear import Linear, difference, linearize
+
+
+class Relation(enum.Enum):
+    """The four total region relations of Definition 3.6."""
+
+    ALIAS = "≡"
+    SEPARATE = "⋈"
+    ENCLOSED = "⪯"   # r0 within r1
+    ENCLOSES = "⪰"   # r1 within r0
+
+    def flipped(self) -> "Relation":
+        if self is Relation.ENCLOSED:
+            return Relation.ENCLOSES
+        if self is Relation.ENCLOSES:
+            return Relation.ENCLOSED
+        return self
+
+
+@dataclass(frozen=True)
+class Region:
+    """A memory region ``[addr, size]``: constant-expression address, byte size."""
+
+    addr: Expr
+    size: int
+
+    def __str__(self) -> str:
+        return f"[{self.addr}, {self.size}]"
+
+
+@dataclass(frozen=True)
+class Assumption:
+    """An explicitly recorded assumption the verdict depends on."""
+
+    kind: str  # "stack-global-separation" | "alignment" | ...
+    detail: str
+
+    def __str__(self) -> str:
+        return f"ASSUME {self.kind}: {self.detail}"
+
+
+class BoundsProvider(Protocol):
+    """Supplies unsigned intervals for non-constant terms (from predicate
+    clauses); return ``None`` when nothing is known."""
+
+    def interval_of(self, term: Expr) -> Interval | None: ...
+
+
+class NoBounds:
+    """A BoundsProvider that knows nothing."""
+
+    def interval_of(self, term: Expr) -> Interval | None:
+        return None
+
+
+NO_BOUNDS = NoBounds()
+
+#: The distinguished initial-stack-pointer variable.
+STACK_BASE = "rsp0"
+
+
+def expr_interval(expr: Expr, bounds: BoundsProvider) -> Interval:
+    """A conservative unsigned interval for *expr*."""
+    if isinstance(expr, Const):
+        return singleton(expr.value)
+    linear = linearize(expr)
+    if linear.is_const:
+        return singleton(linear.const)
+    total = singleton(linear.const)
+    for term, coeff in linear.terms:
+        term_iv = _term_interval(term, bounds)
+        scaled = term_iv.scale(coeff) if coeff >= 0 else TOP
+        total = total.add(scaled)
+        if total.is_top:
+            return TOP
+    return total
+
+
+def _term_interval(term: Expr, bounds: BoundsProvider) -> Interval:
+    provided = bounds.interval_of(term)
+    width_iv = from_width(term.width)
+    if isinstance(term, App) and term.op == "zext":
+        width_iv = from_width(term.args[0].width)
+        inner = bounds.interval_of(term.args[0])
+        if inner is not None:
+            clipped = inner.intersect(width_iv)
+            width_iv = clipped if clipped is not None else width_iv
+    if provided is None:
+        return width_iv
+    clipped = provided.intersect(width_iv)
+    return clipped if clipped is not None else width_iv
+
+
+# -- pointer base classification ------------------------------------------------
+
+def pointer_bases(expr: Expr) -> frozenset[Expr]:
+    """The non-constant terms a pointer is built from."""
+    return frozenset(term for term, _ in linearize(expr).terms)
+
+
+def is_stack_pointer(expr: Expr) -> bool:
+    """Linear in ``rsp0`` with coefficient 1 (a local-frame address)."""
+    for term, coeff in linearize(expr).terms:
+        if isinstance(term, Var) and term.name == STACK_BASE:
+            return coeff == 1
+    return False
+
+
+def is_global_pointer(expr: Expr) -> bool:
+    """A concrete constant address (global/rodata/data space)."""
+    return linearize(expr).is_const
+
+
+# -- relation decisions ----------------------------------------------------------
+
+@dataclass(frozen=True)
+class Decision:
+    """Outcome of a necessary-relation query.
+
+    ``relation`` is a proven Relation or None (unknown); ``assumptions``
+    lists the domain assumptions the verdict relies on.
+    """
+
+    relation: Relation | None
+    assumptions: tuple[Assumption, ...] = ()
+
+
+def _decide_const_diff(diff: int, n0: int, n1: int) -> Relation | None:
+    """Exact relation of [e, n0] and [e+diff, n1] for a known diff (mod 2^64)."""
+    diff &= MASK64
+    if diff == 0 and n0 == n1:
+        return Relation.ALIAS
+    # r0 fully before r1 (no wrap of either region into the other).
+    if n0 <= diff <= (1 << 64) - n1:
+        return Relation.SEPARATE
+    back = (1 << 64) - diff  # e0 - e1
+    if n1 <= back <= (1 << 64) - n0:
+        return Relation.SEPARATE
+    # r0 within r1: 0 <= e0-e1 and e0-e1 + n0 <= n1.
+    if back <= MASK64 and back + n0 <= n1:
+        return Relation.ENCLOSED
+    if diff + n1 <= n0:
+        return Relation.ENCLOSES
+    if diff == 0:
+        return Relation.ENCLOSED if n0 <= n1 else Relation.ENCLOSES
+    # Anything else partially overlaps; callers treat it as "no total
+    # relation", which is exactly what destroy handles.
+    return None
+
+
+def decide_relation(
+    r0: Region, r1: Region, bounds: BoundsProvider = NO_BOUNDS
+) -> Decision:
+    """Try to prove a *necessary* relation between two regions."""
+    diff = difference(r1.addr, r0.addr)  # e1 - e0
+    if diff.is_const:
+        relation = _decide_const_diff(diff.const, r0.size, r1.size)
+        return Decision(relation)
+
+    # Interval reasoning on the difference, both directions.
+    forward = expr_interval(sub(r1.addr, r0.addr), bounds)
+    if not forward.is_top:
+        if forward.lo >= r0.size and forward.hi <= (1 << 64) - r1.size:
+            return Decision(Relation.SEPARATE)
+        if forward.hi == 0 and forward.lo == 0 and r0.size == r1.size:
+            return Decision(Relation.ALIAS)
+        if forward.hi + r1.size <= r0.size:
+            return Decision(Relation.ENCLOSES)
+    backward = expr_interval(sub(r0.addr, r1.addr), bounds)
+    if not backward.is_top:
+        if backward.lo >= r1.size and backward.hi <= (1 << 64) - r0.size:
+            return Decision(Relation.SEPARATE)
+        if backward.hi + r0.size <= r1.size:
+            return Decision(Relation.ENCLOSED)
+
+    # Domain rule: local stack frame vs. constant-address global space.
+    # "Global" includes bounded address *ranges* such as a jump-table access
+    # [table + 8*idx, 8] with idx bounded by a branch condition.
+    stack0, stack1 = is_stack_pointer(r0.addr), is_stack_pointer(r1.addr)
+    global0 = is_global_pointer(r0.addr) or not expr_interval(r0.addr, bounds).is_top
+    global1 = is_global_pointer(r1.addr) or not expr_interval(r1.addr, bounds).is_top
+    if (stack0 and global1) or (stack1 and global0):
+        assumption = Assumption(
+            "stack-global-separation",
+            f"{r0} and {r1} do not overlap (local frame vs global space)",
+        )
+        return Decision(Relation.SEPARATE, (assumption,))
+
+    # Domain rule: the function's *private* frame (at or below the return-
+    # address slot [rsp0, 8]) vs. externally-derived pointers (arguments,
+    # heap values).  Well-formed callers cannot hold addresses into a frame
+    # that did not exist before the call; the assumption is recorded, and
+    # its violations are exactly the paper's "weird" executions (Sec. 5.3).
+    for mine, other in ((r0, r1), (r1, r0)):
+        if _is_private_frame_region(mine) and _is_external_pointer(other.addr):
+            assumption = Assumption(
+                "frame-privacy",
+                f"externally-derived {other} does not overlap private frame {mine}",
+            )
+            return Decision(Relation.SEPARATE, (assumption,))
+    return Decision(None)
+
+
+def _is_private_frame_region(region: Region) -> bool:
+    """[rsp0 + c, n] entirely at or below the return-address slot."""
+    linear = linearize(region.addr)
+    terms = linear.term_dict()
+    if len(terms) != 1:
+        return False
+    (term, coeff), = terms.items()
+    if coeff != 1 or not isinstance(term, Var) or term.name != STACK_BASE:
+        return False
+    offset = linear.const
+    if offset >= (1 << 63):
+        offset -= 1 << 64
+    return offset + region.size <= 8
+
+
+def _is_external_pointer(addr: Expr) -> bool:
+    """Linear in exactly one non-rsp0 variable with coefficient 1."""
+    linear = linearize(addr)
+    terms = linear.term_dict()
+    if len(terms) != 1:
+        return False
+    (term, coeff), = terms.items()
+    return (
+        coeff == 1
+        and isinstance(term, Var)
+        and term.name != STACK_BASE
+        and not term.name.startswith("join@")
+    )
+
+
+_POW2_SIZES = frozenset({1, 2, 4, 8})
+
+
+@dataclass(frozen=True)
+class Fork:
+    """Outcome of a possible-relations query for an undecided pair.
+
+    ``relations`` are the cases to fork over; ``may_partial`` signals that a
+    partial overlap cannot be excluded (→ destroy, Section 1)."""
+
+    relations: tuple[Relation, ...]
+    may_partial: bool
+    assumptions: tuple[Assumption, ...] = ()
+
+
+def possible_relations(
+    r0: Region, r1: Region, bounds: BoundsProvider = NO_BOUNDS
+) -> Fork:
+    """Enumerate the relations an undecided pair may stand in.
+
+    Under the recorded alignment assumption, power-of-two-sized accesses
+    never partially overlap, so the fork is a clean case split."""
+    if r0.size in _POW2_SIZES and r1.size in _POW2_SIZES:
+        assumption = Assumption(
+            "alignment",
+            f"{r0} and {r1} are size-aligned accesses (no partial overlap)",
+        )
+        if r0.size == r1.size:
+            cases = (Relation.ALIAS, Relation.SEPARATE)
+        elif r0.size < r1.size:
+            cases = (Relation.ENCLOSED, Relation.SEPARATE)
+        else:
+            cases = (Relation.ENCLOSES, Relation.SEPARATE)
+        # Drop cases refuted by interval reasoning.
+        cases = tuple(
+            c for c in cases if not _refuted(c, r0, r1, bounds)
+        ) or (Relation.SEPARATE,)
+        return Fork(cases, may_partial=False, assumptions=(assumption,))
+    return Fork(
+        (Relation.ALIAS, Relation.SEPARATE, Relation.ENCLOSED, Relation.ENCLOSES),
+        may_partial=True,
+    )
+
+
+def _refuted(relation: Relation, r0: Region, r1: Region,
+             bounds: BoundsProvider) -> bool:
+    """Can interval reasoning exclude *relation* outright?"""
+    forward = expr_interval(sub(r1.addr, r0.addr), bounds)
+    if forward.is_top:
+        return False
+    if relation is Relation.ALIAS:
+        return not forward.contains(0)
+    if relation is Relation.ENCLOSED:
+        # e0 >= e1 requires e1 - e0 to admit a "negative" (wrapped) value or 0.
+        return forward.lo > 0 and forward.hi <= MASK64 - (1 << 63)
+    return False

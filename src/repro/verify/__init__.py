@@ -1,0 +1,23 @@
+"""First-class sanity-property verification (the paper's three properties).
+
+A thin, stable API over the lifter for consumers who care about the
+verdicts rather than the graph:
+
+* **return-address integrity** — no execution overwrites the function's
+  own return address;
+* **bounded control flow** — every indirect transfer resolves to a fixed
+  finite target set (violations are per-instruction annotations);
+* **calling-convention adherence** — callee-saved registers and the stack
+  pointer are restored on every return.
+
+``verify_binary`` / ``verify_function`` return a :class:`SanityReport`.
+"""
+
+from repro.verify.report import (
+    PropertyResult,
+    SanityReport,
+    verify_binary,
+    verify_function,
+)
+
+__all__ = ["PropertyResult", "SanityReport", "verify_binary", "verify_function"]

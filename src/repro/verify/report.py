@@ -1,0 +1,99 @@
+"""Sanity-property reports over lift results."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.elf import Binary
+from repro.hoare import LiftResult, lift, lift_function
+
+
+@dataclass
+class PropertyResult:
+    """Verdict for one sanity property."""
+
+    name: str
+    holds: bool
+    details: list[str] = field(default_factory=list)
+
+    def __str__(self) -> str:
+        mark = "✔" if self.holds else "✘"
+        text = f"{mark} {self.name}"
+        for detail in self.details:
+            text += f"\n    {detail}"
+        return text
+
+
+@dataclass
+class SanityReport:
+    """The three properties of Section 1, plus the overall verdict."""
+
+    result: LiftResult
+    return_address_integrity: PropertyResult = None  # type: ignore[assignment]
+    bounded_control_flow: PropertyResult = None      # type: ignore[assignment]
+    calling_convention: PropertyResult = None        # type: ignore[assignment]
+
+    @property
+    def all_hold(self) -> bool:
+        return (
+            self.return_address_integrity.holds
+            and self.bounded_control_flow.holds
+            and self.calling_convention.holds
+        )
+
+    @property
+    def obligations(self):
+        """The lift is sound *under* these (external-call assumptions)."""
+        return self.result.obligations
+
+    def __str__(self) -> str:
+        lines = [
+            str(self.return_address_integrity),
+            str(self.bounded_control_flow),
+            str(self.calling_convention),
+        ]
+        if self.obligations:
+            lines.append(f"under {len(self.obligations)} proof obligation(s):")
+            lines += [f"    {ob}" for ob in self.obligations]
+        return "\n".join(lines)
+
+
+def report_from(result: LiftResult) -> SanityReport:
+    """Classify a lift result into the three per-property verdicts."""
+    ret_errors = [str(e) for e in result.errors if e.kind == "return-address"]
+    cc_errors = [str(e) for e in result.errors
+                 if e.kind == "calling-convention"]
+    other_errors = [str(e) for e in result.errors
+                    if e.kind not in ("return-address", "calling-convention")]
+    unresolved = [
+        str(a) for a in result.annotations
+        if a.kind in ("unresolved-jump", "unresolved-call")
+    ]
+
+    report = SanityReport(result=result)
+    report.return_address_integrity = PropertyResult(
+        "return address integrity",
+        holds=not ret_errors and not other_errors,
+        details=ret_errors + other_errors,
+    )
+    report.bounded_control_flow = PropertyResult(
+        "bounded control flow",
+        holds=not unresolved and not other_errors,
+        details=unresolved,
+    )
+    report.calling_convention = PropertyResult(
+        "calling convention adherence",
+        holds=not cc_errors and not other_errors,
+        details=cc_errors,
+    )
+    return report
+
+
+def verify_binary(binary: Binary, **lift_kwargs) -> SanityReport:
+    """Lift *binary* from its entry point and report the properties."""
+    return report_from(lift(binary, **lift_kwargs))
+
+
+def verify_function(binary: Binary, name: str, **lift_kwargs) -> SanityReport:
+    """Lift one exported function (library mode) and report the properties."""
+    return report_from(lift_function(binary, name, **lift_kwargs))

@@ -1,0 +1,110 @@
+"""Assembler tests: labels, data directives, alignment, cross-references."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.isa import Assembler, AssemblyError, Imm, Mem, abs32, abs64, decode
+
+
+def test_forward_and_backward_labels():
+    asm = Assembler(base=0x1000)
+    asm.label("start")
+    asm.emit("jmp", "end")          # forward reference
+    asm.label("mid")
+    asm.emit("nop")
+    asm.emit("jmp", "mid")          # backward reference
+    asm.label("end")
+    asm.emit("ret")
+    code = asm.assemble()
+    # First jmp lands on `ret`.
+    first = decode(code, 0, 0x1000)
+    assert first.mnemonic == "jmp"
+    assert first.end + first.operands[0].signed == asm.labels["end"]
+    # Second jmp lands on `nop`.
+    second = decode(code, asm.labels["mid"] + 1 - 0x1000,
+                    asm.labels["mid"] + 1)
+    assert second.end + second.operands[0].signed == asm.labels["mid"]
+
+
+def test_undefined_label_raises():
+    asm = Assembler()
+    asm.emit("jmp", "nowhere")
+    with pytest.raises(AssemblyError):
+        asm.assemble()
+
+
+def test_quad_and_long_data():
+    asm = Assembler(base=0)
+    asm.label("a")
+    asm.quad(0x1122334455667788)
+    asm.long(0xAABBCCDD)
+    code = asm.assemble()
+    assert code[:8] == (0x1122334455667788).to_bytes(8, "little")
+    assert code[8:12] == (0xAABBCCDD).to_bytes(4, "little")
+
+
+def test_quad_with_label_reference():
+    asm = Assembler(base=0x2000)
+    asm.label("table")
+    asm.quad(abs64("target"))
+    asm.long(abs32("target", addend=4))
+    asm.label("target")
+    asm.emit("ret")
+    code = asm.assemble()
+    target = asm.labels["target"]
+    assert int.from_bytes(code[:8], "little") == target
+    assert int.from_bytes(code[8:12], "little") == target + 4
+
+
+def test_alignment_pads_with_nops():
+    asm = Assembler(base=0x1000)
+    asm.emit("ret")                  # 1 byte
+    asm.align(8)
+    asm.label("aligned")
+    asm.emit("nop")
+    asm.assemble()
+    assert asm.labels["aligned"] % 8 == 0
+
+
+def test_raw_bytes_pass_through():
+    asm = Assembler(base=0)
+    asm.raw(bytes.fromhex("3dc3000000"))
+    code = asm.assemble()
+    assert code == bytes.fromhex("3dc3000000")
+
+
+def test_abs64_in_movabs():
+    asm = Assembler(base=0x400000)
+    asm.emit("movabs", "rax", abs64("spot"))
+    asm.label("spot")
+    asm.emit("ret")
+    code = asm.assemble()
+    instr = decode(code, 0, 0x400000)
+    assert instr.mnemonic == "movabs"
+    assert instr.operands[1].value == asm.labels["spot"]
+
+
+def test_register_string_vs_label_disambiguation():
+    """`jmp rax` takes the register; `jmp out` takes the label."""
+    asm = Assembler(base=0)
+    asm.emit("jmp", "rax")
+    asm.label("out")
+    asm.emit("ret")
+    code = asm.assemble()
+    assert decode(code, 0).mnemonic == "jmp"
+    from repro.isa import Reg
+
+    assert decode(code, 0).operands[0] == Reg("rax")
+
+
+def test_layout_is_stable_across_assemblies():
+    asm = Assembler(base=0x3000)
+    asm.label("f")
+    asm.emit("call", "g")
+    asm.emit("ret")
+    asm.label("g")
+    asm.emit("ret")
+    first = asm.assemble()
+    second = asm.assemble()
+    assert first == second

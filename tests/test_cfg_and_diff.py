@@ -1,0 +1,201 @@
+"""CFG derivation, HG diffing (patch audit), and the command-line tool."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import lift
+from repro.elf import save_binary
+from repro.hoare.cfg import build_cfg, to_dot, to_networkx
+from repro.hoare.diff import diff_lifts
+from repro.minicc import compile_source
+
+BRANCHY = """
+long helper(long x) { return x * 2; }
+long main(long n) {
+    long r = 0;
+    if (n > 10) r = helper(n);
+    else r = n + 1;
+    while (r > 100) r = r - 100;
+    return r;
+}
+"""
+
+
+@pytest.fixture(scope="module")
+def branchy_result():
+    return lift(compile_source(BRANCHY, name="branchy"))
+
+
+def test_cfg_blocks_partition_instructions(branchy_result):
+    cfg = build_cfg(branchy_result)
+    covered = set()
+    for block in cfg.blocks.values():
+        for addr in block.addresses:
+            assert addr not in covered, f"{addr:#x} in two blocks"
+            covered.add(addr)
+    assert covered == set(branchy_result.instructions)
+
+
+def test_cfg_has_branches_and_returns(branchy_result):
+    cfg = build_cfg(branchy_result)
+    out_degree = {}
+    for src, dst in cfg.edges:
+        out_degree[src] = out_degree.get(src, 0) + 1
+    assert any(v >= 2 for v in out_degree.values())  # the if and the while
+    assert cfg.returns  # both functions return
+
+
+def test_cfg_function_partition(branchy_result):
+    cfg = build_cfg(branchy_result)
+    assert len(cfg.functions) == 2  # main + helper
+    # Function block sets are disjoint.
+    sets = list(cfg.functions.values())
+    assert not (sets[0] & sets[1])
+
+
+def test_cfg_networkx_and_dot(branchy_result):
+    cfg = build_cfg(branchy_result)
+    graph = to_networkx(cfg)
+    assert graph.number_of_nodes() == len(cfg.blocks)
+    assert graph.number_of_edges() == len(cfg.edges)
+    dot = to_dot(cfg, branchy_result)
+    assert dot.startswith("digraph") and dot.rstrip().endswith("}")
+    assert "->" in dot
+
+
+# -- diff / patch audit ----------------------------------------------------------
+
+ORIGINAL = """
+long main(long n) {
+    if (n > 100) n = 100;
+    return n * 2;
+}
+"""
+
+PATCHED_BENIGN = """
+long main(long n) {
+    if (n > 50) n = 50;
+    return n * 2;
+}
+"""
+
+PATCHED_SUSPICIOUS = """
+extern long system();
+long main(long n) {
+    if (n > 100) n = 100;
+    system(n);
+    return n * 2;
+}
+"""
+
+
+def test_diff_identical_is_clean():
+    result = lift(compile_source(ORIGINAL, name="orig"))
+    again = lift(compile_source(ORIGINAL, name="orig2"))
+    diff = diff_lifts(result, again)
+    assert diff.is_clean, diff.summary()
+
+
+def test_diff_benign_patch_shows_changed_immediate():
+    original = lift(compile_source(ORIGINAL, name="orig"))
+    patched = lift(compile_source(PATCHED_BENIGN, name="patched"))
+    diff = diff_lifts(original, patched)
+    assert not diff.is_clean
+    assert diff.changed_instructions
+    assert not diff.added_obligations  # no new external-call assumptions
+
+
+def test_diff_suspicious_patch_surfaces_new_obligation():
+    original = lift(compile_source(ORIGINAL, name="orig"))
+    patched = lift(compile_source(PATCHED_SUSPICIOUS, name="patched"))
+    diff = diff_lifts(original, patched)
+    assert any("system" in text for text in diff.added_obligations)
+
+
+def test_diff_detects_verdict_change():
+    from repro.corpus import buffer_overflow
+
+    good = lift(compile_source(ORIGINAL, name="orig"))
+    bad = lift(buffer_overflow())
+    diff = diff_lifts(good, bad)
+    assert diff.verdict_change == (True, False)
+
+
+# -- CLI ---------------------------------------------------------------------------
+
+@pytest.fixture()
+def elf_path(tmp_path):
+    binary = compile_source(BRANCHY, name="branchy")
+    path = tmp_path / "branchy.elf"
+    save_binary(binary, str(path))
+    return str(path)
+
+
+def test_cli_lift(elf_path, capsys):
+    from repro.__main__ import main
+
+    assert main(["lift", elf_path]) == 0
+    out = capsys.readouterr().out
+    assert "OK" in out
+
+
+def test_cli_disasm(elf_path, capsys):
+    from repro.__main__ import main
+
+    assert main(["disasm", elf_path]) == 0
+    out = capsys.readouterr().out
+    assert "push rbp" in out and "ret" in out
+
+
+def test_cli_cfg_writes_dot(elf_path, tmp_path, capsys):
+    from repro.__main__ import main
+
+    out_path = tmp_path / "cfg.dot"
+    assert main(["cfg", elf_path, "-o", str(out_path)]) == 0
+    assert out_path.read_text().startswith("digraph")
+
+
+def test_cli_export(elf_path, tmp_path):
+    from repro.__main__ import main
+
+    out_path = tmp_path / "theory.thy"
+    assert main(["export", elf_path, "-o", str(out_path)]) == 0
+    assert out_path.read_text().startswith("theory ")
+
+
+def test_cli_check(elf_path, capsys):
+    from repro.__main__ import main
+
+    assert main(["check", elf_path]) == 0
+    assert "proven" in capsys.readouterr().out
+
+
+def test_cli_diff(tmp_path, capsys):
+    from repro.__main__ import main
+
+    a = tmp_path / "a.elf"
+    b = tmp_path / "b.elf"
+    save_binary(compile_source(ORIGINAL, name="a"), str(a))
+    save_binary(compile_source(PATCHED_SUSPICIOUS, name="b"), str(b))
+    assert main(["diff", str(a), str(b)]) == 1  # not clean
+    out = capsys.readouterr().out
+    assert "OBLIGATION" in out
+
+
+def test_cli_rejected_binary_exit_code(tmp_path):
+    from repro.__main__ import main
+    from repro.corpus import buffer_overflow
+
+    path = tmp_path / "overflow.elf"
+    save_binary(buffer_overflow(), str(path))
+    assert main(["lift", str(path)]) == 1
+
+
+def test_cli_decompile(elf_path, capsys):
+    from repro.__main__ import main
+
+    assert main(["decompile", elf_path]) == 0
+    out = capsys.readouterr().out
+    assert "uint64_t main(void)" in out
+    assert "goto block_" in out

@@ -1,0 +1,114 @@
+"""Corpus and evaluation-harness tests (kept light: scale-1 subsets)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import lift
+from repro.corpus import (
+    ALL_FAILURES,
+    build_corpus,
+    build_coreutils,
+    build_library,
+    function_binary,
+)
+from repro.corpus.xenlike import _binary_source
+from repro.hoare import lift_function
+from repro.machine import run_binary
+from repro.minicc import compile_source
+
+
+def test_corpus_structure():
+    corpus = build_corpus(scale=1)
+    assert len(corpus.binaries) == 18
+    assert len(corpus.libraries) == 4
+    directories = corpus.directories()
+    for expected in ("bin", "xen/bin", "sbin", "libexec", "lib",
+                     "xenfsimage", "dist-packages", "lowlevel"):
+        assert expected in directories
+    functions = sum(len(lib.functions) for lib in corpus.libraries)
+    assert functions > 100
+
+
+def test_corpus_scales_linearly():
+    small = build_corpus(scale=1)
+    large = build_corpus(scale=2)
+    assert len(large.binaries) == 2 * len(small.binaries)
+    assert len(large.libraries) == 2 * len(small.libraries)
+
+
+def test_corpus_binaries_execute_concretely():
+    """Generated binaries are real programs, not just lift fodder."""
+    binary = compile_source(_binary_source(3), name="b3")
+    cpu = run_binary(binary, args=[5])
+    assert cpu.halted
+
+
+def test_library_functions_execute_concretely():
+    library = build_library("librun.so", "lib", bundles=1)
+    arith = next(f for f in library.functions if f.startswith("arith_"))
+    binary = function_binary(library, arith)
+    cpu = run_binary(binary, args=[3, 4])  # entry is the first function
+    assert cpu.halted
+
+
+def test_expected_unprovable_functions_reject():
+    corpus = build_corpus(scale=1)
+    library = corpus.libraries[0]
+    smash = [f for f, outcome in library.expected.items()
+             if outcome == "unprovable"]
+    assert smash
+    result = lift_function(function_binary(library, smash[0]), smash[0],
+                           max_states=4000, timeout_seconds=10)
+    assert not result.verified
+
+
+def test_failure_binaries_build_and_classify():
+    from repro.corpus import (
+        buffer_overflow, concurrency, nonstandard_rsp, ret2win, stack_probe,
+    )
+
+    assert not lift(buffer_overflow()).verified
+    assert not lift(stack_probe()).verified
+    assert not lift(nonstandard_rsp()).verified
+    concurrency_result = lift(concurrency())
+    assert concurrency_result.errors[0].kind == "concurrency"
+    ret2win_result = lift(ret2win())
+    assert ret2win_result.verified
+    assert ret2win_result.obligations
+
+
+def test_coreutils_programs_build_and_run():
+    programs = build_coreutils()
+    assert set(programs) == {"hexdump", "od", "wc", "tar", "du", "gzip"}
+    for name, binary in programs.items():
+        cpu = run_binary(binary, args=[7], max_steps=2_000_000)
+        assert cpu.halted, name
+
+
+def test_library_mode_lifts_sample_functions():
+    library = build_library("libt.so", "lib", bundles=1)
+    sample = [f for f in library.functions
+              if f.split("_")[0] in ("arith", "clamp", "dispatch", "recur")]
+    for name in sample:
+        result = lift_function(function_binary(library, name), name,
+                               max_states=4000, timeout_seconds=10)
+        assert result.verified, f"{name}: {result.errors}"
+
+
+def test_callback_functions_annotate_not_reject():
+    library = build_library("libcb.so", "lib", bundles=1)
+    invoker = next(f for f in library.functions if f.startswith("invoke_"))
+    result = lift_function(function_binary(library, invoker), invoker,
+                           max_states=4000, timeout_seconds=10)
+    assert result.verified
+    assert result.stats.unresolved_calls >= 1
+
+
+def test_obligation_generating_function():
+    library = build_library("libob.so", "lib", bundles=1)
+    filler = next(f for f in library.functions if f.startswith("fillbuf_"))
+    result = lift_function(function_binary(library, filler), filler,
+                           max_states=4000, timeout_seconds=10)
+    assert result.verified
+    assert any(ob.callee == "memset" for ob in result.obligations)

@@ -1,0 +1,150 @@
+"""ELF writer/reader round-trips and the Binary/fetch abstraction."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.elf import (
+    Binary,
+    BinaryBuilder,
+    ElfError,
+    FetchError,
+    Section,
+    read_elf,
+    write_elf,
+)
+from repro.isa import Imm, Mem, abs64
+
+
+def simple_binary() -> Binary:
+    builder = BinaryBuilder("simple")
+    text = builder.text
+    text.label("main")
+    text.emit("push", "rbp")
+    text.emit("mov", "rbp", "rsp")
+    text.emit("mov", "eax", Imm(42, 32))
+    text.emit("pop", "rbp")
+    text.emit("ret")
+    return builder.build(entry="main")
+
+
+def test_fetch_decodes_instructions_in_order():
+    binary = simple_binary()
+    addr = binary.entry
+    seen = []
+    for _ in range(5):
+        instr = binary.fetch(addr)
+        seen.append(instr.mnemonic)
+        addr = instr.end
+    assert seen == ["push", "mov", "mov", "pop", "ret"]
+
+
+def test_fetch_outside_text_raises():
+    binary = simple_binary()
+    with pytest.raises(FetchError):
+        binary.fetch(0x1)
+
+
+def test_read_beyond_section_raises():
+    binary = simple_binary()
+    with pytest.raises(FetchError):
+        binary.read(binary.entry, 10_000)
+
+
+def test_elf_roundtrip_sections_and_entry(tmp_path):
+    binary = simple_binary()
+    data = write_elf(binary)
+    assert data[:4] == b"\x7fELF"
+    loaded = read_elf(data)
+    assert loaded.entry == binary.entry
+    text = loaded.section_at(binary.entry)
+    assert text is not None and text.executable
+    assert loaded.read(binary.entry, 1) == binary.read(binary.entry, 1)
+
+
+def test_elf_roundtrip_externals_and_symbols():
+    builder = BinaryBuilder("ext")
+    malloc = builder.extern("malloc")
+    free = builder.extern("free")
+    text = builder.text
+    text.label("main")
+    text.emit("call", "malloc")
+    text.emit("ret")
+    text.label("helper")
+    text.emit("ret")
+    binary = builder.build(entry="main", export_labels=True)
+    loaded = read_elf(write_elf(binary))
+    assert loaded.externals[malloc] == "malloc"
+    assert loaded.externals[free] == "free"
+    assert loaded.symbols["helper"] == binary.symbols["helper"]
+    assert loaded.symbols["main"] == binary.entry
+
+
+def test_extern_stubs_are_stable():
+    builder = BinaryBuilder("ext2")
+    first = builder.extern("memset")
+    again = builder.extern("memset")
+    other = builder.extern("memcpy")
+    assert first == again
+    assert other != first
+
+
+def test_cross_section_references():
+    """A .rodata jump table holding .text label addresses."""
+    builder = BinaryBuilder("tables")
+    text = builder.text
+    text.label("main")
+    text.emit("lea", "rax", Mem(64, base="rip", disp=0))
+    text.emit("ret")
+    text.label("case0")
+    text.emit("ret")
+    text.label("case1")
+    text.emit("ret")
+    rodata = builder.rodata
+    rodata.label("jump_table")
+    rodata.quad(abs64("case0"))
+    rodata.quad(abs64("case1"))
+    binary = builder.build(entry="main")
+    table = binary.text.labels["jump_table"] if hasattr(binary, "text") else None
+    addr = builder.rodata.labels["jump_table"]
+    assert binary.read_u64(addr) == builder.text.labels["case0"]
+    assert binary.read_u64(addr + 8) == builder.text.labels["case1"]
+
+
+def test_data_section_is_writable_rodata_not():
+    builder = BinaryBuilder("perm")
+    builder.text.label("main")
+    builder.text.emit("ret")
+    builder.rodata.raw(b"abcd")
+    builder.data.raw(b"\x00" * 8)
+    binary = builder.build(entry="main")
+    rodata = binary.section_at(builder.rodata.base)
+    data = binary.section_at(builder.data.base)
+    assert rodata is not None and not rodata.writable and not rodata.executable
+    assert data is not None and data.writable
+
+
+def test_text_range_and_is_text_address():
+    binary = simple_binary()
+    low, high = binary.text_range()
+    assert low <= binary.entry < high
+    assert binary.is_text_address(binary.entry)
+    assert not binary.is_text_address(0)
+
+
+def test_read_elf_rejects_garbage():
+    with pytest.raises(ElfError):
+        read_elf(b"not an elf at all")
+    with pytest.raises(ElfError):
+        read_elf(b"\x7fELF" + bytes([1, 1]) + b"\x00" * 58)  # 32-bit class
+
+
+def test_save_and_load_binary(tmp_path):
+    from repro.elf import load_binary, save_binary
+
+    binary = simple_binary()
+    path = tmp_path / "simple.elf"
+    save_binary(binary, str(path))
+    loaded = load_binary(str(path))
+    assert loaded.entry == binary.entry
+    assert loaded.fetch(loaded.entry).mnemonic == "push"

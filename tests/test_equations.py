@@ -1,0 +1,104 @@
+"""Generated Isabelle step-equation tests (structure + spot semantics)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.export.equations import instruction_equations, step_term
+from repro.isa import Imm, Mem, insn
+
+
+def at(instruction, addr=0x401000, size=None):
+    from repro.isa import encode
+
+    return instruction.at(addr, size or len(encode(instruction)))
+
+
+def test_mov_reg_equation():
+    term = step_term(at(insn("mov", "rbp", "rsp")))
+    assert "''rbp'' := (reg σ ''rsp'')" in term
+    assert "rip := (0x401003)" in term
+
+
+def test_push_updates_rsp_and_memory():
+    term = step_term(at(insn("push", "rbp")))
+    assert "''rsp'' := (reg σ ''rsp'') - 8" in term
+    assert "write_mem (mem σ) ((reg σ ''rsp'') - 8) 8" in term
+
+
+def test_cmp_sets_flags_without_writeback():
+    term = step_term(at(insn("cmp", "rax", "rcx")))
+    assert "''zf''" in term and "''cf''" in term
+    assert "''rax'' :=" not in term  # no destination write
+
+
+def test_conditional_jump_uses_flag_condition():
+    term = step_term(at(insn("ja", Imm(0x10, 32))))
+    assert "flag σ ''cf'' = 0 ∧ flag σ ''zf'' = 0" in term
+    assert "rip := (if" in term
+
+
+def test_ret_reads_return_address():
+    term = step_term(at(insn("ret")))
+    assert "read_mem (mem σ) (reg σ ''rsp'') 8" in term
+    assert "''rsp'' := (reg σ ''rsp'') + 8" in term
+
+
+def test_memory_store_uses_write_mem():
+    term = step_term(at(insn("mov", Mem(64, base="rbp", disp=-8), "rdi")))
+    assert "write_mem (mem σ)" in term
+    assert "0xfffffffffffffff8" in term  # the -8 displacement
+
+
+def test_32bit_write_masks():
+    term = step_term(at(insn("mov", "eax", Imm(7, 32))))
+    assert "AND mask 32" in term
+
+
+def test_terminal_sets_halted():
+    term = step_term(at(insn("hlt")))
+    assert "halted := True" in term
+
+
+def test_shift_has_honest_undefined_flags():
+    term = step_term(at(insn("shl", "rax", Imm(4, 8))))
+    assert "<<" in term
+    assert "undefined" in term  # CF/OF underspecified, not wrong
+
+
+def test_equation_block_structure():
+    instructions = {
+        0x401000: at(insn("push", "rbp"), 0x401000),
+        0x401001: at(insn("ret"), 0x401001),
+    }
+    text = instruction_equations(instructions)
+    assert text.count("definition \"step_") == 2
+    assert text.count("lemma step_at_") == 2
+    # Every record update is brace-balanced.
+    assert text.count("σ⦇") == text.count("⦈")
+
+
+def test_all_supported_mnemonics_have_terms():
+    """step_term must not raise for any instruction the lifter emits."""
+    from repro.isa.instruction import ALU_OPS, SHIFT_OPS
+
+    cases = [insn(m, "rax", "rcx") for m in sorted(ALU_OPS)]
+    cases += [insn(m, "rax", Imm(3, 8)) for m in sorted(SHIFT_OPS)]
+    cases += [
+        insn("mov", "rax", Mem(64, base="rsp", index="rcx", scale=8)),
+        insn("lea", "rdx", Mem(64, base="rip", disp=0x40)),
+        insn("movzx", "eax", "al"), insn("movsx", "rax", "cl"),
+        insn("imul", "rax", "rbx"), insn("imul", "rax", "rbx", Imm(3, 32)),
+        insn("div", "rcx"), insn("idiv", "rcx"), insn("mul", "rcx"),
+        insn("cqo"), insn("cdq"), insn("cdqe"),
+        insn("push", Imm(5, 32)), insn("pop", "r12"), insn("leave"),
+        insn("jmp", Imm(4, 32)), insn("jmp", "rax"),
+        insn("call", Imm(4, 32)), insn("call", Mem(64, base="rbx")),
+        insn("ret"), insn("sete", "al"), insn("cmovg", "rax", "rbx"),
+        insn("xchg", "rax", "rbx"), insn("inc", "rax"), insn("neg", "rcx"),
+        insn("not", "rdx"), insn("nop"), insn("ud2"),
+        insn("rep_stosq"), insn("movsb"),
+    ]
+    for case in cases:
+        term = step_term(at(case))
+        assert term.startswith("σ⦇") and term.endswith("⦈"), case

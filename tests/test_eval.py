@@ -1,0 +1,97 @@
+"""Evaluation-harness unit tests (formatting, aggregation, CLI)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.eval.figure3 import Figure3Data, format_figure3, pearson
+from repro.eval.runner import DirectoryRow, CorpusReport, FunctionRecord
+from repro.eval.table1 import format_table1
+from repro.eval.table2 import Table2Row, format_table2
+
+
+def make_report() -> CorpusReport:
+    report = CorpusReport()
+    report.rows.append(DirectoryRow(
+        directory="bin", kind="binary", total=5, lifted=4, unprovable=1,
+        instructions=700, states=700, resolved=4, seconds=12.0,
+    ))
+    report.rows.append(DirectoryRow(
+        directory="lib", kind="function", total=100, lifted=96, unprovable=4,
+        instructions=2800, states=2810, resolved=12, unresolved_jumps=6,
+        unresolved_calls=12, seconds=50.0,
+    ))
+    report.records.append(FunctionRecord(
+        name="f", directory="lib", kind="function", outcome="lifted",
+        instructions=30, states=30, resolved=0, unresolved_jumps=0,
+        unresolved_calls=0, seconds=0.5,
+    ))
+    return report
+
+
+def test_directory_row_counts_cell():
+    row = DirectoryRow(directory="bin", kind="binary", total=15, lifted=12,
+                       unprovable=2, concurrency=1, timeout=0)
+    assert row.counts_cell() == "15 = 12 + 2 + 1 + 0"
+
+
+def test_totals_aggregate_by_kind():
+    report = make_report()
+    binary_totals = report.totals("binary")
+    function_totals = report.totals("function")
+    assert binary_totals.total == 5
+    assert function_totals.unresolved_calls == 12
+    assert function_totals.instructions == 2800
+
+
+def test_format_table1_contains_sections():
+    text = format_table1(make_report())
+    assert "Binaries" in text and "Library functions" in text
+    assert "bin" in text and "lib" in text
+    assert "A = resolved indirections" in text
+
+
+def test_format_table2():
+    rows = [
+        Table2Row(name="wc", instructions=90, indirections=0, triples=90,
+                  proven=88, assumed=2, failed=0, theory_lines=400),
+        Table2Row(name="tar", instructions=1100, indirections=3,
+                  triples=1100, proven=1050, assumed=30, failed=0,
+                  theory_lines=5000),
+    ]
+    text = format_table2(rows)
+    assert "wc" in text and "tar" in text and "Total" in text
+
+
+def test_pearson_degenerate_cases():
+    assert pearson([]) == 0.0
+    assert pearson([(5, 1.0), (5, 2.0)]) == 0.0  # zero variance in x
+
+
+def test_format_figure3_renders_scatter():
+    data = Figure3Data(points=[(10, 0.1), (200, 0.5), (900, 0.2)],
+                       pearson_r=0.12)
+    text = format_figure3(data)
+    assert "Pearson r" in text
+    assert "*" in text
+    assert "n = 3" in text
+
+
+def test_format_figure3_empty():
+    assert "(no data)" in format_figure3(Figure3Data(points=[], pearson_r=0.0))
+
+
+def test_cli_failures(capsys):
+    from repro.eval.__main__ import main
+
+    assert main(["failures"]) == 0
+    out = capsys.readouterr().out
+    assert "MUST PRESERVE" in out
+    assert "verification error" in out
+
+
+def test_cli_rejects_unknown():
+    from repro.eval.__main__ import main
+
+    with pytest.raises(SystemExit):
+        main(["bogus"])

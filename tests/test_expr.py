@@ -1,0 +1,244 @@
+"""Expression AST, simplifier soundness, substitution, concrete evaluation.
+
+The central property (checked with hypothesis): every simplifying
+constructor agrees with naive modular arithmetic on random concrete inputs.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.expr import (
+    App,
+    Const,
+    Deref,
+    EvalEnv,
+    const,
+    evaluate,
+    is_constant_expr,
+    simplify as s,
+    subst_vars,
+    to_signed,
+    var,
+)
+from repro.expr.ast import FlagRef, RegRef
+
+X = var("x")
+Y = var("y")
+Z = var("z")
+
+
+# -- canonical linear sums ----------------------------------------------------
+
+def test_add_folds_constants():
+    assert s.add(const(3), const(4)) == const(7)
+
+
+def test_sub_cancels_equal_terms():
+    assert s.sub(X, X) == const(0)
+
+
+def test_stack_pointer_arithmetic_collapses():
+    rsp = var("rsp0")
+    pushed = s.sub(rsp, const(8))
+    popped = s.add(pushed, const(8))
+    assert popped == rsp
+
+
+def test_sum_collects_coefficients():
+    expr = s.add(s.add(X, X), s.mul(X, const(2)))
+    assert expr == s.mul(X, const(4))
+
+
+def test_sum_is_order_insensitive():
+    left = s.add(s.add(X, Y), const(5))
+    right = s.add(const(5), s.add(Y, X))
+    assert left == right
+
+
+def test_mul_distributes_constant_over_sum():
+    expr = s.mul(s.add(X, const(3)), const(4))
+    assert expr == s.add(s.mul(X, const(4)), const(12))
+
+
+def test_shl_by_constant_becomes_mul():
+    assert s.shl(X, const(2)) == s.mul(X, const(4))
+
+
+def test_neg_absorbed_into_sum():
+    assert s.add(X, s.neg(X)) == const(0)
+
+
+def test_mul_by_zero_and_one():
+    assert s.mul(X, const(0)) == const(0)
+    assert s.mul(X, const(1)) == X
+
+
+# -- bit operations -----------------------------------------------------------
+
+def test_xor_self_is_zero():
+    assert s.xor(X, X) == const(0)
+
+
+def test_and_or_idempotent():
+    assert s.and_(X, X) == X
+    assert s.or_(X, X) == X
+
+
+def test_and_with_zero_and_mask():
+    assert s.and_(X, const(0)) == const(0)
+    assert s.and_(X, const((1 << 64) - 1)) == X
+
+
+def test_zext_of_zext_collapses():
+    x8 = var("b", 8)
+    assert s.zext(s.zext(x8, 32), 64) == s.zext(x8, 64)
+
+
+def test_low_of_zext_narrows():
+    x8 = var("b", 8)
+    assert s.low(s.zext(x8, 64), 32) == s.zext(x8, 32)
+
+
+def test_low_raises_on_widening():
+    x8 = var("b", 8)
+    with pytest.raises(ValueError):
+        s.low(x8, 32)
+
+
+# -- constant expressions (paper's C) -----------------------------------------
+
+def test_is_constant_expr():
+    assert is_constant_expr(s.add(X, const(4)))
+    assert is_constant_expr(Deref(s.add(X, const(8)), 8))
+    assert not is_constant_expr(RegRef("rax"))
+    assert not is_constant_expr(s.add(RegRef("rax"), const(4)))
+    assert not is_constant_expr(App("eq", (FlagRef("zf"), const(1, 1)), 1))
+
+
+# -- substitution --------------------------------------------------------------
+
+def test_subst_refolds():
+    expr = s.add(X, const(5))
+    assert subst_vars(expr, {"x": const(10)}) == const(15)
+
+
+def test_subst_inside_deref():
+    expr = Deref(s.add(X, const(8)), 8)
+    result = subst_vars(expr, {"x": var("rsp0")})
+    assert result == Deref(s.add(var("rsp0"), const(8)), 8)
+
+
+def test_subst_cancellation():
+    expr = s.sub(Y, X)
+    assert subst_vars(expr, {"y": X}) == const(0)
+
+
+# -- concrete evaluation: differential property against Python ints -----------
+
+ops_and_py = [
+    ("add", lambda a, b: a + b),
+    ("sub", lambda a, b: a - b),
+    ("mul", lambda a, b: a * b),
+    ("and_", lambda a, b: a & b),
+    ("or_", lambda a, b: a | b),
+    ("xor", lambda a, b: a ^ b),
+]
+
+
+@settings(max_examples=300)
+@given(
+    a=st.integers(min_value=0, max_value=(1 << 64) - 1),
+    b=st.integers(min_value=0, max_value=(1 << 64) - 1),
+    op_index=st.integers(min_value=0, max_value=len(ops_and_py) - 1),
+)
+def test_prop_constructors_match_modular_arithmetic(a, b, op_index):
+    name, py = ops_and_py[op_index]
+    ctor = getattr(s, name)
+    # Fully concrete: constructor must fold.
+    folded = ctor(const(a), const(b))
+    assert isinstance(folded, Const)
+    assert folded.value == py(a, b) & ((1 << 64) - 1)
+    # Symbolic then evaluated: must agree with the folded value.
+    sym = ctor(X, Y)
+    env = EvalEnv(variables={"x": a, "y": b})
+    assert evaluate(sym, env) == folded.value
+
+
+@settings(max_examples=200)
+@given(
+    a=st.integers(min_value=0, max_value=(1 << 64) - 1),
+    shift=st.integers(min_value=0, max_value=63),
+)
+def test_prop_shifts(a, shift):
+    env = EvalEnv(variables={"x": a})
+    assert evaluate(s.shl(X, const(shift)), env) == (a << shift) & ((1 << 64) - 1)
+    assert evaluate(s.shr(X, const(shift)), env) == a >> shift
+    assert evaluate(s.sar(X, const(shift)), env) == (
+        to_signed(a, 64) >> shift
+    ) & ((1 << 64) - 1)
+
+
+@settings(max_examples=200)
+@given(
+    a=st.integers(min_value=0, max_value=(1 << 64) - 1),
+    b=st.integers(min_value=0, max_value=(1 << 64) - 1),
+)
+def test_prop_comparisons(a, b):
+    env = EvalEnv(variables={"x": a, "y": b})
+    assert evaluate(s.ltu(X, Y), env) == int(a < b)
+    assert evaluate(s.leu(X, Y), env) == int(a <= b)
+    assert evaluate(s.lts(X, Y), env) == int(to_signed(a, 64) < to_signed(b, 64))
+    assert evaluate(s.eq(X, Y), env) == int(a == b)
+
+
+@settings(max_examples=150)
+@given(
+    a=st.integers(min_value=0, max_value=(1 << 64) - 1),
+    b=st.integers(min_value=1, max_value=(1 << 64) - 1),
+)
+def test_prop_division(a, b):
+    env = EvalEnv(variables={"x": a, "y": b})
+    assert evaluate(s.udiv(X, Y), env) == a // b
+    assert evaluate(s.urem(X, Y), env) == a % b
+    sa, sb = to_signed(a, 64), to_signed(b, 64)
+    expected_q = abs(sa) // abs(sb)
+    if (sa < 0) != (sb < 0):
+        expected_q = -expected_q
+    assert to_signed(evaluate(s.sdiv(X, Y), env), 64) == expected_q
+
+
+@settings(max_examples=200)
+@given(
+    a=st.integers(min_value=0, max_value=(1 << 64) - 1),
+    coeffs=st.lists(st.integers(min_value=-5, max_value=5), min_size=1, max_size=6),
+)
+def test_prop_linear_sum_canonicalization_sound(a, coeffs):
+    """Building a sum term-by-term equals evaluating the canonical form."""
+    expr = const(0)
+    expected = 0
+    for coeff in coeffs:
+        expr = s.add(expr, s.mul(X, const(coeff)))
+        expected = (expected + coeff * a) & ((1 << 64) - 1)
+    env = EvalEnv(variables={"x": a})
+    assert evaluate(expr, env) == expected
+
+
+def test_deref_evaluation_uses_memory_reader():
+    memory = {0x1000: 0xDEADBEEF}
+
+    def read(addr, size):
+        return memory.get(addr, 0)
+
+    env = EvalEnv(variables={"x": 0x1000}, read_mem=read)
+    assert evaluate(Deref(X, 4), env) == 0xDEADBEEF
+
+
+def test_ite_evaluation():
+    env = EvalEnv(variables={"x": 1, "y": 7, "z": 9})
+    cond = s.eq(X, const(1))
+    assert evaluate(s.ite(cond, Y, Z), env) == 7
+    env2 = EvalEnv(variables={"x": 0, "y": 7, "z": 9})
+    assert evaluate(s.ite(cond, Y, Z), env2) == 9

@@ -1,0 +1,142 @@
+"""Fuzzing the central theorem: lifted output overapproximates execution.
+
+Hypothesis generates random mini-C programs; each is compiled, lifted, and
+executed concretely on random inputs.  Whenever the lift succeeds, every
+concretely executed instruction address must appear in the lifted
+disassembly, and the concrete control-flow steps must follow lifted edges
+(Theorem 4.7 / Definition 4.6, observed at the address level).
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import lift
+from repro.machine import CPU, MachineError
+from repro.minicc import compile_source
+
+# -- a compact random-program generator -------------------------------------------
+
+VARS = ("a", "b", "c")
+
+
+def exprs(depth: int):
+    leaf = st.one_of(
+        st.integers(min_value=-50, max_value=50).map(str),
+        st.sampled_from(VARS),
+    )
+    if depth == 0:
+        return leaf
+    sub = exprs(depth - 1)
+    binop = st.tuples(sub, st.sampled_from(["+", "-", "*", "&", "|", "^"]), sub) \
+        .map(lambda t: f"({t[0]} {t[1]} {t[2]})")
+    shift = st.tuples(sub, st.sampled_from(["<<", ">>"]),
+                      st.integers(min_value=0, max_value=5)) \
+        .map(lambda t: f"({t[0]} {t[1]} {t[2]})")
+    return st.one_of(leaf, binop, shift)
+
+
+def conditions():
+    return st.tuples(
+        exprs(1), st.sampled_from(["<", "<=", ">", ">=", "==", "!="]), exprs(1)
+    ).map(lambda t: f"{t[0]} {t[1]} {t[2]}")
+
+
+def statements(depth: int):
+    assign = st.tuples(st.sampled_from(VARS), exprs(depth)) \
+        .map(lambda t: f"{t[0]} = {t[1]};")
+    if depth == 0:
+        return assign
+    sub = st.lists(statements(depth - 1), min_size=1, max_size=3) \
+        .map(lambda body: " ".join(body))
+    if_stmt = st.tuples(conditions(), sub).map(
+        lambda t: f"if ({t[0]}) {{ {t[1]} }}"
+    )
+    if_else = st.tuples(conditions(), sub, sub).map(
+        lambda t: f"if ({t[0]}) {{ {t[1]} }} else {{ {t[2]} }}"
+    )
+    # Bounded loops only: the concrete run must terminate.
+    loop = st.tuples(st.integers(min_value=1, max_value=5), sub).map(
+        lambda t: f"for (long i = 0; i < {t[0]}; i = i + 1) {{ {t[1]} }}"
+    )
+    return st.one_of(assign, if_stmt, if_else, loop)
+
+
+programs = st.lists(statements(2), min_size=1, max_size=5).map(
+    lambda body: (
+        "long main(long a, long b) {\n"
+        "    long c = 0;\n    "
+        + "\n    ".join(body)
+        + "\n    return a + b + c;\n}"
+    )
+)
+
+
+@settings(max_examples=40, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(
+    source=programs,
+    arg_a=st.integers(min_value=-1000, max_value=1000),
+    arg_b=st.integers(min_value=-1000, max_value=1000),
+)
+def test_fuzz_lift_overapproximates_execution(source, arg_a, arg_b):
+    binary = compile_source(source, name="fuzz")
+    result = lift(binary, max_states=20_000, timeout_seconds=20)
+    if not result.verified:
+        return  # rejection is a permitted outcome; mis-lifting is not
+
+    cpu = CPU(binary)
+    cpu.regs["rdi"] = arg_a & ((1 << 64) - 1)
+    cpu.regs["rsi"] = arg_b & ((1 << 64) - 1)
+    try:
+        cpu.run(max_steps=50_000)
+    except MachineError:
+        return  # e.g. step budget; nothing to check
+
+    executed = set(cpu.trace)
+    lifted = set(result.instructions)
+    missing = executed - lifted
+    assert not missing, (
+        f"executed but not lifted: {[hex(a) for a in sorted(missing)]}\n"
+        f"program:\n{source}"
+    )
+
+    # Address-level edge coverage: each consecutive concrete step must be a
+    # lifted control-flow successor.
+    allowed: dict[int, set[int]] = {}
+    for edge in result.graph.edges:
+        if edge.dst[0] == "code":
+            allowed.setdefault(edge.instr_addr, set()).add(edge.dst[1])
+    for src, dst in zip(cpu.trace, cpu.trace[1:]):
+        instr = result.instructions[src]
+        if instr.mnemonic == "call":
+            continue  # context-free: the callee entry edge is by symbol
+        assert dst in allowed.get(src, ()), (
+            f"untracked edge {src:#x} -> {dst:#x} ({instr})\n{source}"
+        )
+
+
+@settings(max_examples=25, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(
+    source=programs,
+    arg_a=st.integers(min_value=-100, max_value=100),
+)
+def test_fuzz_compiled_semantics_stable(source, arg_a):
+    """Compiling twice and running both gives identical results (the
+    compiler and emulator are deterministic)."""
+    first = compile_source(source, name="one")
+    second = compile_source(source, name="two")
+    results = []
+    for binary in (first, second):
+        cpu = CPU(binary)
+        cpu.regs["rdi"] = arg_a & ((1 << 64) - 1)
+        cpu.regs["rsi"] = 7
+        try:
+            cpu.run(max_steps=50_000)
+        except MachineError:
+            return
+        results.append(cpu.regs["rax"])
+    assert results[0] == results[1]

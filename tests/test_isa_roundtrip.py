@@ -1,0 +1,247 @@
+"""Encoder/decoder round-trip tests for the x86-64 subset.
+
+The core property: for every instruction we can encode,
+``encode(decode(encode(i))) == encode(i)`` and the decoded instruction has
+the same mnemonic and operand shapes.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.isa import Imm, Mem, Reg, decode, encode, insn
+from repro.isa.instruction import ALU_OPS, CONDITION_CODES, SHIFT_OPS
+from repro.isa.registers import GPR16, GPR32, GPR64, GPR8
+
+
+def roundtrip(instr):
+    code = encode(instr)
+    decoded = decode(code)
+    assert decoded.size == len(code), f"{instr}: size {decoded.size} != {len(code)}"
+    recode = encode(decoded)
+    assert recode == code, f"{instr}: {code.hex()} != {recode.hex()}"
+    return decoded
+
+
+# -- hand-picked encodings checked against known-good byte sequences -------
+
+KNOWN_ENCODINGS = [
+    (insn("ret"), "c3"),
+    (insn("nop"), "90"),
+    (insn("leave"), "c9"),
+    (insn("push", "rbp"), "55"),
+    (insn("pop", "rbp"), "5d"),
+    (insn("push", "r12"), "4154"),
+    (insn("mov", "rbp", "rsp"), "4889e5"),
+    (insn("mov", "eax", Imm(0, 32)), "b800000000"),
+    (insn("sub", "rsp", Imm(0x20, 32)), "4883ec20"),
+    (insn("add", "rsp", Imm(0x20, 32)), "4883c420"),
+    (insn("xor", "eax", "eax"), "31c0"),
+    (insn("cmp", "eax", Imm(0xC3, 32)), "3dc3000000"),
+    (insn("mov", Mem(64, base="rdi"), "rax"), "488907"),
+    (insn("mov", "rax", Mem(64, base="rsp", disp=8)), "488b442408"),
+    (insn("mov", Mem(32, base="rsi"), Imm(1, 32)), "c70601000000"),
+    (insn("lea", "rax", Mem(64, base="rip", disp=0x100)), "488d0500010000"),
+    (insn("jmp", Mem(64, base="rdi")), "ff27"),
+    (insn("call", "rax"), "ffd0"),
+    (insn("mov", "eax", Mem(32, index="rax", scale=4, disp=0x1000)),
+     "8b048500100000"),
+    (insn("movzx", "eax", "al"), "0fb6c0"),
+    (insn("movsxd", "rax", "eax"), "4863c0"),
+    (insn("cqo"), "4899"),
+    (insn("imul", "rax", "rdi"), "480fafc7"),
+    (insn("shl", "rax", Imm(4, 8)), "48c1e004"),
+    (insn("sar", "eax", Imm(1, 8)), "d1f8"),
+    (insn("test", "al", "al"), "84c0"),
+    (insn("sete", "al"), "0f94c0"),
+    (insn("cmove", "rax", "rbx"), "480f44c3"),
+    (insn("ud2"), "0f0b"),
+    (insn("syscall"), "0f05"),
+]
+
+
+@pytest.mark.parametrize(
+    "instr,expected", KNOWN_ENCODINGS, ids=[str(i) for i, _ in KNOWN_ENCODINGS]
+)
+def test_known_encoding(instr, expected):
+    assert encode(instr).hex() == expected
+
+
+@pytest.mark.parametrize(
+    "instr,expected", KNOWN_ENCODINGS, ids=[str(i) for i, _ in KNOWN_ENCODINGS]
+)
+def test_known_roundtrip(instr, expected):
+    roundtrip(instr)
+
+
+# -- the paper's Section 2 example, ported to x86-64 ------------------------
+
+def test_paper_example_bytes_decode():
+    """cmp/ja/mov-jumptable/mov/mov/jmp from Figure 1 (64-bit registers)."""
+    decoded = decode(bytes.fromhex("3dc3000000"))
+    assert decoded.mnemonic == "cmp"
+    assert decoded.operands[0] == Reg("eax")
+    assert decoded.operands[1].value == 0xC3
+    # The famous weird edge: byte 1 of "cmp eax, 0xc3" decodes as ret.
+    weird = decode(bytes.fromhex("3dc3000000"), offset=1)
+    assert weird.mnemonic == "ret"
+
+
+# -- exhaustive-ish sweeps ---------------------------------------------------
+
+REGS64 = [Reg(r) for r in GPR64]
+REGS32 = [Reg(r) for r in GPR32]
+REGS8 = [Reg(r) for r in GPR8]
+
+
+@pytest.mark.parametrize("mnemonic", sorted(ALU_OPS))
+def test_alu_reg_reg_all_registers(mnemonic):
+    for dst in REGS64:
+        for src in (REGS64[0], REGS64[9], REGS64[13]):
+            roundtrip(insn(mnemonic, dst, src))
+
+
+@pytest.mark.parametrize("mnemonic", sorted(ALU_OPS))
+def test_alu_imm_forms(mnemonic):
+    for imm in (Imm(1, 32), Imm(0x7F, 32), Imm(0x80, 32), Imm(0x12345, 32)):
+        for dst in (Reg("rax"), Reg("r13"), Reg("ebx")):
+            roundtrip(insn(mnemonic, dst, imm))
+
+
+@pytest.mark.parametrize("cc", CONDITION_CODES)
+def test_jcc_setcc_cmovcc(cc):
+    decoded = roundtrip(insn(f"j{cc}", Imm(0x40, 32)))
+    assert decoded.mnemonic == f"j{cc}"
+    roundtrip(insn(f"j{cc}", Imm(-5, 8)))
+    roundtrip(insn(f"set{cc}", "al"))
+    roundtrip(insn(f"set{cc}", "r10b"))
+    roundtrip(insn(f"cmov{cc}", "rax", "r9"))
+
+
+@pytest.mark.parametrize("mnemonic", sorted(SHIFT_OPS))
+def test_shift_forms(mnemonic):
+    roundtrip(insn(mnemonic, "rax", Imm(1, 8)))
+    roundtrip(insn(mnemonic, "rax", Imm(5, 8)))
+    roundtrip(insn(mnemonic, "r11d", Imm(31, 8)))
+    roundtrip(insn(mnemonic, "rcx", Reg("cl")))
+
+
+def test_push_pop_all_registers():
+    for reg in REGS64:
+        assert roundtrip(insn("push", reg)).operands == (reg,)
+        assert roundtrip(insn("pop", reg)).operands == (reg,)
+
+
+def test_unary_ops():
+    for mnemonic in ("not", "neg", "mul", "div", "idiv"):
+        roundtrip(insn(mnemonic, "rax"))
+        roundtrip(insn(mnemonic, "r9"))
+        roundtrip(insn(mnemonic, Mem(64, base="rbp", disp=-8)))
+    decoded = roundtrip(insn("imul", "rdi"))
+    assert decoded.mnemonic == "imul"
+
+
+def test_movabs_roundtrip():
+    decoded = roundtrip(insn("movabs", "rax", Imm(0xDEADBEEFCAFEBABE, 64)))
+    assert decoded.operands[1].value == 0xDEADBEEFCAFEBABE
+    # A small 64-bit mov immediate picks the C7 sign-extended form.
+    small = insn("mov", "rax", Imm(5, 32))
+    assert encode(small).hex() == "48c7c005000000"
+    roundtrip(small)
+
+
+# -- memory operand address-mode sweep ---------------------------------------
+
+BASES = [None, "rax", "rbx", "rsp", "rbp", "r12", "r13", "rsi"]
+INDEXES = [None, "rax", "rbp", "r9", "r13"]
+DISPS = [0, 1, -1, 0x40, -0x40, 0x1234, -0x1234]
+
+
+def iter_mems():
+    for base in BASES:
+        for index in INDEXES:
+            for disp in (0, 0x40, 0x1234, -8):
+                scale = 4 if index else 1
+                yield Mem(64, base=base, index=index, scale=scale, disp=disp)
+    yield Mem(64, base="rip", disp=0x2000)
+    yield Mem(64, base="rip", disp=-16)
+    yield Mem(32, disp=0x404000)
+
+
+@pytest.mark.parametrize("mem", list(iter_mems()), ids=str)
+def test_memory_operand_roundtrip(mem):
+    decoded = roundtrip(insn("mov", "rcx", mem))
+    got = decoded.operands[1]
+    assert got.base == mem.base
+    assert got.index == mem.index
+    assert got.disp == mem.disp
+    if mem.index:
+        assert got.scale == mem.scale
+
+
+# -- property-based round-trips ----------------------------------------------
+
+reg64_st = st.sampled_from(REGS64)
+reg32_st = st.sampled_from(REGS32)
+reg8_st = st.sampled_from(REGS8)
+imm32_st = st.integers(min_value=-(2**31), max_value=2**31 - 1).map(
+    lambda v: Imm(v, 32)
+)
+mem_st = st.builds(
+    Mem,
+    width=st.sampled_from([8, 16, 32, 64]),
+    base=st.sampled_from([None] + list(GPR64)),
+    index=st.sampled_from([None] + [r for r in GPR64 if r != "rsp"]),
+    scale=st.sampled_from([1, 2, 4, 8]),
+    disp=st.integers(min_value=-(2**31), max_value=2**31 - 1),
+)
+
+
+@settings(max_examples=300)
+@given(
+    mnemonic=st.sampled_from(sorted(ALU_OPS) + ["mov"]),
+    dst=reg64_st,
+    src=st.one_of(reg64_st, imm32_st),
+)
+def test_prop_alu_mov_reg_forms(mnemonic, dst, src):
+    roundtrip(insn(mnemonic, dst, src))
+
+
+@settings(max_examples=300)
+@given(mnemonic=st.sampled_from(sorted(ALU_OPS) + ["mov"]), dst=reg64_st, mem=mem_st)
+def test_prop_mem_source(mnemonic, dst, mem):
+    mem64 = Mem(64, mem.base, mem.index, mem.scale, mem.disp)
+    roundtrip(insn(mnemonic, dst, mem64))
+    roundtrip(insn(mnemonic, mem64, dst))
+
+
+@settings(max_examples=200)
+@given(mem=mem_st, width_reg=st.sampled_from(REGS32 + REGS8))
+def test_prop_mem_width_variants(mem, width_reg):
+    sized = Mem(width_reg.width, mem.base, mem.index, mem.scale, mem.disp)
+    roundtrip(insn("mov", width_reg, sized))
+    roundtrip(insn("mov", sized, width_reg))
+
+
+@settings(max_examples=200)
+@given(
+    disp=st.integers(min_value=-(2**31), max_value=2**31 - 1),
+    cc=st.sampled_from(CONDITION_CODES),
+)
+def test_prop_branches(disp, cc):
+    roundtrip(insn("jmp", Imm(disp, 32)))
+    roundtrip(insn("call", Imm(disp, 32)))
+    roundtrip(insn(f"j{cc}", Imm(disp, 32)))
+
+
+def test_decode_reports_unknown_bytes():
+    from repro.isa import DecodeError
+
+    with pytest.raises(DecodeError):
+        decode(b"\x06")  # legacy push es: invalid in 64-bit mode
+    with pytest.raises(DecodeError):
+        decode(b"\x0f\xff")
+    with pytest.raises(DecodeError):
+        decode(b"\x48")  # bare REX prefix, truncated

@@ -1,0 +1,395 @@
+"""End-to-end Hoare-graph extraction tests (Algorithm 1 + extensions)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import lift
+from repro.elf import BinaryBuilder
+from repro.isa import Imm, Mem, abs64, insn
+
+
+def build(program, entry="main", **kwargs):
+    builder = BinaryBuilder("lift-test")
+    program(builder)
+    return builder.build(entry=entry, **kwargs)
+
+
+def straightline(b):
+    t = b.text
+    t.label("main")
+    t.emit("push", "rbp")
+    t.emit("mov", "rbp", "rsp")
+    t.emit("mov", "eax", Imm(42, 32))
+    t.emit("pop", "rbp")
+    t.emit("ret")
+
+
+def test_straightline_lifts_all_instructions():
+    result = lift(build(straightline))
+    assert result.verified
+    assert result.stats.instructions == 5
+    assert sorted(result.instructions) == sorted(
+        instr.addr for instr in result.instructions.values()
+    )
+    mnemonics = [result.instructions[a].mnemonic for a in sorted(result.instructions)]
+    assert mnemonics == ["push", "mov", "mov", "pop", "ret"]
+
+
+def test_straightline_states_close_to_instructions():
+    result = lift(build(straightline))
+    assert result.stats.states == result.stats.instructions
+
+
+def test_ret_produces_return_edge():
+    result = lift(build(straightline))
+    ret_edges = [e for e in result.graph.edges if e.dst[0] == "ret"]
+    assert len(ret_edges) == 1
+    assert ret_edges[0].dst[1] == result.entry
+
+
+def test_branching_and_join():
+    def program(b):
+        t = b.text
+        t.label("main")
+        t.emit("cmp", "rdi", Imm(5, 32))
+        t.emit("ja", "big")
+        t.emit("mov", "eax", Imm(1, 32))
+        t.emit("jmp", "out")
+        t.label("big")
+        t.emit("mov", "eax", Imm(2, 32))
+        t.label("out")
+        t.emit("ret")
+
+    result = lift(build(program))
+    assert result.verified
+    # Every instruction reached; the two paths join at "out".
+    assert result.stats.instructions == 6
+    assert not result.annotations
+
+
+def test_loop_reaches_fixpoint():
+    def program(b):
+        t = b.text
+        t.label("main")
+        t.emit("xor", "eax", "eax")
+        t.label("loop")
+        t.emit("add", "rax", "rdi")
+        t.emit("sub", "rdi", Imm(1, 32))
+        t.emit("test", "rdi", "rdi")
+        t.emit("jne", "loop")
+        t.emit("ret")
+
+    result = lift(build(program))
+    assert result.verified
+    assert result.stats.instructions == 6
+    assert not result.annotations
+
+
+def test_internal_call_explored_once_and_continuation_reachable():
+    def program(b):
+        t = b.text
+        t.label("main")
+        t.emit("call", "helper")
+        t.emit("call", "helper")
+        t.emit("mov", "ecx", Imm(1, 32))
+        t.emit("ret")
+        t.label("helper")
+        t.emit("mov", "eax", Imm(7, 32))
+        t.emit("ret")
+
+    result = lift(build(program))
+    assert result.verified
+    # helper body lifted once; both continuations explored.
+    mnemonics = [result.instructions[a].mnemonic
+                 for a in sorted(result.instructions)]
+    assert mnemonics == ["call", "call", "mov", "ret", "mov", "ret"]
+    # Two ret sinks: main's and helper's.
+    ret_functions = {e.dst[1] for e in result.graph.edges if e.dst[0] == "ret"}
+    assert len(ret_functions) == 2
+
+
+def test_function_that_never_returns_blocks_continuation():
+    def program(b):
+        t = b.text
+        t.label("main")
+        t.emit("call", "spin")
+        t.emit("mov", "eax", Imm(1, 32))  # unreachable: spin never returns
+        t.emit("ret")
+        t.label("spin")
+        t.label("again")
+        t.emit("jmp", "again")
+
+    result = lift(build(program))
+    assert result.verified
+    mnemonics = {result.instructions[a].mnemonic for a in result.instructions}
+    # The continuation mov/ret must NOT be lifted.
+    assert "mov" not in mnemonics
+
+
+def test_external_call_cleans_state_and_generates_obligation():
+    def program(b):
+        b.extern("malloc")
+        t = b.text
+        t.label("main")
+        t.emit("push", "rbp")
+        t.emit("mov", "edi", Imm(64, 32))
+        t.emit("call", "malloc")
+        t.emit("pop", "rbp")
+        t.emit("ret")
+
+    result = lift(build(program))
+    assert result.verified
+    assert any(ob.callee == "malloc" for ob in result.obligations)
+    obligation = next(ob for ob in result.obligations if ob.callee == "malloc")
+    assert any("RSP0" in span for span in obligation.preserve)
+
+
+def test_terminating_external_stops_exploration():
+    def program(b):
+        b.extern("exit")
+        t = b.text
+        t.label("main")
+        t.emit("mov", "edi", Imm(0, 32))
+        t.emit("call", "exit")
+        t.emit("hlt")   # unreachable
+
+    result = lift(build(program))
+    assert result.verified
+    exits = [e for e in result.graph.edges if e.dst == ("exit", "exit")]
+    assert exits
+    mnemonics = {i.mnemonic for i in result.instructions.values()}
+    assert "hlt" not in mnemonics
+
+
+def test_pthread_call_rejected_as_concurrency():
+    def program(b):
+        b.extern("pthread_create")
+        t = b.text
+        t.label("main")
+        t.emit("call", "pthread_create")
+        t.emit("ret")
+
+    result = lift(build(program))
+    assert not result.verified
+    assert result.errors[0].kind == "concurrency"
+
+
+def test_jump_table_resolved():
+    def program(b):
+        t = b.text
+        t.label("main")
+        t.emit("cmp", "rdi", Imm(2, 32))
+        t.emit("ja", "default")
+        t.emit("movabs", "rax", abs64("table"))
+        t.emit("mov", "rax", Mem(64, base="rax", index="rdi", scale=8))
+        t.emit("jmp", "rax")
+        t.label("default")
+        t.emit("mov", "eax", Imm(99, 32))
+        t.emit("ret")
+        t.label("case0")
+        t.emit("mov", "eax", Imm(10, 32))
+        t.emit("ret")
+        t.label("case1")
+        t.emit("mov", "eax", Imm(11, 32))
+        t.emit("ret")
+        t.label("case2")
+        t.emit("mov", "eax", Imm(12, 32))
+        t.emit("ret")
+        rod = b.rodata
+        rod.label("table")
+        rod.quad(abs64("case0"))
+        rod.quad(abs64("case1"))
+        rod.quad(abs64("case2"))
+
+    result = lift(build(program))
+    assert result.verified
+    assert result.stats.resolved_indirections == 1
+    assert result.stats.unresolved_jumps == 0
+    # All four outcomes lifted.
+    mnemonics = [result.instructions[a].mnemonic
+                 for a in sorted(result.instructions)]
+    assert mnemonics.count("ret") == 4
+    # The indirect jmp has exactly three code successors.
+    jmp_addr = next(a for a, i in result.instructions.items() if i.mnemonic == "jmp")
+    assert len(result.graph.control_flow_targets(jmp_addr)) == 3
+
+
+def test_unresolved_indirect_jump_annotated():
+    def program(b):
+        t = b.text
+        t.label("main")
+        t.emit("jmp", "rdi")   # completely unknown target
+
+    result = lift(build(program))
+    assert result.verified  # annotated, not rejected
+    assert result.stats.unresolved_jumps == 1
+    assert any(a.kind == "unresolved-jump" for a in result.annotations)
+
+
+def test_unresolved_indirect_call_treated_as_external():
+    def program(b):
+        t = b.text
+        t.label("main")
+        t.emit("call", "rdi")
+        t.emit("mov", "eax", Imm(3, 32))
+        t.emit("ret")
+
+    result = lift(build(program))
+    assert result.verified
+    assert result.stats.unresolved_calls == 1
+    # Exploration continued past the call.
+    mnemonics = [i.mnemonic for i in result.instructions.values()]
+    assert "mov" in mnemonics
+    assert any(ob.callee == "<indirect>" for ob in result.obligations)
+
+
+def test_buffer_overflow_rejected():
+    """Writing through an unknown stack offset defeats the return-address
+    proof: no HG (Section 5.1, item 2)."""
+    def program(b):
+        t = b.text
+        t.label("main")
+        t.emit("sub", "rsp", Imm(32, 32))
+        # rdi is an unbounded index: [rsp + rdi*8] may hit the return addr.
+        t.emit("mov", Mem(64, base="rsp", index="rdi", scale=8), Imm(0, 32))
+        t.emit("add", "rsp", Imm(32, 32))
+        t.emit("ret")
+
+    result = lift(build(program))
+    assert not result.verified
+    assert any(e.kind in ("return-address", "calling-convention")
+               for e in result.errors)
+
+
+def test_unbalanced_stack_rejected():
+    def program(b):
+        t = b.text
+        t.label("main")
+        t.emit("sub", "rsp", Imm(8, 32))
+        t.emit("ret")   # returns to a local, not the return address
+
+    result = lift(build(program))
+    assert not result.verified
+
+
+def test_clobbered_callee_saved_register_rejected():
+    def program(b):
+        t = b.text
+        t.label("main")
+        t.emit("xor", "ebx", "ebx")  # clobbers rbx without saving
+        t.emit("ret")
+
+    result = lift(build(program))
+    assert not result.verified
+    assert any(e.kind == "calling-convention" for e in result.errors)
+
+
+def test_callee_saved_register_saved_and_restored_ok():
+    def program(b):
+        t = b.text
+        t.label("main")
+        t.emit("push", "rbx")
+        t.emit("xor", "ebx", "ebx")
+        t.emit("mov", "rax", "rbx")
+        t.emit("pop", "rbx")
+        t.emit("ret")
+
+    result = lift(build(program))
+    assert result.verified
+
+
+def test_tail_call_to_external():
+    def program(b):
+        b.extern("puts")
+        t = b.text
+        t.label("main")
+        t.emit("jmp", "puts")   # tail call
+
+    result = lift(build(program))
+    assert result.verified
+    assert any(ob.callee == "puts" for ob in result.obligations)
+    assert any(e.dst[0] == "ret" for e in result.graph.edges)
+
+
+def test_recursive_function():
+    def program(b):
+        t = b.text
+        t.label("main")          # factorial-ish structure
+        t.emit("test", "rdi", "rdi")
+        t.emit("je", "base")
+        t.emit("sub", "rdi", Imm(1, 32))
+        t.emit("call", "main")
+        t.emit("ret")
+        t.label("base")
+        t.emit("mov", "eax", Imm(1, 32))
+        t.emit("ret")
+
+    result = lift(build(program))
+    assert result.verified
+    assert result.stats.instructions == 7
+
+
+def test_summary_format():
+    result = lift(build(straightline))
+    text = result.summary()
+    assert "OK" in text and "instructions" in text
+
+
+def test_call_to_non_executable_target_annotated():
+    def program(b):
+        t = b.text
+        t.label("main")
+        # call into .rodata: not executable
+        t.emit("call", Imm(0x20000, 32))
+        t.emit("ret")
+
+    binary = build(program)
+    result = lift(binary)
+    assert result.stats.unresolved_calls == 1
+    assert any(a.kind == "unresolved-call" for a in result.annotations)
+
+
+def test_jump_into_unmapped_memory_annotated():
+    def program(b):
+        t = b.text
+        t.label("main")
+        t.emit("jmp", Imm(0x100000, 32))  # far outside any section
+
+    result = lift(build(program))
+    assert any(a.kind == "undecodable" for a in result.annotations)
+
+
+def test_weird_concrete_return_address_followed():
+    """push imm; ret is a concrete 'weird' return: the edge is followed."""
+    def program(b):
+        t = b.text
+        t.label("main")
+        t.emit("movabs", "rax", abs64("target"))
+        t.emit("push", "rax")
+        t.emit("ret")                  # pops the pushed address: jump!
+        t.label("target")
+        t.emit("mov", "eax", Imm(9, 32))
+        t.emit("ret")
+
+    result = lift(build(program))
+    assert result.verified, [str(e) for e in result.errors]
+    mnemonics = [result.instructions[a].mnemonic
+                 for a in sorted(result.instructions)]
+    assert mnemonics.count("mov") == 1  # the target block was lifted
+
+
+def test_ret_with_immediate_pops_args():
+    def program(b):
+        t = b.text
+        t.label("main")
+        t.emit("push", Imm(1, 32))
+        t.emit("call", "callee")
+        t.emit("add", "rsp", Imm(8, 32))
+        t.emit("ret")
+        t.label("callee")
+        t.emit("mov", "rax", Mem(64, base="rsp", disp=8))
+        t.emit("ret")
+
+    result = lift(build(program))
+    assert result.verified, [str(e) for e in result.errors]

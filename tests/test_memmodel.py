@@ -1,0 +1,326 @@
+"""Memory-model tests: ins (Def 3.7), holds (Def 3.9), join (Def 3.12).
+
+Includes the paper's running examples: Figure 2 / Example 3.8 (the
+three-store snippet producing the aliasing and non-aliasing models) and
+Example 3.13 (joining models with different enclosed children).
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.expr import EvalEnv, const, simplify as s, var
+from repro.memmodel import (
+    EMPTY,
+    MemModel,
+    MemTree,
+    ins,
+    join_models,
+    model_holds,
+    relation_in_model,
+)
+from repro.smt.solver import Region, Relation
+
+RDI0 = var("rdi0")
+RSI0 = var("rsi0")
+RSP0 = var("rsp0")
+
+
+def region(base, offset, size) -> Region:
+    return Region(s.add(base, const(offset)), size)
+
+
+def insert_chain(*regions, model=EMPTY):
+    """Insert regions in order; returns the list of forked models."""
+    models = [model]
+    for reg in regions:
+        next_models = []
+        for m in models:
+            next_models += [r.model for r in ins(reg, m)]
+        models = next_models
+    return models
+
+
+# -- basic insertions -----------------------------------------------------------
+
+def test_insert_into_empty():
+    results = ins(region(RSP0, -8, 8), EMPTY)
+    assert len(results) == 1
+    model = results[0].model
+    assert region(RSP0, -8, 8) in model.all_regions()
+
+
+def test_provably_separate_regions_single_model():
+    models = insert_chain(region(RSP0, -8, 8), region(RSP0, -16, 8))
+    assert len(models) == 1
+    assert relation_in_model(
+        models[0], region(RSP0, -8, 8), region(RSP0, -16, 8)
+    ) is Relation.SEPARATE
+
+
+def test_provable_enclosure_nests():
+    models = insert_chain(region(RSI0, 0, 8), region(RSI0, 4, 4))
+    assert len(models) == 1
+    assert relation_in_model(
+        models[0], region(RSI0, 4, 4), region(RSI0, 0, 8)
+    ) is Relation.ENCLOSED
+
+
+def test_unknown_same_size_forks_alias_and_separate():
+    """Figure 1: [edi, 4] vs [esi, 4] forks into ≡ and ⋈ models."""
+    models = insert_chain(Region(RDI0, 4), Region(RSI0, 4))
+    relations = {
+        relation_in_model(m, Region(RDI0, 4), Region(RSI0, 4)) for m in models
+    }
+    assert relations == {Relation.ALIAS, Relation.SEPARATE}
+
+
+def test_example_3_8_figure_2():
+    """The three-store snippet: [rdi,8], [rsi+4,4], [rsi,8] produces the
+    aliasing and non-aliasing models of Figure 2."""
+    models = insert_chain(
+        Region(RDI0, 8), region(RSI0, 4, 4), Region(RSI0, 8)
+    )
+    # In every model, [rsi+4, 4] is enclosed within [rsi, 8].
+    for model in models:
+        assert relation_in_model(
+            model, region(RSI0, 4, 4), Region(RSI0, 8)
+        ) is Relation.ENCLOSED
+    relations = {
+        relation_in_model(m, Region(RDI0, 8), Region(RSI0, 8)) for m in models
+    }
+    assert Relation.ALIAS in relations
+    assert Relation.SEPARATE in relations
+    aliasing = [
+        m for m in models
+        if relation_in_model(m, Region(RDI0, 8), Region(RSI0, 8)) is Relation.ALIAS
+    ]
+    # In the aliasing model the child is also enclosed in [rdi, 8]'s node.
+    assert relation_in_model(
+        aliasing[0], region(RSI0, 4, 4), Region(RDI0, 8)
+    ) is Relation.ENCLOSED
+
+
+def test_stack_vs_global_no_fork():
+    models = insert_chain(region(RSP0, -8, 8), Region(const(0x404000), 8))
+    assert len(models) == 1
+    assert relation_in_model(
+        models[0], region(RSP0, -8, 8), Region(const(0x404000), 8)
+    ) is Relation.SEPARATE
+
+
+def test_alignment_assumption_recorded_on_fork():
+    results = ins(Region(RSI0, 4), MemModel(frozenset({MemTree.leaf(Region(RDI0, 4))})))
+    assert all(
+        any(a.kind == "alignment" for a in r.assumptions) for r in results
+    )
+
+
+def test_partial_overlap_possibility_destroys():
+    """Odd-sized regions with unknown relation destroy the overlapping tree."""
+    first = Region(RDI0, 3)
+    second = Region(RSI0, 8)
+    models = insert_chain(first, second)
+    destroyed = [m for m in models if m.destroyed]
+    assert destroyed, "expected a destroy branch"
+    assert any(first in m.destroyed for m in destroyed)
+
+
+def test_insert_into_destroyed_region_stays_destroyed():
+    base = MemModel(destroyed=frozenset({Region(RDI0, 8)}))
+    results = ins(Region(RDI0, 8), base)
+    assert len(results) == 1
+    assert Region(RDI0, 8) in results[0].model.destroyed
+
+
+def test_reinserting_same_region_is_stable():
+    models = insert_chain(region(RSP0, -8, 8))
+    again = insert_chain(region(RSP0, -8, 8), model=models[0])
+    assert again == models
+
+
+# -- Definition 3.9: concrete satisfaction --------------------------------------------
+
+def env_with(**variables):
+    return EvalEnv(variables=variables)
+
+
+def test_alias_model_holds_only_when_aliasing():
+    models = insert_chain(Region(RDI0, 4), Region(RSI0, 4))
+    alias_model = next(
+        m for m in models
+        if relation_in_model(m, Region(RDI0, 4), Region(RSI0, 4)) is Relation.ALIAS
+    )
+    sep_model = next(
+        m for m in models
+        if relation_in_model(m, Region(RDI0, 4), Region(RSI0, 4)) is Relation.SEPARATE
+    )
+    aliased = env_with(rdi0=0x1000, rsi0=0x1000)
+    distinct = env_with(rdi0=0x1000, rsi0=0x2000)
+    assert model_holds(alias_model, aliased)
+    assert not model_holds(alias_model, distinct)
+    assert model_holds(sep_model, distinct)
+    assert not model_holds(sep_model, aliased)
+
+
+def test_figure_2_model_satisfaction_example_3_10():
+    models = insert_chain(Region(RDI0, 8), region(RSI0, 4, 4), Region(RSI0, 8))
+    aliasing = next(
+        m for m in models
+        if relation_in_model(m, Region(RDI0, 8), Region(RSI0, 8)) is Relation.ALIAS
+    )
+    separate = next(
+        m for m in models
+        if relation_in_model(m, Region(RDI0, 8), Region(RSI0, 8)) is Relation.SEPARATE
+    )
+    assert model_holds(aliasing, env_with(rdi0=0x100, rsi0=0x100))
+    assert not model_holds(aliasing, env_with(rdi0=0x100, rsi0=0x200))
+    assert model_holds(separate, env_with(rdi0=0x100, rsi0=0x200))
+    assert not model_holds(separate, env_with(rdi0=0x100, rsi0=0x104))
+
+
+# -- Definition 3.12: join -------------------------------------------------------------
+
+def test_join_identical_models_is_identity():
+    model = insert_chain(region(RSP0, -8, 8), region(RSP0, -16, 8))[0]
+    assert join_models(model, model) == model
+
+
+def test_join_example_3_13():
+    """[rdi,8] with child [rdi,4]  ⊔  [rdi,8] with child [rdi+4,4]
+    == [rdi,8] with both children as separate siblings."""
+    m0 = insert_chain(Region(RDI0, 8), region(RDI0, 0, 4))[0]
+    m1 = insert_chain(Region(RDI0, 8), region(RDI0, 4, 4))[0]
+    joined = join_models(m0, m1)
+    assert relation_in_model(joined, region(RDI0, 0, 4), Region(RDI0, 8)) \
+        is Relation.ENCLOSED
+    assert relation_in_model(joined, region(RDI0, 4, 4), Region(RDI0, 8)) \
+        is Relation.ENCLOSED
+    assert relation_in_model(joined, region(RDI0, 0, 4), region(RDI0, 4, 4)) \
+        is Relation.SEPARATE
+
+
+def test_join_keeps_one_sided_tree_with_trivial_claims():
+    """A single-region tree claims nothing, so it survives a join with ∅."""
+    m0 = insert_chain(Region(RDI0, 8))[0]
+    joined = join_models(m0, EMPTY)
+    assert Region(RDI0, 8) in joined.all_regions()
+
+
+def test_join_drops_one_sided_forked_claims():
+    """A forked (non-necessary) alias claim must NOT survive a one-sided
+    join: the other side's states need not alias."""
+    models = insert_chain(Region(RDI0, 4), Region(RSI0, 4))
+    alias_model = next(
+        m for m in models
+        if relation_in_model(m, Region(RDI0, 4), Region(RSI0, 4)) is Relation.ALIAS
+    )
+    joined = join_models(alias_model, EMPTY)
+    assert relation_in_model(joined, Region(RDI0, 4), Region(RSI0, 4)) is None
+
+
+def test_join_conflicting_relations_drops_info():
+    """alias-model ⊔ separate-model keeps no claim about the pair."""
+    models = insert_chain(Region(RDI0, 4), Region(RSI0, 4))
+    alias_model = next(
+        m for m in models
+        if relation_in_model(m, Region(RDI0, 4), Region(RSI0, 4)) is Relation.ALIAS
+    )
+    sep_model = next(
+        m for m in models
+        if relation_in_model(m, Region(RDI0, 4), Region(RSI0, 4)) is Relation.SEPARATE
+    )
+    joined = join_models(alias_model, sep_model)
+    assert relation_in_model(joined, Region(RDI0, 4), Region(RSI0, 4)) is None
+
+
+def test_join_union_of_destroyed():
+    m0 = MemModel(destroyed=frozenset({Region(RDI0, 8)}))
+    m1 = MemModel(destroyed=frozenset({Region(RSI0, 8)}))
+    joined = join_models(m0, m1)
+    assert joined.destroyed == frozenset({Region(RDI0, 8), Region(RSI0, 8)})
+
+
+# -- Lemma 3.14 as a property: s |= M0 or M1  =>  s |= M0 ⊔ M1 ------------------------
+
+@settings(max_examples=200)
+@given(
+    rdi=st.integers(min_value=0, max_value=0x80).map(lambda v: v * 8),
+    rsi=st.integers(min_value=0, max_value=0x80).map(lambda v: v * 8),
+    pick_first=st.booleans(),
+)
+def test_prop_join_soundness_lemma_3_14(rdi, rsi, pick_first):
+    models = insert_chain(Region(RDI0, 8), Region(RSI0, 8))
+    env = env_with(rdi0=rdi, rsi0=rsi)
+    satisfied = [m for m in models if model_holds(m, env)]
+    assert satisfied, "forked models must cover every aligned state"
+    chosen = satisfied[0]
+    other = models[0] if not pick_first else models[-1]
+    joined = join_models(chosen, other)
+    assert model_holds(joined, env)
+
+
+# -- Lemma 3.11 as a property: insertion covers every aligned configuration ----------
+
+@settings(max_examples=150)
+@given(
+    addrs=st.lists(
+        st.integers(min_value=0, max_value=15).map(lambda v: v * 8),
+        min_size=2, max_size=4,
+    )
+)
+def test_prop_insertion_completeness_lemma_3_11(addrs):
+    """For any concrete assignment of 8-aligned addresses, some forked model
+    holds after inserting one 8-byte region per distinct symbolic base."""
+    bases = [var(f"p{i}") for i in range(len(addrs))]
+    models = [EMPTY]
+    for base in bases:
+        next_models = []
+        for model in models:
+            next_models += [r.model for r in ins(Region(base, 8), model)]
+        models = next_models
+    env = env_with(**{f"p{i}": addr for i, addr in enumerate(addrs)})
+    assert any(model_holds(m, env) for m in models)
+
+
+@settings(max_examples=120)
+@given(
+    layouts=st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=12).map(lambda v: v * 8),
+            st.sampled_from([4, 8]),
+        ),
+        min_size=2, max_size=4,
+    )
+)
+def test_prop_insertion_completeness_mixed_sizes(layouts):
+    """Lemma 3.11 with mixed 4/8-byte regions: some forked model holds for
+    every aligned concrete placement (including enclosures)."""
+    bases = [var(f"q{i}") for i in range(len(layouts))]
+    models = [EMPTY]
+    for base, (_, size) in zip(bases, layouts):
+        next_models = []
+        for model in models:
+            next_models += [r.model for r in ins(Region(base, size), model)]
+        models = next_models
+    env = env_with(**{f"q{i}": addr for i, (addr, _) in enumerate(layouts)})
+    assert any(model_holds(m, env) for m in models), [str(m) for m in models]
+
+
+@settings(max_examples=100)
+@given(
+    offsets=st.lists(st.integers(min_value=-16, max_value=16), min_size=2,
+                     max_size=3),
+    sizes=st.lists(st.sampled_from([4, 8]), min_size=2, max_size=3),
+)
+def test_prop_same_base_insertions_never_fork(offsets, sizes):
+    """Same-base const-offset regions always have decidable relations:
+    insertion must not fork (precision, not just soundness)."""
+    model = EMPTY
+    count = min(len(offsets), len(sizes))
+    for offset, size in zip(offsets[:count], sizes[:count]):
+        results = ins(Region(s.add(RSP0, const(offset * 4)), size), model)
+        assert len(results) == 1, [str(r.model) for r in results]
+        model = results[0].model

@@ -1,0 +1,414 @@
+"""mini-C compiler tests: concrete execution agrees with C semantics, and
+the compiled binaries lift cleanly."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import lift
+from repro.machine import run_binary
+from repro.minicc import ParseError, compile_source
+
+
+def run_c(source: str, args=(), **kwargs):
+    binary = compile_source(source, name="t")
+    cpu = run_binary(binary, args=list(args), **kwargs)
+    return cpu.regs["rax"] - (1 << 64) if cpu.regs["rax"] >> 63 else cpu.regs["rax"]
+
+
+# -- expressions ------------------------------------------------------------------
+
+def test_return_constant():
+    assert run_c("long main() { return 42; }") == 42
+
+
+def test_arithmetic():
+    assert run_c("long main() { return 2 + 3 * 4 - 6 / 2; }") == 11
+
+
+def test_precedence_and_parens():
+    assert run_c("long main() { return (2 + 3) * 4; }") == 20
+
+
+def test_negative_and_bitops():
+    assert run_c("long main() { return -5 + (7 & 3) + (1 << 4) | 0; }") == 14
+
+
+def test_modulo_and_division_signed():
+    assert run_c("long main() { return 17 % 5 + 17 / 5; }") == 5
+    assert run_c("long main() { return -17 / 5; }") == -3  # C truncates
+
+
+def test_comparisons_yield_01():
+    assert run_c("long main() { return (3 < 5) + (5 < 3) + (4 == 4); }") == 2
+
+
+def test_logical_short_circuit():
+    source = """
+    long g;
+    long touch() { g = 1; return 1; }
+    long main() { g = 0; long r = 0 && touch(); return r * 10 + g; }
+    """
+    assert run_c(source) == 0  # touch never ran
+
+
+def test_shift_operators():
+    assert run_c("long main() { return (1 << 6) >> 2; }") == 16
+
+
+# -- variables, params, control flow -------------------------------------------------
+
+def test_params_and_locals():
+    source = """
+    long add3(long a, long b, long c) { long t = a + b; return t + c; }
+    long main(long x, long y) { return add3(x, y, 10); }
+    """
+    assert run_c(source, args=[3, 4]) == 17
+
+
+def test_if_else():
+    source = """
+    long main(long x) {
+        if (x > 10) return 1;
+        else if (x > 5) return 2;
+        return 3;
+    }
+    """
+    assert run_c(source, args=[20]) == 1
+    assert run_c(source, args=[7]) == 2
+    assert run_c(source, args=[1]) == 3
+
+
+def test_while_loop_sum():
+    source = """
+    long main(long n) {
+        long sum = 0;
+        while (n > 0) { sum = sum + n; n = n - 1; }
+        return sum;
+    }
+    """
+    assert run_c(source, args=[10]) == 55
+
+
+def test_for_loop_with_break_continue():
+    source = """
+    long main() {
+        long sum = 0;
+        for (long i = 0; i < 10; i = i + 1) {
+            if (i == 3) continue;
+            if (i == 7) break;
+            sum = sum + i;
+        }
+        return sum;
+    }
+    """
+    assert run_c(source) == 0 + 1 + 2 + 4 + 5 + 6
+
+
+def test_recursion_factorial():
+    source = """
+    long fact(long n) { if (n <= 1) return 1; return n * fact(n - 1); }
+    long main(long n) { return fact(n); }
+    """
+    assert run_c(source, args=[6]) == 720
+
+
+# -- memory: arrays, pointers, globals --------------------------------------------------
+
+def test_local_array():
+    source = """
+    long main() {
+        long a[4];
+        a[0] = 10; a[1] = 20; a[2] = 30; a[3] = 40;
+        return a[0] + a[3];
+    }
+    """
+    assert run_c(source) == 50
+
+
+def test_int_array_truncation():
+    source = """
+    long main() {
+        int a[2];
+        a[0] = 0x100000001;     /* truncates to 1 */
+        return a[0];
+    }
+    """
+    assert run_c(source) == 1
+
+
+def test_char_array():
+    source = """
+    long main() {
+        char buf[8];
+        buf[0] = 65; buf[1] = 66;
+        return buf[0] + buf[1];
+    }
+    """
+    assert run_c(source) == 131
+
+
+def test_pointers_and_addrof():
+    source = """
+    long main() {
+        long x = 5;
+        long* p = &x;
+        *p = *p + 37;
+        return x;
+    }
+    """
+    assert run_c(source) == 42
+
+
+def test_pointer_arithmetic_scaling():
+    source = """
+    long main() {
+        long a[3];
+        a[0] = 1; a[1] = 2; a[2] = 3;
+        long* p = a;
+        return *(p + 2);
+    }
+    """
+    assert run_c(source) == 3
+
+
+def test_globals_and_global_arrays():
+    source = """
+    long counter = 7;
+    long table[4] = {10, 20, 30, 40};
+    long main(long i) {
+        counter = counter + 1;
+        return table[i] + counter;
+    }
+    """
+    assert run_c(source, args=[2]) == 38
+
+
+def test_function_pointer_call():
+    source = """
+    long twice(long x) { return x * 2; }
+    long thrice(long x) { return x * 3; }
+    long apply(long f, long x) { return (*f)(x); }
+    long main(long which, long x) {
+        long f = twice;
+        if (which) f = thrice;
+        return apply(f, x);
+    }
+    """
+    assert run_c(source, args=[0, 10]) == 20
+    assert run_c(source, args=[1, 10]) == 30
+
+
+def test_switch_dense_jump_table():
+    source = """
+    long main(long x) {
+        switch (x) {
+            case 0: return 100;
+            case 1: return 101;
+            case 2: return 102;
+            case 3: return 103;
+            default: return 99;
+        }
+    }
+    """
+    binary = compile_source(source)
+    # Dense switch must emit a real jump table (an indirect jmp).
+    data = binary.section_at(binary.entry).data
+    assert b"\xff\xe0" in data  # jmp rax
+    for value, expected in [(0, 100), (1, 101), (2, 102), (3, 103), (9, 99)]:
+        assert run_c(source, args=[value]) == expected
+
+
+def test_switch_sparse_compare_chain():
+    source = """
+    long main(long x) {
+        switch (x) {
+            case 1: return 10;
+            case 1000: return 20;
+            default: return 0;
+        }
+    }
+    """
+    binary = compile_source(source)
+    assert b"\xff\xe0" not in binary.section_at(binary.entry).data
+    assert run_c(source, args=[1]) == 10
+    assert run_c(source, args=[1000]) == 20
+    assert run_c(source, args=[5]) == 0
+
+
+def test_extern_call():
+    source = """
+    extern long magic();
+    long main() { return magic() + 1; }
+    """
+    binary = compile_source(source)
+
+    def magic(cpu):
+        cpu.regs["rax"] = 41
+
+    cpu = run_binary(binary, extern_handlers={"magic": magic})
+    assert cpu.regs["rax"] == 42
+
+
+def test_parse_error_reported():
+    with pytest.raises(ParseError):
+        compile_source("long main( { return 0; }")
+
+
+# -- the compiled binaries lift cleanly ----------------------------------------------------
+
+LIFT_SOURCES = {
+    "arith": "long main(long x) { return x * 3 + 7; }",
+    "loop": """
+        long main(long n) {
+            long sum = 0;
+            for (long i = 0; i < n; i = i + 1) sum = sum + i;
+            return sum;
+        }
+    """,
+    "calls": """
+        long helper(long x) { return x + 1; }
+        long main(long x) { return helper(helper(x)); }
+    """,
+    "switch": """
+        long main(long x) {
+            long r = 0;
+            switch (x) {
+                case 0: r = 5; break;
+                case 1: r = 6; break;
+                case 2: r = 7; break;
+                case 3: r = 8; break;
+                default: r = 9;
+            }
+            return r;
+        }
+    """,
+    "array": """
+        long main(long n) {
+            long a[8];
+            for (long i = 0; i < 8; i = i + 1) a[i] = i * i;
+            if (n < 0) n = 0;
+            if (n > 7) n = 7;
+            return a[n];
+        }
+    """,
+}
+
+
+@pytest.mark.parametrize("name", sorted(LIFT_SOURCES))
+def test_compiled_binary_lifts(name):
+    binary = compile_source(LIFT_SOURCES[name], name=name)
+    result = lift(binary)
+    assert result.verified, [str(e) for e in result.errors]
+    assert result.stats.instructions > 0
+    assert result.stats.unresolved_jumps == 0
+
+
+def test_lift_covers_concrete_trace():
+    """Overapproximation: a concrete run's trace ⊆ lifted instructions."""
+    source = LIFT_SOURCES["switch"]
+    binary = compile_source(source)
+    result = lift(binary)
+    for arg in (0, 1, 2, 3, 50):
+        cpu = run_binary(binary, args=[arg])
+        assert set(cpu.trace) <= set(result.instructions)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    x=st.integers(min_value=-(1 << 30), max_value=1 << 30),
+    y=st.integers(min_value=-(1 << 30), max_value=1 << 30),
+)
+def test_prop_compiled_arith_matches_python(x, y):
+    source = """
+    long main(long x, long y) {
+        return (x + y) * 2 - (x & y) + (x ^ 5);
+    }
+    """
+    expected = (x + y) * 2 - (x & y) + (x ^ 5)
+    assert run_c(source, args=[x & ((1 << 64) - 1), y & ((1 << 64) - 1)]) == expected
+
+
+# -- stack-passed arguments (System V 7th+) ------------------------------------------
+
+def test_eight_arguments_direct_call():
+    source = """
+    long sum8(long a, long b, long c, long d, long e, long f, long g, long h) {
+        return a + b * 2 + c + d + e + f + g * 10 + h * 100;
+    }
+    long main(long x) {
+        return sum8(1, 2, 3, 4, 5, 6, 7, x);
+    }
+    """
+    assert run_c(source, args=[9]) == 1 + 4 + 3 + 4 + 5 + 6 + 70 + 900
+
+
+def test_eight_arguments_indirect_call():
+    source = """
+    long sum8(long a, long b, long c, long d, long e, long f, long g, long h) {
+        return a + b + c + d + e + f + g + h;
+    }
+    long main(long x) {
+        long fp = sum8;
+        return (*fp)(1, 2, 3, 4, 5, 6, 7, x);
+    }
+    """
+    assert run_c(source, args=[8]) == 36
+
+
+def test_eight_argument_function_lifts():
+    source = """
+    long sum8(long a, long b, long c, long d, long e, long f, long g, long h) {
+        return a + b + c + d + e + f + g + h;
+    }
+    long main(long x) {
+        return sum8(1, 2, 3, 4, 5, 6, 7, x);
+    }
+    """
+    binary = compile_source(source, name="args8")
+    result = lift(binary)
+    assert result.verified, [str(e) for e in result.errors]
+
+
+# -- the peephole optimizer (-O1) -----------------------------------------------------
+
+OPT_PROGRAMS = [
+    ("long main(long n) { long s = 0; s = s + n; return s; }", [0, 7, -3]),
+    ("""
+     long main(long n) {
+         long s = 0;
+         for (long i = 0; i < n; i = i + 1) { if (i > 3) s = s + i; }
+         return s;
+     }""", [0, 5, 12]),
+    ("""
+     long f(long x) { return x * 3; }
+     long main(long n) { return f(n) + f(n + 1); }""", [4, 10]),
+]
+
+
+@pytest.mark.parametrize("index", range(len(OPT_PROGRAMS)))
+def test_optimized_binary_behaves_identically(index):
+    source, inputs = OPT_PROGRAMS[index]
+    plain = compile_source(source, name="o0")
+    optimized = compile_source(source, name="o1", optimize=1)
+    for value in inputs:
+        a = run_binary(plain, args=[value & ((1 << 64) - 1)]).regs["rax"]
+        b = run_binary(optimized, args=[value & ((1 << 64) - 1)]).regs["rax"]
+        assert a == b, (source, value)
+
+
+def test_optimizer_shrinks_code():
+    source = OPT_PROGRAMS[1][0]
+    plain = compile_source(source, name="o0")
+    optimized = compile_source(source, name="o1", optimize=1)
+    size = lambda binary: len(binary.section_at(binary.entry).data)
+    assert size(optimized) < size(plain)
+
+
+def test_optimized_binary_lifts():
+    source = OPT_PROGRAMS[1][0]
+    optimized = compile_source(source, name="o1", optimize=1)
+    result = lift(optimized)
+    assert result.verified, [str(e) for e in result.errors]

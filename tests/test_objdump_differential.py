@@ -1,0 +1,113 @@
+"""Differential test: our encoder against the system binutils disassembler.
+
+If ``objdump`` is available, assemble a representative instruction set into
+an ELF, disassemble it with objdump, and compare mnemonic + operand shape
+instruction by instruction.  This pins our encoder to the real toolchain's
+reading of the bytes.
+"""
+
+from __future__ import annotations
+
+import re
+import shutil
+import subprocess
+
+import pytest
+
+from repro.elf import BinaryBuilder, save_binary
+from repro.isa import Imm, Mem, insn
+
+objdump = shutil.which("objdump")
+pytestmark = pytest.mark.skipif(objdump is None, reason="objdump not found")
+
+#: (our instruction, objdump mnemonic, operand substrings expected in order)
+CASES = [
+    (insn("push", "rbp"), "push", ["rbp"]),
+    (insn("mov", "rbp", "rsp"), "mov", ["rbp", "rsp"]),
+    (insn("sub", "rsp", Imm(0x20, 32)), "sub", ["rsp", "0x20"]),
+    (insn("mov", "eax", Imm(42, 32)), "mov", ["eax", "0x2a"]),
+    (insn("movabs", "rax", Imm(0x1122334455667788, 64)), "movabs",
+     ["rax", "0x1122334455667788"]),
+    (insn("mov", Mem(64, base="rbp", disp=-8), "rdi"), "mov",
+     ["rbp", "0x8", "rdi"]),
+    (insn("mov", "rax", Mem(64, base="rsp", index="rcx", scale=8, disp=16)),
+     "mov", ["rax", "rsp", "rcx", "8"]),
+    (insn("lea", "rax", Mem(64, base="rip", disp=0x100)), "lea", ["rax", "rip"]),
+    (insn("cmp", "eax", Imm(0xC3, 32)), "cmp", ["eax", "0xc3"]),
+    (insn("imul", "rax", "rdi"), "imul", ["rax", "rdi"]),
+    (insn("imul", "rax", "rbx", Imm(24, 32)), "imul", ["rax", "rbx", "0x18"]),
+    (insn("shl", "rax", Imm(4, 8)), "shl", ["rax", "0x4"]),
+    (insn("sar", "rcx", Imm(1, 8)), "sar", ["rcx"]),
+    (insn("shr", "rdx", "cl"), "shr", ["rdx", "cl"]),
+    (insn("test", "rdi", "rdi"), "test", ["rdi", "rdi"]),
+    (insn("movzx", "eax", "al"), "movzx", ["eax", "al"]),
+    (insn("movsx", "rax", "cl"), "movsx", ["rax", "cl"]),
+    (insn("movsxd", "rax", "edi"), "movsxd", ["rax", "edi"]),
+    (insn("cqo"), "cqo", []),
+    (insn("idiv", "rsi"), "idiv", ["rsi"]),
+    (insn("neg", "rax"), "neg", ["rax"]),
+    (insn("not", "rcx"), "not", ["rcx"]),
+    (insn("inc", "r10"), "inc", ["r10"]),
+    (insn("dec", Mem(64, base="rax")), "dec", ["rax"]),
+    (insn("xchg", "rbx", "rcx"), "xchg", ["rbx", "rcx"]),
+    (insn("sete", "al"), "sete", ["al"]),
+    (insn("cmovne", "rax", "rbx"), "cmovne", ["rax", "rbx"]),
+    (insn("call", "r10"), "call", ["r10"]),
+    (insn("jmp", Mem(64, base="rdi")), "jmp", ["rdi"]),
+    (insn("push", Imm(0x1000, 32)), "push", ["0x1000"]),
+    (insn("pop", "r12"), "pop", ["r12"]),
+    (insn("leave"), "leave", []),
+    (insn("ret"), "ret", []),
+    (insn("nop"), "nop", []),
+    (insn("ud2"), "ud2", []),
+    (insn("syscall"), "syscall", []),
+]
+
+
+@pytest.fixture(scope="module")
+def objdump_lines(tmp_path_factory):
+    builder = BinaryBuilder("differential")
+    builder.text.label("main")
+    for instruction, _, _ in CASES:
+        builder.text.emit(instruction.mnemonic, *instruction.operands)
+    binary = builder.build(entry="main")
+    path = tmp_path_factory.mktemp("objdump") / "differential.elf"
+    save_binary(binary, str(path))
+    output = subprocess.run(
+        [objdump, "-d", "-M", "intel", str(path)],
+        capture_output=True, text=True, check=True,
+    ).stdout
+    lines = []
+    for line in output.splitlines():
+        # Skip byte-only continuation lines (long encodings wrap); a real
+        # disassembly line ends with a mnemonic that has letters beyond the
+        # hex alphabet or known all-hex mnemonics followed by operands.
+        match = re.match(
+            r"\s*[0-9a-f]+:\s+(?:[0-9a-f]{2} )+\s*([a-z][a-z0-9]*\s*.*)$", line
+        )
+        if match:
+            text = match.group(1).strip()
+            if re.fullmatch(r"(?:[0-9a-f]{2}(?: |$))+", text):
+                continue  # pure bytes, wrapped encoding
+            lines.append(text)
+    return lines
+
+
+def test_objdump_agrees_on_instruction_count(objdump_lines):
+    assert len(objdump_lines) == len(CASES), objdump_lines
+
+
+@pytest.mark.parametrize("index", range(len(CASES)))
+def test_objdump_agrees_per_instruction(objdump_lines, index):
+    if len(objdump_lines) != len(CASES):
+        pytest.skip("count mismatch reported separately")
+    _, mnemonic, operand_bits = CASES[index]
+    line = objdump_lines[index]
+    got_mnemonic = line.split()[0]
+    assert got_mnemonic == mnemonic, f"{line!r}"
+    rest = line[len(got_mnemonic):]
+    position = 0
+    for bit in operand_bits:
+        found = rest.find(bit, position)
+        assert found >= 0, f"{bit!r} not in {line!r} after pos {position}"
+        position = found + len(bit)

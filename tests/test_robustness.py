@@ -1,0 +1,153 @@
+"""Robustness fuzzing: the decoder and interval machinery never lie.
+
+* Random bytes either decode to an instruction (whose re-encoding decodes
+  back to itself — decode∘encode is the identity on decoder outputs) or
+  raise DecodeError; nothing else.
+* Random clause sets: any concrete value satisfying all clauses lies in
+  the interval ``intersect_intervals`` derives (interval soundness,
+  including the signed two-pass logic).
+* Machine flag semantics at the overflow boundaries.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.expr import EvalEnv, const, var
+from repro.isa import DecodeError, decode, encode
+from repro.isa.encode import EncodeError
+from repro.pred.clause import Clause, intersect_intervals
+
+
+@settings(max_examples=600)
+@given(data=st.binary(min_size=1, max_size=16))
+def test_fuzz_decoder_total(data):
+    try:
+        instr = decode(data)
+    except DecodeError:
+        return
+    assert 1 <= instr.size <= len(data)
+    # Decoder outputs are canonical: re-encoding and re-decoding is stable.
+    try:
+        recoded = encode(instr)
+    except EncodeError:
+        # A decodable-but-not-encodable corner (e.g. redundant prefix
+        # forms); tolerated as long as decode itself was consistent.
+        return
+    again = decode(recoded)
+    assert again.mnemonic == instr.mnemonic
+    assert again.operands == instr.operands
+
+
+@settings(max_examples=600)
+@given(
+    data=st.binary(min_size=1, max_size=16),
+    offset=st.integers(min_value=0, max_value=15),
+)
+def test_fuzz_decoder_any_offset(data, offset):
+    """Mid-buffer decoding (the weird-edge path) never crashes."""
+    if offset >= len(data):
+        return
+    try:
+        instr = decode(data, offset)
+    except DecodeError:
+        return
+    assert instr.size >= 1
+
+
+X = var("x")
+
+clause_strategy = st.tuples(
+    st.sampled_from(["ltu", "leu", "gtu", "geu", "eq", "lts", "les",
+                     "gts", "ges", "ne"]),
+    st.integers(min_value=0, max_value=1 << 40),
+).map(lambda t: Clause(X, t[0], const(t[1]), 64))
+
+
+@settings(max_examples=500)
+@given(
+    clauses=st.lists(clause_strategy, min_size=0, max_size=4),
+    value=st.integers(min_value=0, max_value=(1 << 64) - 1),
+)
+def test_prop_interval_soundness(clauses, value):
+    """value ⊨ all clauses  ⇒  value ∈ intersect_intervals(x, clauses)."""
+    env = EvalEnv(variables={"x": value})
+    if not all(clause.holds(env) for clause in clauses):
+        return
+    interval = intersect_intervals(X, clauses)
+    assert interval.contains(value), (
+        f"{value:#x} satisfies {[str(c) for c in clauses]} but "
+        f"is outside [{interval.lo:#x}, {interval.hi:#x}]"
+    )
+
+
+# -- machine flag edge cases -------------------------------------------------------
+
+def _flags_after(mnemonic, a, b, width=64):
+    from repro.elf import BinaryBuilder
+    from repro.isa import Imm, insn
+    from repro.machine import CPU
+
+    builder = BinaryBuilder("flags")
+    builder.text.label("main")
+    builder.text.emit(mnemonic, "rax" if width == 64 else "eax", "rcx" if width == 64 else "ecx")
+    builder.text.emit("ret")
+    binary = builder.build(entry="main")
+    cpu = CPU(binary)
+    cpu.regs["rax"] = a & ((1 << 64) - 1)
+    cpu.regs["rcx"] = b & ((1 << 64) - 1)
+    cpu.step()
+    return dict(cpu.flags)
+
+
+def test_add_overflow_flag():
+    flags = _flags_after("add", (1 << 63) - 1, 1)   # INT_MAX + 1
+    assert flags["of"] == 1
+    assert flags["sf"] == 1
+    flags = _flags_after("add", 1, 1)
+    assert flags["of"] == 0
+
+
+def test_sub_borrow_flag():
+    flags = _flags_after("sub", 0, 1)
+    assert flags["cf"] == 1       # unsigned borrow
+    assert flags["zf"] == 0
+    flags = _flags_after("sub", 5, 5)
+    assert flags["zf"] == 1 and flags["cf"] == 0
+
+
+def test_cmp_signed_overflow():
+    # INT_MIN - 1 overflows: SF != OF => "less" is still correct.
+    flags = _flags_after("cmp", 1 << 63, 1)
+    assert flags["of"] == 1
+    assert (flags["sf"] ^ flags["of"]) == 1  # signed-less-than holds
+
+
+@settings(max_examples=300)
+@given(
+    a=st.integers(min_value=0, max_value=(1 << 64) - 1),
+    b=st.integers(min_value=0, max_value=(1 << 64) - 1),
+)
+def test_prop_machine_condition_consistency(a, b):
+    """Machine flags after cmp agree with direct comparisons for every
+    condition code the lifter models."""
+    from repro.elf import BinaryBuilder
+    from repro.machine import CPU
+    from repro.expr import to_signed
+
+    builder = BinaryBuilder("cc")
+    builder.text.label("main")
+    builder.text.emit("cmp", "rax", "rcx")
+    builder.text.emit("ret")
+    cpu = CPU(builder.build(entry="main"))
+    cpu.regs["rax"], cpu.regs["rcx"] = a, b
+    cpu.step()
+    sa, sb = to_signed(a, 64), to_signed(b, 64)
+    assert cpu.condition("e") == (a == b)
+    assert cpu.condition("b") == (a < b)
+    assert cpu.condition("a") == (a > b)
+    assert cpu.condition("l") == (sa < sb)
+    assert cpu.condition("ge") == (sa >= sb)
+    assert cpu.condition("le") == (sa <= sb)

@@ -1,0 +1,508 @@
+"""τ unit tests plus the Lemma 4.5 differential property against the CPU.
+
+The differential harness runs a concrete execution and checks that at every
+step, some symbolic successor is related (``R``) to the concrete next
+state: predicate holds, memory model holds.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.elf import BinaryBuilder
+from repro.expr import Const, Deref, EvalEnv, Var, const, simplify as s, var
+from repro.isa import Imm, Mem, Reg, insn
+from repro.machine import CPU, Memory
+from repro.memmodel import model_holds
+from repro.pred import Clause
+from repro.semantics import (
+    CallEvent,
+    LiftContext,
+    RetEvent,
+    SymState,
+    TerminalEvent,
+    UnknownWriteEvent,
+    initial_state,
+    step,
+)
+from repro.smt.solver import Region
+
+RSP0 = var("rsp0")
+RDI0 = var("rdi0")
+
+
+def make_binary(instructions=(), rodata=b""):
+    builder = BinaryBuilder("tau-test")
+    builder.text.label("main")
+    for instr in instructions:
+        builder.text.emit(instr.mnemonic, *instr.operands)
+    builder.text.emit("ret")
+    if rodata:
+        builder.rodata.raw(rodata)
+    return builder.build(entry="main")
+
+
+def run_tau(instructions, state=None, rodata=b""):
+    """Step the given instruction list symbolically; returns final states."""
+    binary = make_binary(instructions, rodata)
+    ctx = LiftContext(binary)
+    states = [state or initial_state(binary.entry, ret_symbol=Var("ret0"))]
+    addr = binary.entry
+    for _ in instructions:
+        instr = binary.fetch(addr)
+        next_states = []
+        for current in states:
+            for succ in step(current, instr, ctx):
+                next_states.append(succ.state)
+        states = next_states
+        addr = instr.end
+    return states, ctx
+
+
+# -- basic dataflow ---------------------------------------------------------------
+
+def test_mov_imm_sets_register():
+    states, _ = run_tau([insn("mov", "eax", Imm(42, 32))])
+    (state,) = states
+    assert state.pred.get_reg("rax") == const(42)
+
+
+def test_mov_reg_to_reg():
+    states, _ = run_tau([insn("mov", "rax", "rdi")])
+    (state,) = states
+    assert state.pred.get_reg("rax") == RDI0
+
+
+def test_add_and_flags():
+    states, _ = run_tau([
+        insn("mov", "rax", "rdi"),
+        insn("add", "rax", Imm(5, 32)),
+    ])
+    (state,) = states
+    assert state.pred.get_reg("rax") == s.add(RDI0, const(5))
+    assert state.pred.flags is not None and state.pred.flags.kind == "arith"
+
+
+def test_32bit_write_zero_extends():
+    states, _ = run_tau([
+        insn("movabs", "rax", Imm(0xFFFFFFFF_FFFFFFFF, 64)),
+        insn("mov", "eax", Imm(7, 32)),
+    ])
+    (state,) = states
+    assert state.pred.get_reg("rax") == const(7)
+
+
+def test_8bit_write_merges():
+    states, _ = run_tau([
+        insn("mov", "rax", Imm(0x1100, 32)),
+        insn("mov", "al", Imm(0x22, 8)),
+    ])
+    (state,) = states
+    assert state.pred.get_reg("rax") == const(0x1122)
+
+
+def test_rip_advances():
+    states, _ = run_tau([insn("nop")])
+    (state,) = states
+    rip = state.pred.rip
+    assert isinstance(rip, Const)
+
+
+def test_push_then_pop_restores():
+    states, _ = run_tau([insn("push", "rdi"), insn("pop", "rax")])
+    (state,) = states
+    assert state.pred.get_reg("rax") == RDI0
+    assert state.pred.get_reg("rsp") == RSP0
+
+
+def test_push_preserves_return_address_tracking():
+    states, _ = run_tau([insn("push", "rbp")])
+    (state,) = states
+    mem = state.pred.mem_dict()
+    assert mem[Region(RSP0, 8)] == Var("ret0")
+    assert mem[Region(s.sub(RSP0, const(8)), 8)] == Var("rbp0")
+
+
+def test_stack_store_load_roundtrip():
+    states, _ = run_tau([
+        insn("sub", "rsp", Imm(16, 32)),
+        insn("mov", Mem(64, base="rsp", disp=8), "rdi"),
+        insn("mov", "rax", Mem(64, base="rsp", disp=8)),
+        insn("add", "rsp", Imm(16, 32)),
+    ])
+    (state,) = states
+    assert state.pred.get_reg("rax") == RDI0
+    assert state.pred.get_reg("rsp") == RSP0
+
+
+def test_narrow_read_extracts_from_wide_store():
+    states, _ = run_tau([
+        insn("sub", "rsp", Imm(16, 32)),
+        insn("mov", Mem(64, base="rsp"), Imm(0x11223344, 32)),
+        insn("mov", "eax", Mem(32, base="rsp")),
+    ])
+    (state,) = states
+    assert state.pred.get_reg("rax") == const(0x11223344)
+
+
+def test_cmp_then_cond_jump_forks_with_clauses():
+    binary = make_binary([
+        insn("cmp", "rdi", Imm(10, 32)),
+        insn("ja", Imm(0x10, 32)),
+    ])
+    ctx = LiftContext(binary)
+    state = initial_state(binary.entry, Var("ret0"))
+    instr = binary.fetch(binary.entry)
+    (after_cmp,) = [x.state for x in step(state, instr, ctx)]
+    ja = binary.fetch(instr.end)
+    successors = step(after_cmp, ja, ctx)
+    assert len(successors) == 2
+    clauses = [succ.state.pred.clauses for succ in successors]
+    all_clauses = set().union(*clauses)
+    assert Clause(RDI0, "gtu", const(10), 64) in all_clauses
+    assert Clause(RDI0, "leu", const(10), 64) in all_clauses
+
+
+def test_infeasible_branch_pruned():
+    states, _ = run_tau([
+        insn("mov", "eax", Imm(5, 32)),
+        insn("cmp", "eax", Imm(5, 32)),
+        insn("je", Imm(4, 32)),
+    ])
+    # eax == 5 is trivially true: only the taken edge survives.
+    assert len(states) == 1
+    rip = states[0].pred.rip
+    assert isinstance(rip, Const)
+
+
+def test_rodata_read_resolves_to_constant():
+    from repro.elf import RODATA_BASE
+
+    states, _ = run_tau(
+        [insn("mov", "rax", Mem(64, disp=RODATA_BASE))],
+        rodata=(1234).to_bytes(8, "little"),
+    )
+    (state,) = states
+    assert state.pred.get_reg("rax") == const(1234)
+
+
+def test_unknown_register_read_gives_bottom():
+    state = SymState(
+        pred=initial_state(0x401000, Var("ret0")).pred.with_regs(
+            {"rip": const(0x401000), "rsp": RSP0}
+        ),
+        model=initial_state(0x401000).model,
+    )
+    binary = make_binary([insn("mov", "rax", "rbx")])
+    ctx = LiftContext(binary)
+    instr = binary.fetch(binary.entry)
+    (succ,) = step(state, instr, ctx)
+    assert succ.state.pred.get_reg("rax") is None
+
+
+def test_call_emits_event():
+    binary = make_binary([insn("call", Imm(0x100, 32))])
+    ctx = LiftContext(binary)
+    state = initial_state(binary.entry, Var("ret0"))
+    (succ,) = step(state, binary.fetch(binary.entry), ctx)
+    (event,) = succ.events
+    assert isinstance(event, CallEvent)
+    assert isinstance(event.target, Const)
+
+
+def test_ret_emits_event_with_return_symbol():
+    binary = make_binary([])
+    ctx = LiftContext(binary)
+    state = initial_state(binary.entry, Var("ret0"))
+    (succ,) = step(state, binary.fetch(binary.entry), ctx)
+    (event,) = succ.events
+    assert isinstance(event, RetEvent)
+    assert event.target == Var("ret0")
+    assert event.rsp_after == s.add(RSP0, const(8))
+
+
+def test_terminal_instructions():
+    for mnemonic in ("hlt", "ud2", "int3"):
+        binary = make_binary([insn(mnemonic)])
+        ctx = LiftContext(binary)
+        state = initial_state(binary.entry, Var("ret0"))
+        (succ,) = step(state, binary.fetch(binary.entry), ctx)
+        assert any(isinstance(e, TerminalEvent) for e in succ.events)
+
+
+def test_write_through_arg_pointer_keeps_return_address():
+    """mov [rdi], rax must not clobber the tracked return address (the
+    frame-privacy assumption makes them separate)."""
+    states, _ = run_tau([insn("mov", Mem(64, base="rdi"), "rsi")])
+    (state,) = states
+    assert state.pred.mem_dict()[Region(RSP0, 8)] == Var("ret0")
+    assert state.pred.mem_dict()[Region(RDI0, 8)] == Var("rsi0")
+
+
+def test_aliasing_fork_figure_1():
+    """Stores through rdi and rsi fork into aliasing/separate models with
+    different read results afterwards (the Section 2 phenomenon)."""
+    states, _ = run_tau([
+        insn("mov", Mem(32, base="rdi"), Imm(7, 32)),
+        insn("mov", Mem(32, base="rsi"), Imm(1, 32)),
+        insn("mov", "eax", Mem(32, base="rdi")),
+    ])
+    values = {state.pred.get_reg("rax") for state in states}
+    assert const(1) in values  # aliasing: second store wins
+    assert const(7) in values  # separate: first store intact
+
+
+def test_unknown_write_destroys_and_flags():
+    """A store through an unvalued register is an UnknownWriteEvent."""
+    pred = initial_state(0x401000, Var("ret0")).pred
+    regs = pred.reg_dict()
+    del regs["rbx"]
+    state = SymState(pred=pred.with_regs(regs), model=initial_state(0).model)
+    binary = make_binary([insn("mov", Mem(64, base="rbx"), "rax")])
+    ctx = LiftContext(binary)
+    (succ,) = step(state, binary.fetch(binary.entry), ctx)
+    assert any(isinstance(e, UnknownWriteEvent) for e in succ.events)
+    assert not succ.state.pred.mem  # all memory knowledge gone
+
+
+def test_leave_restores_frame():
+    states, _ = run_tau([
+        insn("push", "rbp"),
+        insn("mov", "rbp", "rsp"),
+        insn("sub", "rsp", Imm(32, 32)),
+        insn("leave"),
+    ])
+    (state,) = states
+    assert state.pred.get_reg("rsp") == RSP0
+    assert state.pred.get_reg("rbp") == Var("rbp0")
+
+
+def test_setcc_computes_condition_value():
+    states, _ = run_tau([
+        insn("cmp", "rdi", Imm(3, 32)),
+        insn("sete", "al"),
+    ])
+    (state,) = states
+    rax = state.pred.get_reg("rax")
+    assert rax is not None
+    env_eq = EvalEnv(variables={"rdi0": 3, "rax0": 0})
+    env_ne = EvalEnv(variables={"rdi0": 4, "rax0": 0})
+    from repro.expr import evaluate
+
+    assert evaluate(rax, env_eq) & 0xFF == 1
+    assert evaluate(rax, env_ne) & 0xFF == 0
+
+
+def test_division_after_cqo_is_precise():
+    states, _ = run_tau([
+        insn("mov", "rax", "rdi"),
+        insn("cqo"),
+        insn("idiv", "rsi"),
+    ])
+    (state,) = states
+    rax = state.pred.get_reg("rax")
+    assert rax is not None and not rax.__str__().startswith("havoc")
+    from repro.expr import evaluate
+
+    env = EvalEnv(variables={"rdi0": 100, "rsi0": 7})
+    assert evaluate(rax, env) == 14
+
+
+# -- Lemma 4.5 differential property ------------------------------------------------
+
+def _initial_env(cpu: CPU, binary) -> EvalEnv:
+    pristine = Memory(binary)
+    pristine.bytes = dict(cpu_initial_bytes)
+    variables = {f"{reg}0": value for reg, value in cpu.regs.items()}
+    variables["ret0"] = pristine.read(cpu.regs["rsp"], 8)
+    return EvalEnv(
+        variables=variables,
+        read_mem=lambda addr, size: pristine.read(addr, size),
+        registers=dict(cpu.regs),
+    )
+
+
+cpu_initial_bytes: dict[int, int] = {}
+
+
+def check_simulation(instructions, args, rodata=b""):
+    """Run concretely and symbolically in lockstep; assert R at every step."""
+    global cpu_initial_bytes
+    binary = make_binary(instructions, rodata)
+    cpu = CPU(binary)
+    for reg, value in zip(("rdi", "rsi", "rdx", "rcx"), args):
+        cpu.regs[reg] = value & ((1 << 64) - 1)
+    cpu_initial_bytes = dict(cpu.memory.bytes)
+    env = _initial_env(cpu, binary)
+
+    ctx = LiftContext(binary)
+    states = [initial_state(binary.entry, Var("ret0"))]
+    for _ in instructions:
+        instr = binary.fetch(cpu.rip)
+        cpu.execute(instr)
+        next_states = []
+        for state in states:
+            next_states += [x.state for x in step(state, instr, ctx)]
+        env.registers = {**cpu.regs, "rip": cpu.rip}
+        related = []
+        for state in next_states:
+            bindings = dict(env.variables)
+            _bind_unknowns(state, env, cpu, bindings)
+            probe = EvalEnv(bindings, env.read_mem, env.registers)
+            if state.pred.holds(probe, read_current=cpu.memory.read) and \
+                    model_holds(state.model, probe):
+                related.append(state)
+        assert related, f"no related symbolic state after {instr}"
+        states = related
+    return states
+
+
+def _bind_unknowns(state, env, cpu, bindings):
+    """Witness assignment for havoc/join variables: read them off the
+    concrete state when they value a register."""
+    for reg, value in state.pred.regs:
+        if isinstance(value, Var) and value.name not in bindings:
+            concrete = cpu.regs.get(reg) if reg != "rip" else cpu.rip
+            if concrete is not None:
+                bindings[value.name] = concrete
+
+
+def test_simulation_straightline_arith():
+    check_simulation(
+        [
+            insn("mov", "rax", "rdi"),
+            insn("add", "rax", "rsi"),
+            insn("xor", "rdx", "rdx"),
+            insn("sub", "rax", Imm(3, 32)),
+            insn("imul", "rax", "rax"),
+        ],
+        args=[11, 31],
+    )
+
+
+def test_simulation_stack_traffic():
+    check_simulation(
+        [
+            insn("push", "rbp"),
+            insn("mov", "rbp", "rsp"),
+            insn("sub", "rsp", Imm(32, 32)),
+            insn("mov", Mem(64, base="rbp", disp=-8), "rdi"),
+            insn("mov", Mem(32, base="rbp", disp=-16), Imm(77, 32)),
+            insn("mov", "rax", Mem(64, base="rbp", disp=-8)),
+            insn("mov", "ecx", Mem(32, base="rbp", disp=-16)),
+            insn("leave"),
+        ],
+        args=[123456],
+    )
+
+
+def test_simulation_branches():
+    check_simulation(
+        [
+            insn("cmp", "rdi", "rsi"),
+            insn("ja", Imm(1, 32)),   # skips one nop when rdi > rsi
+            insn("nop"),
+            insn("nop"),
+        ],
+        args=[5, 9],                   # not taken: cmp, ja, nop, nop
+    )
+    check_simulation(
+        [
+            insn("cmp", "rdi", "rsi"),
+            insn("ja", Imm(1, 32)),
+            insn("nop"),               # skipped on the taken path
+            insn("nop"),               # taken path: cmp, ja, nop, ret
+        ],
+        args=[9, 5],
+    )
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    a=st.integers(min_value=0, max_value=(1 << 63) - 1),
+    b=st.integers(min_value=0, max_value=(1 << 63) - 1),
+    imm=st.integers(min_value=-1000, max_value=1000),
+)
+def test_prop_simulation_random_arith(a, b, imm):
+    check_simulation(
+        [
+            insn("mov", "rax", "rdi"),
+            insn("add", "rax", Imm(imm, 32)),
+            insn("and", "rax", "rsi"),
+            insn("shl", "rax", Imm(3, 8)),
+            insn("or", "rax", Imm(1, 32)),
+        ],
+        args=[a, b],
+    )
+
+
+def test_simulation_setcc_cmov_division():
+    check_simulation(
+        [
+            insn("cmp", "rdi", "rsi"),
+            insn("setb", "al"),
+            insn("movzx", "eax", "al"),
+            insn("mov", "rcx", Imm(100, 32)),
+            insn("cmova", "rax", "rcx"),
+            insn("mov", "rax", "rdi"),
+            insn("cqo"),
+            insn("idiv", "rsi"),
+        ],
+        args=[1000, 7],
+    )
+
+
+def test_simulation_subregister_merges():
+    check_simulation(
+        [
+            insn("movabs", "rax", Imm(0x1122334455667788, 64)),
+            insn("mov", "al", Imm(0xFF, 8)),
+            insn("mov", "rdx", "rax"),
+            insn("mov", "eax", Imm(7, 32)),
+            insn("movzx", "ecx", "dl"),
+        ],
+        args=[],
+    )
+
+
+def test_simulation_string_ops():
+    check_simulation(
+        [
+            insn("push", "rdi"),          # make some known stack state
+            insn("pop", "rdi"),
+            insn("mov", "ecx", Imm(2, 32)),
+            insn("mov", "rsi", "rsp"),    # copy from the stack downward...
+            insn("sub", "rsp", Imm(32, 32)),
+            insn("mov", "rdi", "rsp"),
+            insn("rep_movsq"),            # ...into the new frame
+            insn("add", "rsp", Imm(32, 32)),
+        ],
+        args=[0x1234],
+    )
+
+
+def test_simulation_shift_by_cl():
+    check_simulation(
+        [
+            insn("mov", "rcx", Imm(5, 32)),
+            insn("mov", "rax", "rdi"),
+            insn("shl", "rax", Reg("cl")),
+            insn("sar", "rax", Imm(2, 8)),
+        ],
+        args=[0x40],
+    )
+
+
+def test_simulation_leave_frame():
+    check_simulation(
+        [
+            insn("push", "rbp"),
+            insn("mov", "rbp", "rsp"),
+            insn("sub", "rsp", Imm(48, 32)),
+            insn("mov", Mem(64, base="rbp", disp=-48), "rsi"),
+            insn("leave"),
+        ],
+        args=[5, 6],
+    )

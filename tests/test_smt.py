@@ -1,0 +1,256 @@
+"""Solver tests: linearization, intervals, and region-relation decisions.
+
+The key soundness property (hypothesis): whenever the solver *proves* a
+relation between regions with concrete addresses, the relation really holds
+of the concrete address ranges.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.expr import const, simplify as s, var
+from repro.smt import (
+    Interval,
+    NO_BOUNDS,
+    Region,
+    Relation,
+    decide_relation,
+    difference,
+    expr_interval,
+    from_width,
+    is_global_pointer,
+    is_stack_pointer,
+    linearize,
+    possible_relations,
+    singleton,
+)
+
+RSP0 = var("rsp0")
+RDI0 = var("rdi0")
+RSI0 = var("rsi0")
+
+
+# -- linear normal form --------------------------------------------------------
+
+def test_linearize_constant():
+    assert linearize(const(42)).const == 42
+    assert linearize(const(42)).is_const
+
+
+def test_linearize_sum():
+    expr = s.add(s.mul(RDI0, const(4)), s.add(RSP0, const(-16)))
+    linear = linearize(expr)
+    assert linear.term_dict() == {RDI0: 4, RSP0: 1}
+    assert linear.const == (-16) & ((1 << 64) - 1)
+
+
+def test_difference_cancels_common_base():
+    left = s.add(RSP0, const(-8))
+    right = s.add(RSP0, const(-16))
+    diff = difference(left, right)
+    assert diff.is_const and diff.const == 8
+
+
+# -- intervals -----------------------------------------------------------------
+
+def test_interval_basics():
+    iv = Interval(4, 10)
+    assert iv.contains(4) and iv.contains(10) and not iv.contains(11)
+    assert iv.intersect(Interval(8, 20)) == Interval(8, 10)
+    assert iv.intersect(Interval(11, 20)) is None
+    assert iv.union(Interval(0, 2)) == Interval(0, 10)
+
+
+def test_interval_scale_overflow_goes_top():
+    assert Interval(0, 1 << 62).scale(8).is_top
+
+
+def test_expr_interval_const_and_width():
+    assert expr_interval(const(7), NO_BOUNDS) == singleton(7)
+    byte_var = var("b", 8)
+    assert expr_interval(s.zext(byte_var, 64), NO_BOUNDS) == from_width(8)
+
+
+class _Bounds:
+    def __init__(self, table):
+        self.table = table
+
+    def interval_of(self, term):
+        return self.table.get(term)
+
+
+def test_expr_interval_uses_bounds_provider():
+    bounds = _Bounds({RDI0: Interval(0, 0xC3)})
+    scaled = s.mul(RDI0, const(4))
+    assert expr_interval(scaled, bounds) == Interval(0, 0xC3 * 4)
+    offset = s.add(scaled, const(0x1000))
+    assert expr_interval(offset, bounds) == Interval(0x1000, 0x1000 + 0xC3 * 4)
+
+
+# -- pointer classification ------------------------------------------------------
+
+def test_stack_and_global_classification():
+    assert is_stack_pointer(s.sub(RSP0, const(0x20)))
+    assert not is_stack_pointer(RDI0)
+    assert not is_stack_pointer(s.mul(RSP0, const(2)))
+    assert is_global_pointer(const(0x404000))
+    assert not is_global_pointer(RDI0)
+
+
+# -- necessary relations: constant differences ------------------------------------
+
+def region(base, offset, size):
+    return Region(s.add(base, const(offset)), size)
+
+
+def test_same_base_alias():
+    r0 = region(RSP0, -8, 8)
+    r1 = region(RSP0, -8, 8)
+    assert decide_relation(r0, r1).relation is Relation.ALIAS
+
+
+def test_same_base_separate():
+    r0 = region(RSP0, -8, 8)
+    r1 = region(RSP0, -16, 8)
+    assert decide_relation(r0, r1).relation is Relation.SEPARATE
+
+
+def test_same_base_enclosure():
+    outer = region(RSI0, 0, 8)
+    inner = region(RSI0, 4, 4)
+    assert decide_relation(inner, outer).relation is Relation.ENCLOSED
+    assert decide_relation(outer, inner).relation is Relation.ENCLOSES
+
+
+def test_same_base_partial_overlap_is_unknown_relation():
+    r0 = region(RSI0, 0, 8)
+    r1 = region(RSI0, 4, 8)  # genuinely partial
+    assert decide_relation(r0, r1).relation is None
+
+
+def test_global_regions_decide_numerically():
+    r0 = Region(const(0x404000), 8)
+    r1 = Region(const(0x404008), 8)
+    r2 = Region(const(0x404000), 4)
+    assert decide_relation(r0, r1).relation is Relation.SEPARATE
+    assert decide_relation(r2, r0).relation is Relation.ENCLOSED
+
+
+def test_stack_vs_global_assumed_separate():
+    stack = region(RSP0, -24, 8)
+    glob = Region(const(0x404000), 8)
+    decision = decide_relation(stack, glob)
+    assert decision.relation is Relation.SEPARATE
+    assert decision.assumptions
+    assert decision.assumptions[0].kind == "stack-global-separation"
+
+
+def test_unrelated_bases_are_unknown():
+    decision = decide_relation(region(RDI0, 0, 8), region(RSI0, 0, 8))
+    assert decision.relation is None
+    assert not decision.assumptions
+
+
+def test_bounded_index_proves_separation():
+    """[rsp0-0x100 + i*4, 4] with i <= 0x20 is separate from [rsp0+8, 8]."""
+    bounds = _Bounds({RDI0: Interval(0, 0x20)})
+    indexed = Region(
+        s.add(s.add(RSP0, const(-0x100)), s.mul(RDI0, const(4))), 4
+    )
+    ret_slot = region(RSP0, 0, 8)
+    # diff = ret_slot - indexed = 0x100 - 4i in [0x80, 0x100]: separate.
+    assert decide_relation(indexed, ret_slot, bounds).relation is Relation.SEPARATE
+
+
+def test_unbounded_index_is_unknown():
+    indexed = Region(
+        s.add(s.add(RSP0, const(-0x100)), s.mul(RDI0, const(4))), 4
+    )
+    ret_slot = region(RSP0, 0, 8)
+    assert decide_relation(indexed, ret_slot).relation is None
+
+
+# -- possible relations (forking) -------------------------------------------------
+
+def test_fork_same_size_alias_or_separate():
+    fork = possible_relations(region(RDI0, 0, 4), region(RSI0, 0, 4))
+    assert set(fork.relations) == {Relation.ALIAS, Relation.SEPARATE}
+    assert not fork.may_partial
+    assert any(a.kind == "alignment" for a in fork.assumptions)
+
+
+def test_fork_smaller_region_encloses_or_separate():
+    fork = possible_relations(region(RDI0, 0, 4), region(RSI0, 0, 8))
+    assert set(fork.relations) == {Relation.ENCLOSED, Relation.SEPARATE}
+
+
+def test_fork_odd_size_may_partially_overlap():
+    fork = possible_relations(Region(RDI0, 3), Region(RSI0, 8))
+    assert fork.may_partial
+
+
+def test_fork_alias_refuted_by_bounds():
+    """If the diff interval excludes 0, the alias case is dropped."""
+    bounds = _Bounds({RDI0: Interval(8, 16)})
+    r0 = Region(RSI0, 4)
+    r1 = Region(s.add(RSI0, RDI0), 4)
+    fork = possible_relations(r0, r1, bounds)
+    assert Relation.ALIAS not in fork.relations
+
+
+# -- hypothesis: decisions on concrete addresses are correct ----------------------
+
+@settings(max_examples=500)
+@given(
+    a0=st.integers(min_value=0, max_value=1 << 20),
+    a1=st.integers(min_value=0, max_value=1 << 20),
+    n0=st.sampled_from([1, 2, 4, 8, 16]),
+    n1=st.sampled_from([1, 2, 4, 8, 16]),
+)
+def test_prop_constant_decisions_sound(a0, a1, n0, n1):
+    r0 = Region(const(a0), n0)
+    r1 = Region(const(a1), n1)
+    relation = decide_relation(r0, r1).relation
+    s0 = set(range(a0, a0 + n0))
+    s1 = set(range(a1, a1 + n1))
+    if relation is Relation.ALIAS:
+        assert a0 == a1 and n0 == n1
+    elif relation is Relation.SEPARATE:
+        assert not (s0 & s1)
+    elif relation is Relation.ENCLOSED:
+        assert s0 <= s1
+    elif relation is Relation.ENCLOSES:
+        assert s1 <= s0
+    else:
+        # Unknown must mean genuine partial overlap for concrete regions.
+        assert (s0 & s1) and not (s0 <= s1) and not (s1 <= s0) and s0 != s1
+
+
+@settings(max_examples=300)
+@given(
+    off0=st.integers(min_value=-256, max_value=256),
+    off1=st.integers(min_value=-256, max_value=256),
+    n0=st.sampled_from([1, 2, 4, 8]),
+    n1=st.sampled_from([1, 2, 4, 8]),
+)
+def test_prop_same_base_decisions_sound(off0, off1, n0, n1):
+    """Same-symbolic-base regions: decision must match the concrete ranges."""
+    r0 = region(RSP0, off0, n0)
+    r1 = region(RSP0, off1, n1)
+    relation = decide_relation(r0, r1).relation
+    base = 1 << 32
+    s0 = set(range(base + off0, base + off0 + n0))
+    s1 = set(range(base + off1, base + off1 + n1))
+    if relation is Relation.ALIAS:
+        assert s0 == s1 and n0 == n1
+    elif relation is Relation.SEPARATE:
+        assert not (s0 & s1)
+    elif relation is Relation.ENCLOSED:
+        assert s0 <= s1
+    elif relation is Relation.ENCLOSES:
+        assert s1 <= s0
+    else:
+        assert (s0 & s1) and not (s0 <= s1) and not (s1 <= s0)

@@ -1,0 +1,206 @@
+"""String instructions (movs/stos/lods, rep variants): encode/decode,
+concrete semantics, symbolic semantics, and lifting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import lift
+from repro.elf import BinaryBuilder
+from repro.expr import Const, Var, const, simplify as s, var
+from repro.isa import Imm, Mem, decode, encode, insn
+from repro.machine import CPU
+from repro.semantics import LiftContext, initial_state, step
+from repro.smt.solver import Region
+
+
+# -- encode/decode ---------------------------------------------------------------
+
+@pytest.mark.parametrize("mnemonic,encoding", [
+    ("movsb", "a4"), ("movsq", "48a5"),
+    ("stosb", "aa"), ("stosq", "48ab"),
+    ("lodsb", "ac"), ("lodsq", "48ad"),
+    ("rep_movsb", "f3a4"), ("rep_movsq", "f348a5"),
+    ("rep_stosb", "f3aa"), ("rep_stosq", "f348ab"),
+])
+def test_string_op_roundtrip(mnemonic, encoding):
+    code = encode(insn(mnemonic))
+    assert code.hex() == encoding
+    decoded = decode(code)
+    assert decoded.mnemonic == mnemonic
+    assert decoded.size == len(code)
+
+
+# -- concrete machine ---------------------------------------------------------------
+
+def build(fill_text):
+    builder = BinaryBuilder("strops")
+    builder.text.label("main")
+    fill_text(builder.text)
+    builder.text.emit("ret")
+    return builder.build(entry="main")
+
+
+def test_rep_stosb_fills_memory():
+    binary = build(lambda t: t.emit("rep_stosb"))
+    cpu = CPU(binary)
+    cpu.regs["rdi"] = 0x500000
+    cpu.regs["rax"] = 0xAB
+    cpu.regs["rcx"] = 16
+    cpu.run(max_steps=10)
+    assert cpu.memory.read(0x500000, 8) == 0xABABABABABABABAB
+    assert cpu.regs["rcx"] == 0
+    assert cpu.regs["rdi"] == 0x500010
+
+
+def test_rep_movsq_copies_memory():
+    binary = build(lambda t: t.emit("rep_movsq"))
+    cpu = CPU(binary)
+    for i in range(4):
+        cpu.memory.write(0x500000 + 8 * i, 0x1000 + i, 8)
+    cpu.regs["rsi"] = 0x500000
+    cpu.regs["rdi"] = 0x600000
+    cpu.regs["rcx"] = 4
+    cpu.run(max_steps=10)
+    for i in range(4):
+        assert cpu.memory.read(0x600000 + 8 * i, 8) == 0x1000 + i
+    assert cpu.regs["rsi"] == 0x500020
+
+
+def test_lodsq_loads_rax():
+    binary = build(lambda t: t.emit("lodsq"))
+    cpu = CPU(binary)
+    cpu.memory.write(0x500000, 0xDEAD, 8)
+    cpu.regs["rsi"] = 0x500000
+    cpu.run(max_steps=10)
+    assert cpu.regs["rax"] == 0xDEAD
+    assert cpu.regs["rsi"] == 0x500008
+
+
+# -- symbolic semantics ----------------------------------------------------------------
+
+def sym_step(mnemonic, prepare=None):
+    binary = build(lambda t: t.emit(mnemonic))
+    ctx = LiftContext(binary)
+    state = initial_state(binary.entry, Var("ret0"))
+    if prepare:
+        state = prepare(state)
+    return step(state, binary.fetch(binary.entry), ctx), ctx
+
+
+def test_symbolic_stosq_tracks_write():
+    successors, _ = sym_step("stosq")
+    values = set()
+    for succ in successors:
+        mem = succ.state.pred.mem_dict()
+        assert mem.get(Region(var("rdi0"), 8)) == var("rax0")
+        assert succ.state.pred.get_reg("rdi") == s.add(var("rdi0"), const(8))
+    assert successors
+
+
+def test_symbolic_movsq_copies_value():
+    successors, _ = sym_step("movsq")
+    for succ in successors:
+        mem = succ.state.pred.mem_dict()
+        written = mem.get(Region(var("rdi0"), 8))
+        assert written is not None
+        assert succ.state.pred.get_reg("rsi") == s.add(var("rsi0"), const(8))
+
+
+def test_symbolic_rep_stosq_const_count_unrolls():
+    def prepare(state):
+        regs = state.pred.reg_dict()
+        regs["rcx"] = Const(3)
+        return state.with_pred(state.pred.with_regs(regs))
+
+    successors, _ = sym_step("rep_stosq", prepare)
+    for succ in successors:
+        mem = succ.state.pred.mem_dict()
+        for k in range(3):
+            key = Region(s.add(var("rdi0"), const(8 * k)), 8)
+            assert mem.get(key) == var("rax0"), f"missing element {k}"
+        assert succ.state.pred.get_reg("rcx") == Const(0)
+        assert succ.state.pred.get_reg("rdi") == s.add(var("rdi0"), const(24))
+
+
+def test_symbolic_rep_unbounded_keeps_return_address():
+    """An unbounded rep stosq through an external pointer must not clobber
+    the tracked return address (frame privacy), but must drop everything
+    it may touch."""
+    successors, _ = sym_step("rep_stosq")
+    for succ in successors:
+        mem = succ.state.pred.mem_dict()
+        assert mem.get(Region(var("rsp0"), 8)) == Var("ret0")
+        assert succ.state.pred.get_reg("rcx") == Const(0)
+
+
+# -- lifting ------------------------------------------------------------------------------
+
+def test_lift_inlined_memset():
+    """The compiler-inlined fixed-size memset shape lifts cleanly."""
+    builder = BinaryBuilder("memset_inline")
+    t = builder.text
+    t.label("main")
+    t.emit("push", "rbp")
+    t.emit("mov", "rbp", "rsp")
+    t.emit("mov", "rdi", "rsi")        # destination from caller
+    t.emit("mov", "eax", Imm(0, 32))
+    t.emit("mov", "ecx", Imm(8, 32))
+    t.emit("rep_stosq")                # memset(dst, 0, 64)
+    t.emit("pop", "rbp")
+    t.emit("ret")
+    result = lift(builder.build(entry="main"))
+    assert result.verified, [str(e) for e in result.errors]
+
+
+def test_lift_unbounded_memset_into_own_frame_rejects():
+    """rep stosb into the function's own frame with symbolic count can
+    smash the return address: the lift must reject."""
+    builder = BinaryBuilder("framesmash")
+    t = builder.text
+    t.label("main")
+    t.emit("sub", "rsp", Imm(32, 32))
+    t.emit("lea", "rdi", Mem(64, base="rsp"))
+    t.emit("mov", "rcx", "rdx")        # attacker-controlled count
+    t.emit("mov", "eax", Imm(0x41, 32))
+    t.emit("rep_stosb")
+    t.emit("add", "rsp", Imm(32, 32))
+    t.emit("ret")
+    result = lift(builder.build(entry="main"))
+    assert not result.verified
+
+
+def test_lift_bounded_memset_into_own_frame_ok():
+    """A count clamped below the frame size is provably safe."""
+    builder = BinaryBuilder("framesafe")
+    t = builder.text
+    t.label("main")
+    t.emit("sub", "rsp", Imm(32, 32))
+    t.emit("lea", "rdi", Mem(64, base="rsp"))
+    t.emit("mov", "ecx", Imm(4, 32))   # 4 qwords = exactly the buffer
+    t.emit("xor", "eax", "eax")
+    t.emit("rep_stosq")
+    t.emit("add", "rsp", Imm(32, 32))
+    t.emit("ret")
+    result = lift(builder.build(entry="main"))
+    assert result.verified, [str(e) for e in result.errors]
+
+
+def test_concrete_and_symbolic_agree_on_inlined_copy():
+    """Differential: rep_movsq binary behaves per the lifted overapprox."""
+    builder = BinaryBuilder("copy")
+    t = builder.text
+    t.label("main")
+    t.emit("mov", "ecx", Imm(2, 32))
+    t.emit("rep_movsq")
+    t.emit("ret")
+    binary = builder.build(entry="main")
+    result = lift(binary)
+    assert result.verified
+    cpu = CPU(binary)
+    cpu.memory.write(0x500000, 0x1234, 8)
+    cpu.memory.write(0x500008, 0x5678, 8)
+    cpu.regs["rsi"], cpu.regs["rdi"] = 0x500000, 0x600000
+    cpu.run(max_steps=20)
+    assert cpu.memory.read(0x600008, 8) == 0x5678
+    assert set(cpu.trace) <= set(result.instructions)

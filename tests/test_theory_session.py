@@ -1,0 +1,59 @@
+"""Isabelle session export: base theory, per-binary theories, ROOT file."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro import lift
+from repro.export import base_theory, export_session, session_root
+from repro.minicc import compile_source
+
+
+def test_base_theory_structure():
+    text = base_theory()
+    assert text.startswith("theory X86_Semantics")
+    assert text.rstrip().endswith("end")
+    for definition in ("read_mem", "write_mem", "sep", "enc",
+                       "udiv64", "step_at", "x86_symbolic_execution"):
+        assert definition in text, definition
+
+
+def test_session_root_lists_theories():
+    text = session_root(["HG_a", "HG_b"])
+    assert "session HoareGraphs" in text
+    assert "X86_Semantics" in text
+    assert "HG_a" in text and "HG_b" in text
+
+
+def test_export_session_writes_files(tmp_path):
+    results = {
+        "alpha": lift(compile_source(
+            "long main() { return 1; }", name="alpha")),
+        "beta": lift(compile_source(
+            "long main(long x) { if (x > 0) return x; return 0; }",
+            name="beta")),
+    }
+    written = export_session(results, str(tmp_path))
+    names = {os.path.basename(path) for path in written}
+    assert names == {"X86_Semantics.thy", "HG_alpha.thy", "HG_beta.thy", "ROOT"}
+    alpha = (tmp_path / "HG_alpha.thy").read_text()
+    assert alpha.startswith("theory HG_alpha")
+    assert "imports X86_Semantics" in alpha
+    root = (tmp_path / "ROOT").read_text()
+    assert "HG_alpha" in root and "HG_beta" in root
+
+
+def test_exported_theories_have_balanced_blocks(tmp_path):
+    result = lift(compile_source(
+        "long main(long x) { long s = 0; while (x > 0) "
+        "{ s = s + x; x = x - 1; } return s; }", name="loopy"))
+    written = export_session({"loopy": result}, str(tmp_path))
+    for path in written:
+        if not path.endswith(".thy"):
+            continue
+        text = open(path).read()
+        # every `theory` opens one block closed by the final `end`
+        assert text.count("\nbegin") + text.count(" begin") >= 1
+        assert text.rstrip().endswith("end")

@@ -1,0 +1,207 @@
+"""Unit tests for helper APIs: registers, resolve, call policy, symbolic
+memory access, state joins."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.elf import BinaryBuilder
+from repro.expr import Const, Deref, Var, const, simplify as s, var
+from repro.isa import Imm, Mem, insn
+from repro.isa.registers import (
+    CALLEE_SAVED,
+    family_of,
+    is_register,
+    reg_name,
+    reg_number,
+    reg_width,
+    with_width,
+)
+from repro.hoare.calls import (
+    after_call_state,
+    call_obligation,
+    callee_initial_state,
+    is_concurrency_external,
+    is_terminating_external,
+)
+from repro.hoare.resolve import (
+    is_return_symbol,
+    resolve_rip,
+    return_symbol,
+    symbol_entry,
+)
+from repro.semantics import (
+    LiftContext,
+    havoc_non_stack,
+    initial_state,
+    join_states,
+    read_region,
+    write_region,
+)
+from repro.semantics.state import states_equal
+from repro.smt.solver import Region
+
+
+# -- registers -------------------------------------------------------------------
+
+def test_register_tables_roundtrip():
+    for name in ("rax", "eax", "ax", "al", "r13", "r13d", "r13w", "r13b"):
+        assert is_register(name)
+        number, width = reg_number(name), reg_width(name)
+        assert reg_name(number, width) == name
+    assert not is_register("xmm0")
+    assert family_of("r9d") == "r9"
+    assert with_width("rdx", 8) == "dl"
+    assert len(CALLEE_SAVED) == 6
+
+
+# -- return symbols ----------------------------------------------------------------
+
+def test_return_symbols():
+    symbol = return_symbol(0x401234)
+    assert is_return_symbol(symbol)
+    assert symbol_entry(symbol) == 0x401234
+    assert not is_return_symbol(var("rdi0"))
+
+
+def dummy_binary():
+    builder = BinaryBuilder("dummy")
+    builder.text.label("main")
+    builder.text.emit("ret")
+    builder.rodata.label("table")
+    builder.rodata.quad(0x401000)
+    builder.rodata.quad(0x401000)
+    return builder.build(entry="main")
+
+
+def test_resolve_const():
+    binary = dummy_binary()
+    resolution = resolve_rip(const(0x401000), None, binary)
+    assert resolution.kind == "targets" and resolution.targets == [0x401000]
+
+
+def test_resolve_return_symbol():
+    binary = dummy_binary()
+    resolution = resolve_rip(return_symbol(0x401000), None, binary)
+    assert resolution.kind == "return"
+
+
+def test_resolve_fixed_pointer_load():
+    from repro.elf import RODATA_BASE
+
+    binary = dummy_binary()
+    rip = Deref(const(RODATA_BASE), 8)
+    state = initial_state(binary.entry, return_symbol(binary.entry))
+    resolution = resolve_rip(rip, state.pred, binary)
+    assert resolution.kind == "targets"
+    assert resolution.targets == [0x401000]
+
+
+def test_resolve_unbounded_is_unresolved():
+    binary = dummy_binary()
+    state = initial_state(binary.entry, return_symbol(binary.entry))
+    resolution = resolve_rip(var("rdi0"), state.pred, binary)
+    assert resolution.kind == "unresolved"
+
+
+# -- call policy ----------------------------------------------------------------------
+
+def test_terminating_and_concurrency_classification():
+    assert is_terminating_external("exit")
+    assert is_terminating_external("__stack_chk_fail")
+    assert not is_terminating_external("malloc")
+    assert is_concurrency_external("pthread_create")
+    assert not is_concurrency_external("pthread_exit")  # terminating instead
+    assert not is_concurrency_external("printf")
+
+
+def test_callee_initial_state_shape():
+    state = callee_initial_state(0x402000)
+    assert state.rip == 0x402000
+    assert state.pred.get_reg("rsp") == var("rsp0")
+    assert state.pred.mem_dict()[Region(var("rsp0"), 8)] == \
+        return_symbol(0x402000)
+
+
+def test_after_call_state_cleans():
+    ctx = LiftContext(dummy_binary())
+    state = callee_initial_state(0x401000)
+    continuation = after_call_state(state, 0x401010, ctx)
+    pred = continuation.pred
+    # Callee-saved survive; caller-saved are gone; rax is a fresh value.
+    assert pred.get_reg("rbx") == var("rbx0")
+    assert pred.get_reg("r15") == var("r150")
+    assert pred.get_reg("rdi") is None
+    rax = pred.get_reg("rax")
+    assert rax is not None and rax != var("rax0")
+    assert pred.rip == Const(0x401010)
+    assert continuation.epoch == 1
+    assert not continuation.reachable  # parked until the callee returns
+
+
+def test_call_obligation_lists_frame_regions():
+    state = callee_initial_state(0x401000)
+    obligation = call_obligation(state, 0x401008, "memcpy")
+    assert obligation.callee == "memcpy"
+    assert any("RSP0" in span for span in obligation.preserve)
+
+
+# -- symbolic memory access ---------------------------------------------------------------
+
+def make_ctx_state():
+    binary = dummy_binary()
+    ctx = LiftContext(binary)
+    state = initial_state(binary.entry, return_symbol(binary.entry))
+    return ctx, state
+
+
+def test_write_then_read_region():
+    ctx, state = make_ctx_state()
+    region = Region(s.sub(var("rsp0"), const(16)), 8)
+    pred = write_region(state, region, const(77), ctx)
+    state = state.with_pred(pred)
+    assert read_region(state, region, ctx) == const(77)
+
+
+def test_read_unwritten_stack_is_initial_deref():
+    ctx, state = make_ctx_state()
+    region = Region(s.sub(var("rsp0"), const(64)), 8)
+    value = read_region(state, region, ctx)
+    assert value == Deref(region.addr, 8)
+
+
+def test_read_after_havoc_is_fresh():
+    ctx, state = make_ctx_state()
+    heap = Region(var("rdi0"), 8)
+    havocked = havoc_non_stack(state, ctx)
+    first = read_region(havocked, heap, ctx)
+    second = read_region(havocked, heap, ctx)
+    assert isinstance(first, Var) and isinstance(second, Var)
+    assert first != second  # no false equality between epochs
+
+
+def test_havoc_preserves_stack_valuations():
+    ctx, state = make_ctx_state()
+    slot = Region(s.sub(var("rsp0"), const(8)), 8)
+    state = state.with_pred(write_region(state, slot, const(5), ctx))
+    havocked = havoc_non_stack(state, ctx)
+    assert havocked.pred.mem_dict()[slot] == const(5)
+    assert havocked.epoch == 1
+
+
+# -- joins -------------------------------------------------------------------------------------
+
+def test_join_states_is_identity_on_equal():
+    _, state = make_ctx_state()
+    joined = join_states(state, state, state.rip)
+    assert states_equal(joined, state)
+
+
+def test_join_states_merges_epoch_and_reachability():
+    _, state = make_ctx_state()
+    tainted = havoc_non_stack(state, LiftContext(dummy_binary()))
+    joined = join_states(state, tainted, state.rip)
+    assert joined.epoch == 1
+    parked = state.mark_reachable(False)
+    joined2 = join_states(parked, state, state.rip)
+    assert joined2.reachable

@@ -1,0 +1,70 @@
+"""repro.verify: the first-class sanity-property API."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.corpus import buffer_overflow, ret2win
+from repro.minicc import compile_source
+from repro.verify import verify_binary, verify_function
+
+
+def test_clean_binary_all_properties_hold():
+    binary = compile_source(
+        "long main(long x) { if (x < 0) x = 0; return x * 2; }", name="clean")
+    report = verify_binary(binary)
+    assert report.all_hold
+    assert report.return_address_integrity.holds
+    assert report.bounded_control_flow.holds
+    assert report.calling_convention.holds
+
+
+def test_overflow_binary_fails_return_address():
+    report = verify_binary(buffer_overflow())
+    assert not report.all_hold
+    assert not report.return_address_integrity.holds
+    assert report.return_address_integrity.details
+
+
+def test_clobbered_register_fails_calling_convention():
+    from repro.elf import BinaryBuilder
+    from repro.isa import Imm
+
+    builder = BinaryBuilder("clobber")
+    builder.text.label("main")
+    builder.text.emit("mov", "rbx", Imm(0, 32))
+    builder.text.emit("ret")
+    report = verify_binary(builder.build(entry="main"))
+    assert not report.calling_convention.holds
+
+
+def test_callback_fails_bounded_control_flow_only():
+    source = """
+    long invoke(long fp, long x) {
+        if (fp == 0) return 0;
+        return (*fp)(x);
+    }
+    """
+    binary = compile_source(source, name="cb", entry="invoke",
+                            export_labels=True)
+    report = verify_function(binary, "invoke")
+    assert report.return_address_integrity.holds
+    assert report.calling_convention.holds
+    assert not report.bounded_control_flow.holds
+    assert any("unresolved-call" in d
+               for d in report.bounded_control_flow.details)
+
+
+def test_obligations_surface_in_report():
+    report = verify_binary(ret2win())
+    assert report.all_hold
+    assert report.obligations
+    text = str(report)
+    assert "MUST PRESERVE" in text
+    assert "✔" in text
+
+
+def test_report_renders_failures():
+    report = verify_binary(buffer_overflow())
+    text = str(report)
+    assert "✘ return address integrity" in text
