@@ -9,7 +9,9 @@ Commands:
 * ``decompile`` — emit goto-style pseudo-C with obligation asserts;
 * ``export`` — write the Isabelle/HOL theory for the lifted binary;
 * ``check`` — replay every Hoare triple against the concrete emulator;
-* ``diff``  — lift two binaries (original, patched) and compare the HGs.
+* ``diff``  — lift two binaries (original, patched) and compare the HGs;
+* ``lint``  — run the dataflow lint rules; exit 0 = clean, 1 = findings
+  (error/warning severity), 2 = could not load or lift at all.
 """
 
 from __future__ import annotations
@@ -54,7 +56,7 @@ def main(argv=None) -> int:
                     "(PLDI 2022 reproduction).",
     )
     parser.add_argument("command", choices=["lift", "disasm", "cfg", "decompile",
-                                            "export", "check", "diff"])
+                                            "export", "check", "diff", "lint"])
     parser.add_argument("binary", help="path to an ELF binary")
     parser.add_argument("patched", nargs="?",
                         help="second binary (diff command only)")
@@ -64,7 +66,26 @@ def main(argv=None) -> int:
     parser.add_argument("--timeout", type=float, default=None,
                         help="wall-clock budget in seconds")
     parser.add_argument("--output", "-o", help="output file (cfg/export)")
+    parser.add_argument("--json", action="store_true",
+                        help="emit the lint report as SARIF-lite JSON")
+    parser.add_argument("--rule", action="append", dest="rules", metavar="ID",
+                        help="run only this lint rule (repeatable)")
     args = parser.parse_args(argv)
+
+    if args.command == "lint":
+        from repro.analysis import render_json, render_text, run_lint
+
+        try:
+            result = _load_and_lift(args)
+            report = run_lint(result, rules=args.rules)
+        except KeyError as exc:
+            print(f"error: unknown lint rule {exc.args[0]!r}", file=sys.stderr)
+            return 2
+        except (OSError, ValueError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        print(render_json(report) if args.json else render_text(report))
+        return report.exit_code
 
     if args.command == "diff":
         if not args.patched:

@@ -1,0 +1,63 @@
+"""Dataflow analyses and binary linting over the verified Hoare graph.
+
+Layers, bottom-up:
+
+* :mod:`repro.analysis.cfgview` — per-function views of the derived CFG.
+* :mod:`repro.analysis.engine` — the generic worklist fixpoint engine.
+* :mod:`repro.analysis.context` — shared lift result + memoized τ-probed
+  def/use summaries (:mod:`repro.semantics.defuse`).
+* :mod:`repro.analysis.liveness` / :mod:`~repro.analysis.reaching` /
+  :mod:`~repro.analysis.stack` — the concrete analyses; the stack-height
+  pass independently re-derives the paper's ``rsp = RSP0 + 8`` return
+  invariant.
+* :mod:`repro.analysis.lint` / :mod:`~repro.analysis.rules` /
+  :mod:`~repro.analysis.render` — the lint engine, builtin rules, and
+  text/SARIF output (``python -m repro lint``).
+"""
+
+from repro.analysis.cfgview import FunctionView, function_views
+from repro.analysis.context import AnalysisContext
+from repro.analysis.engine import Dataflow, Solution, solve
+from repro.analysis.lint import (
+    Diagnostic,
+    LintReport,
+    all_rules,
+    lift_diagnostics,
+    register_rule,
+    run_lint,
+)
+from repro.analysis.liveness import live_after, solve_liveness
+from repro.analysis.reaching import reaching_before, solve_reaching
+from repro.analysis.render import render_json, render_text, to_sarif
+from repro.analysis.stack import (
+    RetCheck,
+    return_heights,
+    rsp_invariant_holds,
+    solve_stack,
+)
+
+__all__ = [
+    "AnalysisContext",
+    "Dataflow",
+    "Diagnostic",
+    "FunctionView",
+    "LintReport",
+    "RetCheck",
+    "Solution",
+    "all_rules",
+    "function_views",
+    "lift_diagnostics",
+    "live_after",
+    "reaching_before",
+    "register_rule",
+    "render_json",
+    "render_text",
+    "return_heights",
+    "rsp_invariant_holds",
+    "run_lint",
+    "solve",
+    "solve_liveness",
+    "solve_reaching",
+    "solve_stack",
+    "to_sarif",
+]

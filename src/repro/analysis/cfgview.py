@@ -1,0 +1,79 @@
+"""Per-function views over the verified CFG.
+
+Dataflow analyses are function-local: a :class:`FunctionView` restricts the
+CFG to one function partition and rewires call sites the way the lifter's
+calling convention justifies — a block ending in ``call`` flows to its
+fall-through continuation only (the callee runs under its own contract and
+restores the stack), never into the callee's entry block.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.hoare.cfg import CFG, build_cfg
+from repro.hoare.lifter import LiftResult
+from repro.isa import Instruction
+
+
+@dataclass
+class FunctionView:
+    """One function's blocks, intra-function edges, and instruction lists."""
+
+    entry: int
+    blocks: tuple[int, ...]                     # leaders, sorted
+    succs: dict[int, tuple[int, ...]] = field(default_factory=dict)
+    preds: dict[int, tuple[int, ...]] = field(default_factory=dict)
+    instrs: dict[int, list[Instruction]] = field(default_factory=dict)
+    rets: frozenset[int] = frozenset()          # blocks returning to caller
+    exits: frozenset[int] = frozenset()         # blocks terminating the program
+
+    def terminator(self, leader: int) -> Instruction | None:
+        """The last decoded instruction of a block (None if undecoded)."""
+        instrs = self.instrs.get(leader, [])
+        return instrs[-1] if instrs else None
+
+    def exit_blocks(self) -> tuple[int, ...]:
+        """Blocks where function-local dataflow leaves the function: return
+        and terminal blocks, plus any block with no intra-function successor
+        (e.g. an unresolved indirect jump cut off by an annotation)."""
+        out = set(self.rets) | set(self.exits)
+        for leader in self.blocks:
+            if not self.succs.get(leader):
+                out.add(leader)
+        return tuple(sorted(out))
+
+
+def function_views(result: LiftResult, cfg: CFG | None = None) -> list[FunctionView]:
+    """Split the CFG into per-function views (see module docstring)."""
+    if cfg is None:
+        cfg = build_cfg(result)
+    succ_map = cfg.successor_map()
+    views: list[FunctionView] = []
+    for entry, members in sorted(cfg.functions.items()):
+        blocks = tuple(sorted(members & set(cfg.blocks)))
+        member_set = set(blocks)
+        succs: dict[int, tuple[int, ...]] = {}
+        instrs: dict[int, list[Instruction]] = {}
+        for leader in blocks:
+            instrs[leader] = cfg.instructions_of(leader, result)
+            last = instrs[leader][-1] if instrs[leader] else None
+            targets = [t for t in succ_map.get(leader, ()) if t in member_set]
+            if last is not None and last.mnemonic == "call":
+                # Only the fall-through continuation is function-local.
+                targets = [t for t in targets if t == last.end]
+            succs[leader] = tuple(sorted(targets))
+        preds: dict[int, set[int]] = {leader: set() for leader in blocks}
+        for src, dsts in succs.items():
+            for dst in dsts:
+                preds[dst].add(src)
+        views.append(FunctionView(
+            entry=entry,
+            blocks=blocks,
+            succs=succs,
+            preds={leader: tuple(sorted(ps)) for leader, ps in preds.items()},
+            instrs=instrs,
+            rets=frozenset(b for b in blocks if b in cfg.returns),
+            exits=frozenset(b for b in blocks if b in cfg.exits),
+        ))
+    return views

@@ -1,0 +1,49 @@
+"""The shared analysis context: one lift result, its CFG, function views,
+and a memoized def/use oracle with a conservative fallback.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import cached_property
+
+from repro.hoare.cfg import CFG, build_cfg
+from repro.hoare.lifter import LiftResult
+from repro.isa import Instruction
+from repro.semantics import DefUse, UnsupportedInstruction, def_use
+from repro.analysis.cfgview import FunctionView, function_views
+
+
+@dataclass
+class AnalysisContext:
+    """Everything a pass needs about one lifted binary."""
+
+    result: LiftResult
+    _defuse: dict[int, DefUse] = field(default_factory=dict, repr=False)
+
+    @cached_property
+    def cfg(self) -> CFG:
+        return build_cfg(self.result)
+
+    @cached_property
+    def views(self) -> list[FunctionView]:
+        return function_views(self.result, self.cfg)
+
+    def view_of(self, entry: int) -> FunctionView | None:
+        for view in self.views:
+            if view.entry == entry:
+                return view
+        return None
+
+    def def_use(self, instr: Instruction) -> DefUse:
+        """τ-derived effect summary; conservative top if τ cannot probe it."""
+        key = instr.addr if instr.addr is not None else id(instr)
+        cached = self._defuse.get(key)
+        if cached is not None:
+            return cached
+        try:
+            summary = def_use(instr)
+        except (UnsupportedInstruction, ValueError):
+            summary = DefUse.unknown()
+        self._defuse[key] = summary
+        return summary

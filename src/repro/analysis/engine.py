@@ -1,0 +1,173 @@
+"""The generic worklist dataflow engine.
+
+A :class:`Dataflow` problem supplies the lattice (bottom, join, optional
+widening) and a per-instruction transfer function; :func:`solve` iterates a
+worklist over one :class:`FunctionView` to the least fixpoint, applying the
+widening operator once a block has been re-joined more than ``widen_after``
+times (the same guard the lifter uses for its own interval hulls), and
+bailing out — flagged, never silently — if a pathological lattice still
+refuses to converge.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.analysis.cfgview import FunctionView
+from repro.isa import Instruction
+
+Value = Any
+Transfer = Callable[[Instruction, Value], Value]
+
+
+@dataclass
+class Dataflow:
+    """A dataflow problem: direction, lattice, transfer.
+
+    ``transfer(instr, value)`` maps the fact *before* an instruction to the
+    fact *after* it — in program order for forward problems, in reverse
+    program order for backward ones (i.e. backward transfer maps the fact
+    after the instruction to the fact before it).
+    """
+
+    direction: str                      # "forward" | "backward"
+    boundary: Value                     # fact at entry (fwd) / at exits (bwd)
+    bottom: Value
+    join: Callable[[Value, Value], Value]
+    transfer: Transfer
+    widen: Callable[[Value, Value], Value] | None = None
+    widen_after: int = 64
+
+    def __post_init__(self) -> None:
+        if self.direction not in ("forward", "backward"):
+            raise ValueError(f"bad direction: {self.direction!r}")
+
+
+@dataclass
+class Solution:
+    """Fixpoint facts per block.
+
+    ``entry``/``exit`` are always in *program order*: ``entry[b]`` is the
+    fact holding before the block's first instruction regardless of the
+    problem's direction."""
+
+    entry: dict[int, Value] = field(default_factory=dict)
+    exit: dict[int, Value] = field(default_factory=dict)
+    converged: bool = True
+    iterations: int = 0
+
+    def before_each(
+        self, view: FunctionView, problem: Dataflow, leader: int
+    ) -> list[tuple[Instruction, Value]]:
+        """Per-instruction facts inside one block: ``(instr, fact)`` pairs
+        where the fact holds *before* the instruction (program order)."""
+        instrs = view.instrs.get(leader, [])
+        if problem.direction == "forward":
+            value = self.entry.get(leader, problem.bottom)
+            out = []
+            for instr in instrs:
+                out.append((instr, value))
+                value = problem.transfer(instr, value)
+            return out
+        value = self.exit.get(leader, problem.bottom)
+        out = []
+        for instr in reversed(instrs):
+            value = problem.transfer(instr, value)
+            out.append((instr, value))
+        out.reverse()
+        return out
+
+    def after_each(
+        self, view: FunctionView, problem: Dataflow, leader: int
+    ) -> list[tuple[Instruction, Value]]:
+        """Per-instruction facts holding *after* each instruction."""
+        instrs = view.instrs.get(leader, [])
+        if problem.direction == "forward":
+            value = self.entry.get(leader, problem.bottom)
+            out = []
+            for instr in instrs:
+                value = problem.transfer(instr, value)
+                out.append((instr, value))
+            return out
+        value = self.exit.get(leader, problem.bottom)
+        out = []
+        for instr in reversed(instrs):
+            out.append((instr, value))
+            value = problem.transfer(instr, value)
+        out.reverse()
+        return out
+
+
+def _block_transfer(
+    view: FunctionView, problem: Dataflow, leader: int, value: Value
+) -> Value:
+    instrs = view.instrs.get(leader, [])
+    ordered = instrs if problem.direction == "forward" else reversed(instrs)
+    for instr in ordered:
+        value = problem.transfer(instr, value)
+    return value
+
+
+def solve(view: FunctionView, problem: Dataflow) -> Solution:
+    """Iterate *problem* over *view* to a fixpoint."""
+    forward = problem.direction == "forward"
+    if forward:
+        sources = (view.entry,)
+        edges_in = view.preds        # facts flow from these into a block
+        edges_out = view.succs
+    else:
+        sources = view.exit_blocks()
+        edges_in = view.succs
+        edges_out = view.preds
+
+    #: fact at the block's dataflow *input* (entry if forward, exit if not).
+    inputs: dict[int, Value] = {b: problem.bottom for b in view.blocks}
+    outputs: dict[int, Value] = {b: problem.bottom for b in view.blocks}
+    for block in sources:
+        if block in inputs:
+            inputs[block] = problem.boundary
+
+    worklist: deque[int] = deque(view.blocks)
+    queued = set(worklist)
+    visits: dict[int, int] = {}
+    iterations = 0
+    converged = True
+    hard_cap = max(1, len(view.blocks)) * max(problem.widen_after, 1) * 8
+
+    while worklist:
+        iterations += 1
+        if iterations > hard_cap:
+            converged = False
+            break
+        leader = worklist.popleft()
+        queued.discard(leader)
+
+        value = inputs[leader]
+        for pred in edges_in.get(leader, ()):
+            value = problem.join(value, outputs[pred])
+        if leader in (sources if not forward else ()):
+            value = problem.join(value, problem.boundary)
+        visits[leader] = visits.get(leader, 0) + 1
+        if visits[leader] > problem.widen_after and problem.widen is not None:
+            value = problem.widen(inputs[leader], value)
+        inputs[leader] = value
+
+        new_output = _block_transfer(view, problem, leader, value)
+        if new_output == outputs[leader] and visits[leader] > 1:
+            continue
+        outputs[leader] = new_output
+        for nxt in edges_out.get(leader, ()):
+            if nxt not in queued:
+                worklist.append(nxt)
+                queued.add(nxt)
+
+    solution = Solution(converged=converged, iterations=iterations)
+    if forward:
+        solution.entry = inputs
+        solution.exit = outputs
+    else:
+        solution.entry = outputs
+        solution.exit = inputs
+    return solution

@@ -1,0 +1,160 @@
+"""The lint engine: diagnostics, the rule registry, and the driver.
+
+Rules are plain callables ``(AnalysisContext) -> Iterable[Diagnostic]``
+registered under a stable rule id; :func:`run_lint` runs a selection of
+them over one lift result and folds in the lifter's own channels
+(verification errors and unsoundness annotations) so a *rejected* binary
+still produces a useful, machine-readable report.
+
+Exit-code semantics (used by ``python -m repro lint``): findings are
+diagnostics of ``error`` or ``warning`` severity — ``info`` notes never
+fail a run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable
+
+from repro.hoare.lifter import LiftResult
+from repro.analysis.context import AnalysisContext
+
+#: Severity names, most severe first (order is the sort/rank order).
+SEVERITIES = ("error", "warning", "info")
+
+_RANK = {name: index for index, name in enumerate(SEVERITIES)}
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding: rule id + severity + site + human-readable message."""
+
+    rule: str
+    severity: str
+    addr: int | None
+    message: str
+    function: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.severity not in _RANK:
+            raise ValueError(f"bad severity: {self.severity!r}")
+
+    @property
+    def site(self) -> str:
+        return "<binary>" if self.addr is None else f"{self.addr:#x}"
+
+    def __str__(self) -> str:
+        return f"{self.site}: {self.severity}: {self.message} [{self.rule}]"
+
+
+def _sort_key(diag: Diagnostic):
+    return (
+        diag.addr if diag.addr is not None else -1,
+        _RANK[diag.severity],
+        diag.rule,
+        diag.message,
+    )
+
+
+@dataclass
+class LintReport:
+    """All diagnostics for one binary, in deterministic order."""
+
+    name: str
+    diagnostics: list[Diagnostic]
+
+    @property
+    def findings(self) -> list[Diagnostic]:
+        """Diagnostics that fail a lint run (error or warning)."""
+        return [d for d in self.diagnostics if d.severity != "info"]
+
+    def counts(self) -> dict[str, int]:
+        out = {severity: 0 for severity in SEVERITIES}
+        for diag in self.diagnostics:
+            out[diag.severity] += 1
+        return out
+
+    @property
+    def exit_code(self) -> int:
+        return 1 if self.findings else 0
+
+    def by_rule(self, rule: str) -> list[Diagnostic]:
+        return [d for d in self.diagnostics if d.rule == rule]
+
+
+Rule = Callable[[AnalysisContext], Iterable[Diagnostic]]
+
+_REGISTRY: dict[str, Rule] = {}
+
+
+def register_rule(rule_id: str) -> Callable[[Rule], Rule]:
+    """Decorator: register a lint rule under a stable id."""
+
+    def install(fn: Rule) -> Rule:
+        if rule_id in _REGISTRY:
+            raise ValueError(f"duplicate rule id {rule_id!r}")
+        _REGISTRY[rule_id] = fn
+        return fn
+
+    return install
+
+
+def all_rules() -> dict[str, Rule]:
+    """The registered rules (importing the builtin set on first use)."""
+    import repro.analysis.rules  # noqa: F401  (registers builtin rules)
+
+    return dict(_REGISTRY)
+
+
+# -- the lifter's own channels, as diagnostics ---------------------------------
+
+#: Annotation kind -> severity.  Unresolved control flow is the paper's
+#: explicitly-marked unsoundness; decode failures end exploration.
+_ANNOTATION_SEVERITY = {
+    "unresolved-jump": "warning",
+    "unresolved-call": "warning",
+    "undecodable": "warning",
+    "unsupported": "warning",
+}
+
+
+def lift_diagnostics(result: LiftResult) -> list[Diagnostic]:
+    """Verification errors and annotations rendered as diagnostics."""
+    out: list[Diagnostic] = []
+    for error in result.errors:
+        out.append(Diagnostic(
+            rule=f"verify-{error.kind}",
+            severity="error",
+            addr=error.addr,
+            message=f"sanity property failed: {error.detail or error.kind}",
+        ))
+    for anno in result.annotations:
+        out.append(Diagnostic(
+            rule=f"lift-{anno.kind}",
+            severity=_ANNOTATION_SEVERITY.get(anno.kind, "warning"),
+            addr=anno.addr,
+            message=f"{anno.kind}: {anno.detail}" if anno.detail else anno.kind,
+        ))
+    return out
+
+
+def run_lint(
+    result: LiftResult,
+    rules: Iterable[str] | None = None,
+    include_lift: bool = True,
+) -> LintReport:
+    """Run lint rules over one lift result.
+
+    *rules* selects rule ids (default: all registered); unknown ids raise
+    ``KeyError`` so typos in ``--rule`` fail loudly rather than silently
+    passing."""
+    registry = all_rules()
+    selected = sorted(registry) if rules is None else list(rules)
+    ctx = AnalysisContext(result)
+    diagnostics: list[Diagnostic] = []
+    if include_lift:
+        diagnostics.extend(lift_diagnostics(result))
+    for rule_id in selected:
+        diagnostics.extend(registry[rule_id](ctx))
+    diagnostics.sort(key=_sort_key)
+    return LintReport(name=result.binary.name, diagnostics=diagnostics)

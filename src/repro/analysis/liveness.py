@@ -1,0 +1,76 @@
+"""Backward liveness of register families (plus the flags pseudo-register).
+
+The ABI boundary is deliberately conservative: at a return, ``rax`` (the
+result), ``rsp`` and every callee-saved register are live; a ``call`` uses
+all argument registers (we do not track arity) and defines the caller-saved
+set.  Over-approximating liveness can only *suppress* dead-store findings,
+never fabricate them.
+"""
+
+from __future__ import annotations
+
+from repro.isa import Instruction
+from repro.isa.registers import ARG_REGISTERS, CALLEE_SAVED, CALLER_SAVED
+from repro.analysis.cfgview import FunctionView
+from repro.analysis.context import AnalysisContext
+from repro.analysis.engine import Dataflow, Solution, solve
+
+#: Pseudo-register standing for the status flags in live sets.
+FLAGS = "flags"
+
+RETURN_LIVE = frozenset({"rax", "rsp"} | set(CALLEE_SAVED))
+CALL_DEFS = frozenset(set(CALLER_SAVED) | {FLAGS})
+CALL_USES = frozenset(set(ARG_REGISTERS) | {"rsp"})
+
+
+def instr_defs_uses(
+    ctx: AnalysisContext, instr: Instruction
+) -> tuple[frozenset[str], frozenset[str]]:
+    """(defs, uses) of one instruction including the ABI overlay for calls
+    and returns and the flags pseudo-register."""
+    du = ctx.def_use(instr)
+    defs = set(du.defs)
+    uses = set(du.uses)
+    if du.writes_flags:
+        defs.add(FLAGS)
+    if du.reads_flags:
+        uses.add(FLAGS)
+    if instr.mnemonic == "call":
+        defs |= CALL_DEFS
+        uses |= CALL_USES
+    elif instr.mnemonic == "ret":
+        uses |= RETURN_LIVE
+    return frozenset(defs), frozenset(uses)
+
+
+def liveness_problem(ctx: AnalysisContext) -> Dataflow:
+    def transfer(instr: Instruction, live: frozenset[str]) -> frozenset[str]:
+        defs, uses = instr_defs_uses(ctx, instr)
+        return (live - defs) | uses
+
+    return Dataflow(
+        direction="backward",
+        boundary=RETURN_LIVE,
+        bottom=frozenset(),
+        join=lambda a, b: a | b,
+        transfer=transfer,
+    )
+
+
+def solve_liveness(ctx: AnalysisContext, view: FunctionView) -> Solution:
+    return solve(view, liveness_problem(ctx))
+
+
+def live_after(
+    ctx: AnalysisContext, view: FunctionView, solution: Solution | None = None
+) -> dict[int, frozenset[str]]:
+    """Instruction address -> registers live immediately after it."""
+    if solution is None:
+        solution = solve_liveness(ctx, view)
+    problem = liveness_problem(ctx)
+    out: dict[int, frozenset[str]] = {}
+    for leader in view.blocks:
+        for instr, value in solution.after_each(view, problem, leader):
+            if instr.addr is not None:
+                out[instr.addr] = value
+    return out

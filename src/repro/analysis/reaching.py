@@ -1,0 +1,67 @@
+"""Forward reaching definitions over register families.
+
+A fact is a set of ``(family, site)`` pairs; ``site`` is the defining
+instruction's address, or :data:`ENTRY` for the value the function was
+entered with.  Calls define the caller-saved set (their sites point at the
+call), so values produced by callees are never confused with entry values.
+"""
+
+from __future__ import annotations
+
+from repro.isa import Instruction
+from repro.isa.registers import CALLER_SAVED, GPR64
+from repro.analysis.cfgview import FunctionView
+from repro.analysis.context import AnalysisContext
+from repro.analysis.engine import Dataflow, Solution, solve
+
+#: Definition site of values live-in at function entry.
+ENTRY = "entry"
+
+Def = tuple[str, object]            # (family, site: int | ENTRY)
+
+ENTRY_DEFS = frozenset((family, ENTRY) for family in GPR64)
+
+
+def instr_reg_defs(ctx: AnalysisContext, instr: Instruction) -> frozenset[str]:
+    """Register families *instr* defines, with the ABI overlay for calls."""
+    defs = set(ctx.def_use(instr).defs)
+    if instr.mnemonic == "call":
+        defs |= set(CALLER_SAVED)
+    return frozenset(defs)
+
+
+def reaching_problem(ctx: AnalysisContext) -> Dataflow:
+    def transfer(instr: Instruction, reach: frozenset[Def]) -> frozenset[Def]:
+        defs = instr_reg_defs(ctx, instr)
+        if not defs:
+            return reach
+        site = instr.addr
+        kept = frozenset(d for d in reach if d[0] not in defs)
+        return kept | frozenset((family, site) for family in defs)
+
+    return Dataflow(
+        direction="forward",
+        boundary=ENTRY_DEFS,
+        bottom=frozenset(),
+        join=lambda a, b: a | b,
+        transfer=transfer,
+    )
+
+
+def solve_reaching(ctx: AnalysisContext, view: FunctionView) -> Solution:
+    return solve(view, reaching_problem(ctx))
+
+
+def reaching_before(
+    ctx: AnalysisContext, view: FunctionView, solution: Solution | None = None
+) -> dict[int, frozenset[Def]]:
+    """Instruction address -> definitions reaching it."""
+    if solution is None:
+        solution = solve_reaching(ctx, view)
+    problem = reaching_problem(ctx)
+    out: dict[int, frozenset[Def]] = {}
+    for leader in view.blocks:
+        for instr, value in solution.before_each(view, problem, leader):
+            if instr.addr is not None:
+                out[instr.addr] = value
+    return out

@@ -1,0 +1,66 @@
+"""Rendering lint reports: plain text and SARIF-lite JSON.
+
+The JSON shape follows SARIF 2.1.0 closely enough for generic viewers
+(``runs[].tool.driver.rules`` + ``runs[].results``) while staying small:
+locations carry the instruction address rather than source regions, since
+the subject is a binary.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.analysis.lint import SEVERITIES, LintReport
+
+#: Diagnostic severity -> SARIF result level.
+_SARIF_LEVEL = {"error": "error", "warning": "warning", "info": "note"}
+
+
+def render_text(report: LintReport) -> str:
+    """One line per diagnostic plus a summary line."""
+    lines = [str(diag) for diag in report.diagnostics]
+    counts = report.counts()
+    summary = ", ".join(
+        f"{counts[severity]} {severity}" for severity in SEVERITIES
+    )
+    verdict = "clean" if not report.findings else "findings"
+    lines.append(f"{report.name}: {summary} ({verdict})")
+    return "\n".join(lines)
+
+
+def to_sarif(report: LintReport) -> dict:
+    """The report as a SARIF-lite dictionary (deterministic ordering)."""
+    rule_ids = sorted({diag.rule for diag in report.diagnostics})
+    results = []
+    for diag in report.diagnostics:
+        result: dict = {
+            "ruleId": diag.rule,
+            "level": _SARIF_LEVEL[diag.severity],
+            "message": {"text": diag.message},
+        }
+        if diag.addr is not None:
+            result["locations"] = [{
+                "physicalLocation": {
+                    "address": {"absoluteAddress": diag.addr},
+                },
+            }]
+        if diag.function is not None:
+            result["properties"] = {"function": diag.function}
+        results.append(result)
+    return {
+        "version": "2.1.0",
+        "runs": [{
+            "tool": {
+                "driver": {
+                    "name": "repro-lint",
+                    "rules": [{"id": rule_id} for rule_id in rule_ids],
+                },
+            },
+            "artifacts": [{"description": {"text": report.name}}],
+            "results": results,
+        }],
+    }
+
+
+def render_json(report: LintReport) -> str:
+    return json.dumps(to_sarif(report), indent=2)

@@ -1,0 +1,240 @@
+"""The builtin lint rules.
+
+Every rule consumes one :class:`AnalysisContext` and yields diagnostics;
+all of them are built on the τ-probed def/use summaries and the worklist
+analyses, so there is no second opinion about instruction behaviour — a
+semantics bug would surface identically in verification and in lint.
+"""
+
+from __future__ import annotations
+
+from repro.isa import Instruction
+from repro.isa.operands import Reg
+from repro.isa.registers import ARG_REGISTERS, CALLEE_SAVED, CALLER_SAVED
+from repro.analysis.context import AnalysisContext
+from repro.analysis.lint import Diagnostic, register_rule
+from repro.analysis.liveness import FLAGS, live_after
+from repro.analysis.reaching import ENTRY, reaching_before
+from repro.analysis.stack import resolve_offset, solve_stack, stack_problem
+
+#: SysV red zone: bytes below rsp a leaf function may use freely.
+RED_ZONE = 128
+
+#: Registers with no defined value at function entry under the SysV ABI:
+#: caller-saved, not an argument register.  A read of one of these before
+#: any write observes garbage.
+UNINITIALIZED_AT_ENTRY = frozenset(CALLER_SAVED) - frozenset(ARG_REGISTERS)
+
+
+def _is_zero_idiom(instr: Instruction) -> bool:
+    """``xor r, r`` / ``sub r, r``: reads of *r* do not observe its value."""
+    if instr.mnemonic not in ("xor", "sub", "sbb"):
+        return False
+    ops = instr.operands
+    return (
+        len(ops) == 2 and isinstance(ops[0], Reg) and ops[0] == ops[1]
+    )
+
+
+@register_rule("uninit-read")
+def uninit_read(ctx: AnalysisContext):
+    """Read of a register that may still hold its undefined entry value."""
+    for view in ctx.views:
+        reach = reaching_before(ctx, view)
+        for leader in view.blocks:
+            for instr in view.instrs.get(leader, []):
+                if instr.addr is None or _is_zero_idiom(instr):
+                    continue
+                at = reach.get(instr.addr, frozenset())
+                du = ctx.def_use(instr)
+                for family in sorted(du.uses & UNINITIALIZED_AT_ENTRY):
+                    if (family, ENTRY) in at:
+                        yield Diagnostic(
+                            rule="uninit-read",
+                            severity="error",
+                            addr=instr.addr,
+                            function=view.entry,
+                            message=(
+                                f"read of {family}, which is uninitialized at "
+                                f"function entry"
+                            ),
+                        )
+
+
+@register_rule("dead-store")
+def dead_store(ctx: AnalysisContext):
+    """A register write no path ever reads before the next write."""
+    for view in ctx.views:
+        live = live_after(ctx, view)
+        for leader in view.blocks:
+            for instr in view.instrs.get(leader, []):
+                if instr.addr is None:
+                    continue
+                if instr.mnemonic in ("call", "ret", "push", "pop", "nop"):
+                    continue
+                du = ctx.def_use(instr)
+                # rsp adjustments allocate/free stack; the "value" being
+                # unread (epilogues restore from rbp) does not make them dead.
+                defs = du.defs - {"rsp"}
+                if not defs or du.stores:
+                    continue
+                after = live.get(instr.addr, frozenset())
+                if any(family in after for family in defs):
+                    continue
+                if du.writes_flags and FLAGS in after:
+                    continue
+                names = ", ".join(sorted(defs))
+                yield Diagnostic(
+                    rule="dead-store",
+                    severity="warning",
+                    addr=instr.addr,
+                    function=view.entry,
+                    message=f"dead store: {names} written but never read",
+                )
+
+
+@register_rule("unreachable-block")
+def unreachable_block(ctx: AnalysisContext):
+    """A basic block belonging to no function partition."""
+    covered: set[int] = set()
+    for members in ctx.cfg.functions.values():
+        covered |= members
+    for leader in sorted(ctx.cfg.blocks):
+        if leader not in covered:
+            block = ctx.cfg.blocks[leader]
+            yield Diagnostic(
+                rule="unreachable-block",
+                severity="warning",
+                addr=leader,
+                message=(
+                    f"unreachable block of {len(block.addresses)} "
+                    f"instruction(s): no function entry flows here"
+                ),
+            )
+
+
+@register_rule("write-below-rsp")
+def write_below_rsp(ctx: AnalysisContext):
+    """An explicit store below the stack pointer.
+
+    Legal only in the 128-byte red zone of a *leaf* function: any call (or
+    signal) is free to clobber that memory, so in a function that calls out
+    this is flagged as a warning; in a leaf it is an informational note.
+    ``push`` never fires — its store lands exactly at the new rsp."""
+    problem = stack_problem(ctx)
+    for view in ctx.views:
+        solution = solve_stack(ctx, view)
+        has_call = any(
+            instr.mnemonic == "call"
+            for leader in view.blocks
+            for instr in view.instrs.get(leader, [])
+        )
+        for leader in view.blocks:
+            for instr, before in solution.before_each(view, problem, leader):
+                if instr.addr is None or not before.reached:
+                    continue
+                du = ctx.def_use(instr)
+                if not du.stores:
+                    continue
+                after = problem.transfer(instr, before)
+                if after.height is None:
+                    continue
+                for store in du.stores:
+                    offset = resolve_offset(store.addr, before)
+                    if offset is None or offset >= after.height:
+                        continue
+                    depth = after.height - offset
+                    zone = "red zone" if depth <= RED_ZONE else "beyond the red zone"
+                    yield Diagnostic(
+                        rule="write-below-rsp",
+                        severity="warning" if has_call else "info",
+                        addr=instr.addr,
+                        function=view.entry,
+                        message=(
+                            f"store {depth} bytes below rsp ({zone})"
+                            + (
+                                ": a call may clobber it before it is read"
+                                if has_call else ""
+                            )
+                        ),
+                    )
+
+
+def _is_restore(ctx: AnalysisContext, site: object, family: str) -> bool:
+    """Does the definition at *site* reload *family* from memory?"""
+    if not isinstance(site, int):
+        return False
+    instr = ctx.result.instructions.get(site)
+    if instr is None:
+        return True                     # call site: callee preserves it
+    du = ctx.def_use(instr)
+    return bool(du.loads) and family in du.defs
+
+
+@register_rule("callee-saved-clobber")
+def callee_saved_clobber(ctx: AnalysisContext):
+    """A callee-saved register overwritten and not restored before ``ret``.
+
+    The lifter *rejects* such functions outright (calling-convention sanity
+    property); this rule localizes the clobbering definition, which the
+    rejection message does not."""
+    for view in ctx.views:
+        reach = reaching_before(ctx, view)
+        # Scan block terminators, not view.rets: a *rejected* lift records
+        # no return edge, and those are exactly the lifts worth localizing.
+        for leader in view.blocks:
+            terminator = view.terminator(leader)
+            if terminator is None or terminator.mnemonic != "ret":
+                continue
+            at = reach.get(terminator.addr, frozenset())
+            for family in sorted(CALLEE_SAVED):
+                sites = sorted(
+                    {
+                        site for (f, site) in at
+                        if f == family and site != ENTRY
+                        and not _is_restore(ctx, site, family)
+                    },
+                    key=lambda s: (isinstance(s, int), s),
+                )
+                for site in sites:
+                    where = f"{site:#x}" if isinstance(site, int) else str(site)
+                    yield Diagnostic(
+                        rule="callee-saved-clobber",
+                        severity="warning",
+                        addr=terminator.addr,
+                        function=view.entry,
+                        message=(
+                            f"callee-saved {family} clobbered at {where} "
+                            f"reaches this return unrestored"
+                        ),
+                    )
+
+
+@register_rule("rop-gadget-surface")
+def rop_gadget_surface(ctx: AnalysisContext):
+    """Instructions decoded *inside* the bytes of other instructions.
+
+    Overlapping decodes are the raw material of the paper's "weird edges"
+    (a concrete return target landing mid-instruction); each one widens the
+    binary's ROP surface.  A control-flow instruction hiding inside another
+    is an actual gadget and is flagged as a warning."""
+    instructions = ctx.result.instructions
+    for addr in sorted(instructions):
+        outer = instructions[addr]
+        if outer.size is None:
+            continue
+        for inner_addr in range(addr + 1, outer.end):
+            inner = instructions.get(inner_addr)
+            if inner is None:
+                continue
+            gadget = inner.is_control_flow()
+            yield Diagnostic(
+                rule="rop-gadget-surface",
+                severity="warning" if gadget else "info",
+                addr=inner_addr,
+                message=(
+                    f"{inner.mnemonic} at {inner_addr:#x} decodes inside "
+                    f"the bytes of {outer.mnemonic} at {addr:#x}"
+                    + (" (hidden control flow: ROP gadget)" if gadget else "")
+                ),
+            )

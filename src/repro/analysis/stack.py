@@ -1,0 +1,142 @@
+"""Stack-height tracking: an independent re-derivation of the paper's
+``rsp = RSP0 + 8`` return invariant.
+
+The fact is the pair (``rsp`` offset from the entry ``RSP0``, ``rbp``
+offset when ``rbp`` currently mirrors the stack); offsets come from the
+τ-probe's result expressions (``probe:rsp + c`` → delta ``c``), so ``push``
+/ ``pop`` / ``sub rsp, n`` / ``leave`` / ``mov rsp, rbp`` all flow through
+one rule with no mnemonic table.  The lifter proves the invariant
+symbolically inside the Hoare graph; this analysis re-checks it purely
+numerically over the derived CFG — sharing neither the predicate join nor
+the solver — which is what makes it a meaningful cross-check.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.expr import Expr, Var, to_signed
+from repro.isa import Instruction
+from repro.smt.linear import linearize
+from repro.semantics.defuse import reg_marker
+from repro.analysis.cfgview import FunctionView
+from repro.analysis.context import AnalysisContext
+from repro.analysis.engine import Dataflow, Solution, solve
+
+
+@dataclass(frozen=True)
+class StackVal:
+    """``rsp = RSP0 + height`` / ``rbp = RSP0 + frame`` (None = unknown)."""
+
+    height: int | None = 0
+    frame: int | None = None
+    reached: bool = True
+
+    def __str__(self) -> str:
+        if not self.reached:
+            return "⊥"
+        h = "?" if self.height is None else f"{self.height:+#x}"
+        return f"rsp=RSP0{h}"
+
+
+BOTTOM = StackVal(height=None, frame=None, reached=False)
+TOP = StackVal(height=None, frame=None, reached=True)
+
+
+def _join(a: StackVal, b: StackVal) -> StackVal:
+    if not a.reached:
+        return b
+    if not b.reached:
+        return a
+    return StackVal(
+        height=a.height if a.height == b.height else None,
+        frame=a.frame if a.frame == b.frame else None,
+        reached=True,
+    )
+
+
+def resolve_offset(expr: Expr, value: StackVal) -> int | None:
+    """Evaluate a probe-result expression to an RSP0 offset, if linear in
+    exactly one of the rsp/rbp markers."""
+    linear = linearize(expr)
+    offset = to_signed(linear.const, 64)
+    if not linear.terms:
+        return None                     # absolute address: not stack-relative
+    if len(linear.terms) != 1:
+        return None
+    term, coeff = linear.terms[0]
+    if coeff != 1 or not isinstance(term, Var):
+        return None
+    if term == reg_marker("rsp"):
+        base = value.height
+    elif term == reg_marker("rbp"):
+        base = value.frame
+    else:
+        return None
+    return None if base is None else base + offset
+
+
+def stack_problem(ctx: AnalysisContext) -> Dataflow:
+    def transfer(instr: Instruction, value: StackVal) -> StackVal:
+        if not value.reached:
+            return value
+        du = ctx.def_use(instr)
+        height, frame = value.height, value.frame
+        if "rsp" in du.defs:
+            result = du.result_of("rsp")
+            height = resolve_offset(result, value) if result is not None else None
+        if "rbp" in du.defs:
+            result = du.result_of("rbp")
+            frame = resolve_offset(result, value) if result is not None else None
+        return StackVal(height=height, frame=frame, reached=True)
+
+    return Dataflow(
+        direction="forward",
+        boundary=StackVal(height=0, frame=None),
+        bottom=BOTTOM,
+        join=_join,
+        transfer=transfer,
+        widen=lambda old, new: TOP,
+    )
+
+
+def solve_stack(ctx: AnalysisContext, view: FunctionView) -> Solution:
+    return solve(view, stack_problem(ctx))
+
+
+@dataclass(frozen=True)
+class RetCheck:
+    """Verdict for one ``ret`` site."""
+
+    addr: int
+    function: int
+    height: int | None          # rsp offset from RSP0 *before* the ret
+    ok: bool                    # height == 0, i.e. rsp = RSP0 + 8 after ret
+
+
+def return_heights(ctx: AnalysisContext, view: FunctionView) -> list[RetCheck]:
+    """Check every ``ret`` of one function against the return invariant."""
+    solution = solve_stack(ctx, view)
+    problem = stack_problem(ctx)
+    checks: list[RetCheck] = []
+    for leader in view.blocks:
+        for instr, value in solution.before_each(view, problem, leader):
+            if instr.mnemonic != "ret" or instr.addr is None:
+                continue
+            height = value.height if value.reached else None
+            checks.append(RetCheck(
+                addr=instr.addr,
+                function=view.entry,
+                height=height,
+                ok=height == 0,
+            ))
+    return checks
+
+
+def rsp_invariant_holds(ctx: AnalysisContext) -> bool:
+    """True iff the stack analysis re-derives ``rsp = RSP0 + 8`` at every
+    ``ret`` of every function — independently of the lifter's proof."""
+    all_checks = [
+        check for view in ctx.views for check in return_heights(ctx, view)
+    ]
+    return bool(all_checks) and all(check.ok for check in all_checks)

@@ -9,6 +9,13 @@ from repro.corpus.failures import (
     ret2win,
     stack_probe,
 )
+from repro.corpus.lintbugs import (
+    ALL_LINTBUGS,
+    callee_saved_clobber,
+    dead_store,
+    red_zone_write,
+    uninit_read,
+)
 from repro.corpus.xenlike import (
     Corpus,
     CorpusBinary,
@@ -22,6 +29,8 @@ __all__ = [
     "COREUTILS_SHAPES", "build_coreutils",
     "ALL_FAILURES", "buffer_overflow", "concurrency", "nonstandard_rsp",
     "ret2win", "stack_probe",
+    "ALL_LINTBUGS", "callee_saved_clobber", "dead_store", "red_zone_write",
+    "uninit_read",
     "Corpus", "CorpusBinary", "CorpusLibrary", "build_corpus",
     "build_library", "function_binary",
 ]

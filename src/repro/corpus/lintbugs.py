@@ -1,0 +1,74 @@
+"""Seeded-bug binaries for the lint rules.
+
+Unlike :mod:`repro.corpus.failures` (whose binaries exercise the *lifter's*
+rejection channels), these binaries all carry a semantic defect the sanity
+properties do not — and should not — catch: they verify cleanly (except
+the clobber case, which is rejected *and* lintable) yet each triggers
+exactly one deterministic lint finding.  They are the ground truth for
+``tests/test_lint.py`` and the corpus lint report.
+"""
+
+from __future__ import annotations
+
+from repro.elf import Binary, BinaryBuilder
+from repro.isa import Imm, Mem
+
+
+def uninit_read() -> Binary:
+    """Reads ``rax`` before writing it: garbage at function entry."""
+    builder = BinaryBuilder("uninit_read")
+    t = builder.text
+    t.label("main")
+    # rax has no defined value under the SysV ABI here.
+    t.emit("add", "rax", "rdi")
+    t.emit("ret")
+    return builder.build(entry="main")
+
+
+def red_zone_write() -> Binary:
+    """Spills into the red zone, then calls: the callee may clobber it."""
+    builder = BinaryBuilder("red_zone_write")
+    t = builder.text
+    t.label("main")
+    t.emit("mov", Mem(64, base="rsp", disp=-16), "rdi")
+    t.emit("call", "helper")
+    t.emit("mov", "rax", Mem(64, base="rsp", disp=-16))
+    t.emit("ret")
+    t.label("helper")
+    t.emit("mov", "rax", Imm(7, 32))
+    t.emit("ret")
+    return builder.build(entry="main")
+
+
+def callee_saved_clobber() -> Binary:
+    """Overwrites ``rbx`` and returns without restoring it.
+
+    The lifter rejects this (calling-convention sanity property); the lint
+    rule localizes the clobbering definition inside the partial graph."""
+    builder = BinaryBuilder("clobber")
+    t = builder.text
+    t.label("main")
+    t.emit("mov", "rbx", "rdi")
+    t.emit("xor", "rax", "rax")
+    t.emit("ret")
+    return builder.build(entry="main")
+
+
+def dead_store() -> Binary:
+    """Writes ``rax`` twice; the first value is unobservable."""
+    builder = BinaryBuilder("dead_store")
+    t = builder.text
+    t.label("main")
+    t.emit("mov", "rax", Imm(1, 32))
+    t.emit("mov", "rax", Imm(2, 32))
+    t.emit("ret")
+    return builder.build(entry="main")
+
+
+#: name -> (builder, the rule id the binary must trigger).
+ALL_LINTBUGS = {
+    "uninit_read": (uninit_read, "uninit-read"),
+    "red_zone_write": (red_zone_write, "write-below-rsp"),
+    "callee_saved_clobber": (callee_saved_clobber, "callee-saved-clobber"),
+    "dead_store": (dead_store, "dead-store"),
+}

@@ -13,7 +13,7 @@ def main(argv=None) -> int:
                     "synthetic corpus.",
     )
     parser.add_argument("what", choices=["table1", "table2", "figure3",
-                                         "failures", "scaling", "all"])
+                                         "failures", "scaling", "lint", "all"])
     parser.add_argument("--scale", type=int, default=1,
                         help="corpus scale factor (default 1)")
     parser.add_argument("--timeout", type=float, default=10.0,
@@ -41,6 +41,11 @@ def main(argv=None) -> int:
         from repro.eval.scaling import format_scaling, run_scaling
 
         print(format_scaling(run_scaling(timeout_seconds=args.timeout)))
+    if args.what == "lint":
+        from repro.eval.lint_report import generate_lint_report
+
+        print(generate_lint_report(scale=args.scale,
+                                   timeout_seconds=args.timeout))
     if args.what in ("failures", "all"):
         from repro.eval.failures_report import generate_failures_report
 

@@ -16,16 +16,26 @@ from repro.hoare.lifter import LiftResult
 
 @dataclass
 class BasicBlock:
-    """A maximal straight-line instruction sequence."""
+    """A maximal straight-line instruction sequence.
+
+    A block always contains at least its leader address; an empty
+    ``addresses`` list is a construction error and :attr:`end` refuses to
+    paper over it."""
 
     start: int
     addresses: list[int] = field(default_factory=list)
 
     @property
     def end(self) -> int:
-        return self.addresses[-1] if self.addresses else self.start
+        if not self.addresses:
+            raise ValueError(
+                f"empty basic block at {self.start:#x} has no end address"
+            )
+        return self.addresses[-1]
 
     def __str__(self) -> str:
+        if not self.addresses:
+            return f"block {self.start:#x} <empty>"
         return f"block {self.start:#x}..{self.end:#x} ({len(self.addresses)})"
 
 
@@ -44,6 +54,45 @@ class CFG:
             if addr in block.addresses:
                 return block
         return None
+
+    # -- metadata accessors (the analysis layer's view) ---------------------
+
+    def successor_map(self) -> dict[int, tuple[int, ...]]:
+        """Block leader -> sorted successor leaders."""
+        out: dict[int, set[int]] = {leader: set() for leader in self.blocks}
+        for src, dst in self.edges:
+            if src in out:
+                out[src].add(dst)
+        return {leader: tuple(sorted(dsts)) for leader, dsts in out.items()}
+
+    def predecessor_map(self) -> dict[int, tuple[int, ...]]:
+        """Block leader -> sorted predecessor leaders."""
+        out: dict[int, set[int]] = {leader: set() for leader in self.blocks}
+        for src, dst in self.edges:
+            if dst in out:
+                out[dst].add(src)
+        return {leader: tuple(sorted(srcs)) for leader, srcs in out.items()}
+
+    def leader_of(self, addr: int) -> int | None:
+        """The leader of the block containing instruction *addr*."""
+        block = self.block_of(addr)
+        return block.start if block is not None else None
+
+    def function_of(self, leader: int) -> int | None:
+        """The entry of the function that block *leader* belongs to."""
+        for entry, members in sorted(self.functions.items()):
+            if leader in members:
+                return entry
+        return None
+
+    def instructions_of(self, leader: int, result: LiftResult) -> list:
+        """The decoded instructions of one block, in address order."""
+        block = self.blocks[leader]
+        return [
+            result.instructions[addr]
+            for addr in block.addresses
+            if addr in result.instructions
+        ]
 
 
 def _instruction_flow(result: LiftResult) -> dict[int, set[int]]:

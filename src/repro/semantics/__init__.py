@@ -7,6 +7,7 @@ from repro.semantics.events import (
     TerminalEvent,
     UnknownWriteEvent,
 )
+from repro.semantics.defuse import DefUse, MemEffect, def_use
 from repro.semantics.memory import havoc_non_stack, read_region, write_region
 from repro.semantics.state import (
     LiftContext,
@@ -19,6 +20,7 @@ from repro.semantics.tau import Successor, UnsupportedInstruction, step
 
 __all__ = [
     "CallEvent", "Event", "RetEvent", "TerminalEvent", "UnknownWriteEvent",
+    "DefUse", "MemEffect", "def_use",
     "havoc_non_stack", "read_region", "write_region",
     "LiftContext", "NameGen", "SymState", "initial_state", "join_states",
     "Successor", "UnsupportedInstruction", "step",

@@ -1,0 +1,228 @@
+"""Def/use introspection over τ: what an instruction reads and writes.
+
+The analysis layer (``repro.analysis``) needs, per instruction, the set of
+register families read and written, whether flags are consumed/produced,
+and the memory regions touched.  Rather than maintaining a second mnemonic
+table that could drift from the semantics, we *probe τ itself*: the
+instruction is stepped on a synthetic state in which every register family
+holds a distinct marker variable (and the flag state holds marker
+operands), and the successor states are diffed against the probe.  A
+register whose valuation changed was defined; a marker variable occurring
+in any produced expression was used; ``Deref`` nodes in produced values
+are loads; new ``*[a, n] == v`` valuation clauses are stores.
+
+This makes ``repro.semantics`` the single source of truth for effects:
+if τ gains an instruction (or changes what one clobbers), def/use follows
+automatically.  The one deliberate mirror of τ's own abstraction: ``adc``/
+``sbb`` havoc their destination, so they report no flag *use* — exactly as
+imprecise as the transformer is.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+from repro.expr import Const, Deref, Expr, Var
+from repro.isa import Instruction
+from repro.isa.registers import GPR64
+from repro.memmodel import MemModel
+from repro.pred import FlagState, Predicate
+from repro.semantics.events import CallEvent, RetEvent
+from repro.semantics.state import LiftContext, NameGen, SymState
+from repro.semantics.tau import UnsupportedInstruction, step
+
+#: Prefix of the marker variables injected by the probe.  Analyses decode
+#: effect expressions (e.g. store addresses) against these names.
+PROBE_PREFIX = "probe:"
+
+_FLAG_MARKERS = (Var(PROBE_PREFIX + "flag.a"), Var(PROBE_PREFIX + "flag.b"))
+_PIN_ADDR = 0x10_0000
+_PIN_SIZE = 4
+
+
+def reg_marker(family: str) -> Var:
+    """The marker variable standing for *family*'s pre-state value."""
+    return Var(PROBE_PREFIX + family)
+
+
+def marker_family(var: Var) -> str | None:
+    """Inverse of :func:`reg_marker`; None for flag markers / non-markers."""
+    if not var.name.startswith(PROBE_PREFIX):
+        return None
+    name = var.name[len(PROBE_PREFIX):]
+    return name if name in GPR64 else None
+
+
+@dataclass(frozen=True)
+class MemEffect:
+    """One memory access: address expression over probe markers + size.
+
+    ``addr`` mentions :func:`reg_marker` variables for the registers that
+    feed the address computation (e.g. a store to ``[rsp - 16]`` has
+    ``addr = probe:rsp - 0x10``)."""
+
+    addr: Expr
+    size: int
+
+    def __str__(self) -> str:
+        return f"[{self.addr}, {self.size}]"
+
+
+@dataclass(frozen=True)
+class DefUse:
+    """Effect summary of one instruction, as observed from τ."""
+
+    uses: frozenset[str]            # register families read
+    defs: frozenset[str]            # register families written (rip excluded)
+    reads_flags: bool
+    writes_flags: bool
+    loads: tuple[MemEffect, ...]
+    stores: tuple[MemEffect, ...]
+    #: family -> post-state value over probe markers, when it is the same
+    #: in every successor (e.g. ``rsp -> probe:rsp + 8`` for ``ret``).
+    results: tuple[tuple[str, Expr], ...] = ()
+
+    def result_of(self, family: str) -> Expr | None:
+        for name, value in self.results:
+            if name == family:
+                return value
+        return None
+
+    @staticmethod
+    def unknown() -> "DefUse":
+        """Conservative top: everything read, everything clobbered."""
+        return DefUse(
+            uses=frozenset(GPR64),
+            defs=frozenset(GPR64),
+            reads_flags=True,
+            writes_flags=True,
+            loads=(),
+            stores=(),
+        )
+
+
+class _ProbeBinary:
+    """Binary stand-in for the probe context.  The probe state holds no
+    concrete pointers, so τ only ever asks for sections it cannot find."""
+
+    name = "<probe>"
+
+    def section_at(self, addr: int):
+        return None
+
+    def external_name(self, addr: int):
+        return None
+
+
+def _probe_state(instr: Instruction) -> SymState:
+    regs: dict[str, Expr] = {family: reg_marker(family) for family in GPR64}
+    regs["rip"] = Const(instr.addr)
+    flags = FlagState("cmp", _FLAG_MARKERS[0], _FLAG_MARKERS[1], 64)
+    return SymState(
+        pred=Predicate.make(regs=regs, flags=flags), model=MemModel(frozenset())
+    )
+
+
+def _collect(
+    expr: Expr,
+    uses: set[str],
+    flag_use: list[bool],
+    loads: dict[tuple[str, int], MemEffect],
+) -> None:
+    for node in expr.walk():
+        if isinstance(node, Var):
+            family = marker_family(node)
+            if family is not None:
+                uses.add(family)
+            elif node in _FLAG_MARKERS:
+                flag_use[0] = True
+        elif isinstance(node, Deref):
+            loads.setdefault((str(node.addr), node.size),
+                             MemEffect(node.addr, node.size))
+
+
+def _extract(instr: Instruction) -> DefUse:
+    probe = _probe_state(instr)
+    ctx = LiftContext(binary=_ProbeBinary(), names=NameGen(), trust_data=False)
+    successors = step(probe, instr, ctx)
+
+    uses: set[str] = set()
+    defs: set[str] = set()
+    flag_use = [False]
+    writes_flags = False
+    loads: dict[tuple[str, int], MemEffect] = {}
+    stores: dict[tuple[str, int], MemEffect] = {}
+    results: dict[str, set[Expr]] = {}
+    baseline = {family: reg_marker(family) for family in GPR64}
+
+    for successor in successors:
+        pred = successor.state.pred
+        new_regs = pred.reg_dict()
+        for family in GPR64:
+            value = new_regs.get(family)
+            if value == baseline[family]:
+                continue
+            defs.add(family)
+            if value is not None:
+                results.setdefault(family, set()).add(value)
+                _collect(value, uses, flag_use, loads)
+        rip_value = new_regs.get("rip")
+        if rip_value is not None and not isinstance(rip_value, Const):
+            # Indirect transfer: the target computation is a use.
+            _collect(rip_value, uses, flag_use, loads)
+        for region, value in pred.mem:
+            stores.setdefault((str(region.addr), region.size),
+                              MemEffect(region.addr, region.size))
+            _collect(region.addr, uses, flag_use, loads)
+            _collect(value, uses, flag_use, loads)
+        if pred.flags != probe.pred.flags:
+            writes_flags = True
+            if pred.flags is not None:
+                for operand in (pred.flags.a, pred.flags.b):
+                    if operand is not None:
+                        _collect(operand, uses, flag_use, loads)
+        for clause in pred.clauses:
+            _collect(clause.lhs, uses, flag_use, loads)
+            _collect(clause.rhs, uses, flag_use, loads)
+        for event in successor.events:
+            if isinstance(event, CallEvent) and event.target is not None:
+                _collect(event.target, uses, flag_use, loads)
+            elif isinstance(event, RetEvent):
+                if event.target is not None:
+                    _collect(event.target, uses, flag_use, loads)
+                if event.rsp_after is not None:
+                    _collect(event.rsp_after, uses, flag_use, loads)
+
+    agreed = tuple(
+        sorted(
+            (family, next(iter(values)))
+            for family, values in results.items()
+            if len(values) == 1
+        )
+    )
+    return DefUse(
+        uses=frozenset(uses),
+        defs=frozenset(defs),
+        reads_flags=flag_use[0],
+        writes_flags=writes_flags,
+        loads=tuple(sorted(loads.values(), key=str)),
+        stores=tuple(sorted(stores.values(), key=str)),
+        results=agreed,
+    )
+
+
+@lru_cache(maxsize=8192)
+def _cached(instr: Instruction) -> DefUse:
+    return _extract(instr)
+
+
+def def_use(instr: Instruction) -> DefUse:
+    """Effect summary of *instr*, derived by probing τ (memoized).
+
+    Raises :class:`UnsupportedInstruction` for mnemonics τ does not model;
+    callers wanting a conservative answer should catch it and fall back to
+    :meth:`DefUse.unknown`."""
+    if instr.addr is None or instr.size is None:
+        instr = instr.at(_PIN_ADDR, _PIN_SIZE)
+    return _cached(instr)

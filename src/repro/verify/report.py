@@ -26,20 +26,28 @@ class PropertyResult:
 
 @dataclass
 class SanityReport:
-    """The three properties of Section 1, plus the overall verdict."""
+    """The three properties of Section 1, plus the overall verdict.
+
+    The per-property verdicts are ``None`` until :func:`report_from`
+    classifies the lift result; a partially-built report never claims the
+    properties hold."""
 
     result: LiftResult
-    return_address_integrity: PropertyResult = None  # type: ignore[assignment]
-    bounded_control_flow: PropertyResult = None      # type: ignore[assignment]
-    calling_convention: PropertyResult = None        # type: ignore[assignment]
+    return_address_integrity: PropertyResult | None = None
+    bounded_control_flow: PropertyResult | None = None
+    calling_convention: PropertyResult | None = None
+
+    @property
+    def properties(self) -> tuple[PropertyResult | None, ...]:
+        return (
+            self.return_address_integrity,
+            self.bounded_control_flow,
+            self.calling_convention,
+        )
 
     @property
     def all_hold(self) -> bool:
-        return (
-            self.return_address_integrity.holds
-            and self.bounded_control_flow.holds
-            and self.calling_convention.holds
-        )
+        return all(p is not None and p.holds for p in self.properties)
 
     @property
     def obligations(self):
@@ -48,9 +56,8 @@ class SanityReport:
 
     def __str__(self) -> str:
         lines = [
-            str(self.return_address_integrity),
-            str(self.bounded_control_flow),
-            str(self.calling_convention),
+            "? (not yet classified)" if p is None else str(p)
+            for p in self.properties
         ]
         if self.obligations:
             lines.append(f"under {len(self.obligations)} proof obligation(s):")

@@ -1,0 +1,163 @@
+"""CFG edge cases: empty blocks, single-block functions, self-loops,
+unresolved indirect jumps, and the returns/exits classification."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import lift
+from repro.elf import BinaryBuilder
+from repro.hoare.cfg import BasicBlock, build_cfg
+from repro.isa import Imm, Mem
+from repro.minicc import compile_source
+
+
+# -- BasicBlock hardening (regression: empty blocks used to IndexError) --------
+
+
+def test_empty_block_end_raises_value_error():
+    block = BasicBlock(start=0x401000)
+    with pytest.raises(ValueError, match="empty basic block at 0x401000"):
+        block.end
+    assert str(block) == "block 0x401000 <empty>"
+
+
+def test_populated_block_end_and_str():
+    block = BasicBlock(start=0x401000, addresses=[0x401000, 0x401004])
+    assert block.end == 0x401004
+    assert str(block) == "block 0x401000..0x401004 (2)"
+
+
+# -- single-block functions ----------------------------------------------------
+
+
+def test_single_block_function():
+    builder = BinaryBuilder("tiny")
+    t = builder.text
+    t.label("main")
+    t.emit("mov", "rax", "rdi")
+    t.emit("ret")
+    result = lift(builder.build(entry="main"))
+    cfg = build_cfg(result)
+    assert len(cfg.blocks) == 1
+    (leader,) = cfg.blocks
+    assert leader == result.entry
+    assert cfg.blocks[leader].addresses == sorted(result.instructions)
+    # No intra-block edges; the one block is a return block.
+    assert cfg.edges == set()
+    assert cfg.returns == {leader}
+    assert cfg.exits == set()
+    assert cfg.functions == {leader: {leader}}
+
+
+# -- self-loop blocks ----------------------------------------------------------
+
+
+def test_self_loop_block():
+    builder = BinaryBuilder("spin")
+    t = builder.text
+    t.label("main")
+    t.emit("mov", "rcx", Imm(5, 32))
+    t.label("loop")
+    t.emit("sub", "rcx", Imm(1, 32))
+    t.emit("jne", "loop")
+    t.emit("ret")
+    result = lift(builder.build(entry="main"))
+    cfg = build_cfg(result)
+    loop_leaders = [src for (src, dst) in cfg.edges if src == dst]
+    assert len(loop_leaders) == 1
+    (loop,) = loop_leaders
+    # The self-loop block is its own predecessor and successor.
+    assert loop in cfg.successor_map()[loop]
+    assert loop in cfg.predecessor_map()[loop]
+
+
+# -- unresolved indirect jumps -------------------------------------------------
+
+
+def test_unresolved_indirect_jump_block_has_no_successors():
+    builder = BinaryBuilder("indirect")
+    t = builder.text
+    t.label("main")
+    # rdi is arbitrary: the jump target cannot be resolved, which yields an
+    # unsoundness annotation and ends exploration of that path.
+    t.emit("jmp", "rdi")
+    result = lift(builder.build(entry="main"))
+    assert any(a.kind == "unresolved-jump" for a in result.annotations)
+    cfg = build_cfg(result)
+    leader = cfg.leader_of(result.entry)
+    assert leader is not None
+    assert cfg.successor_map()[leader] == ()
+    assert leader not in cfg.returns and leader not in cfg.exits
+
+
+# -- returns/exits classification ----------------------------------------------
+
+
+def test_exit_block_classified_as_exit_not_return():
+    builder = BinaryBuilder("bail")
+    builder.extern("exit")
+    t = builder.text
+    t.label("main")
+    t.emit("mov", "rdi", Imm(0, 32))
+    t.emit("call", "exit")
+    result = lift(builder.build(entry="main"))
+    cfg = build_cfg(result)
+    assert cfg.exits and not cfg.returns
+
+
+def test_branchy_returns_classified():
+    result = lift(compile_source(
+        "long main(long n) { if (n > 0) return 1; return 2; }",
+        name="branchy",
+    ))
+    cfg = build_cfg(result)
+    assert cfg.returns
+    for leader in cfg.returns:
+        last = cfg.blocks[leader].end
+        assert result.instructions[last].mnemonic == "ret"
+
+
+# -- metadata accessors --------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def two_fn_cfg():
+    result = lift(compile_source(
+        "long helper(long x) { return x + 1; }"
+        "long main(long n) { return helper(n) * 2; }",
+        name="twofn",
+    ))
+    return result, build_cfg(result)
+
+
+def test_leader_and_function_of(two_fn_cfg):
+    result, cfg = two_fn_cfg
+    assert len(cfg.functions) == 2
+    for entry, members in cfg.functions.items():
+        for leader in members:
+            assert cfg.function_of(leader) == entry
+    for leader, block in cfg.blocks.items():
+        for addr in block.addresses:
+            assert cfg.leader_of(addr) == leader
+    assert cfg.leader_of(0xDEAD_BEEF) is None
+    assert cfg.function_of(0xDEAD_BEEF) is None
+
+
+def test_successor_predecessor_maps_mirror_edges(two_fn_cfg):
+    _, cfg = two_fn_cfg
+    succs = cfg.successor_map()
+    preds = cfg.predecessor_map()
+    rebuilt = {(s, d) for s, dsts in succs.items() for d in dsts}
+    assert rebuilt == cfg.edges
+    mirrored = {(s, d) for d, srcs in preds.items() for s in srcs}
+    assert mirrored == cfg.edges
+
+
+def test_instructions_of_in_address_order(two_fn_cfg):
+    result, cfg = two_fn_cfg
+    for leader in cfg.blocks:
+        instrs = cfg.instructions_of(leader, result)
+        addrs = [i.addr for i in instrs]
+        assert addrs == sorted(addrs)
+        assert addrs == cfg.blocks[leader].addresses

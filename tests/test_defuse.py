@@ -1,0 +1,126 @@
+"""τ-probed def/use extraction: the semantics-derived effect summaries."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.isa import Imm, Mem, insn
+from repro.semantics import DefUse, def_use
+
+
+def du(*args):
+    return def_use(insn(*args))
+
+
+def test_mov_reg_reg():
+    summary = du("mov", "rax", "rdi")
+    assert summary.defs == frozenset({"rax"})
+    assert summary.uses == frozenset({"rdi"})
+    assert not summary.loads and not summary.stores
+    assert not summary.writes_flags and not summary.reads_flags
+
+
+def test_alu_reads_both_writes_flags():
+    summary = du("add", "rax", "rdi")
+    assert summary.defs == frozenset({"rax"})
+    assert summary.uses == frozenset({"rax", "rdi"})
+    assert summary.writes_flags
+
+
+def test_xor_zero_idiom_has_no_use():
+    # The simplifier folds x ^ x; the probe sees no marker in the result.
+    summary = du("xor", "rax", "rax")
+    assert summary.defs == frozenset({"rax"})
+    assert "rax" not in summary.uses
+
+
+def test_cmp_defines_nothing_but_flags():
+    summary = du("cmp", "rax", "rdi")
+    assert summary.defs == frozenset()
+    assert summary.uses == frozenset({"rax", "rdi"})
+    assert summary.writes_flags
+
+
+def test_conditional_jump_reads_flags():
+    summary = def_use(insn("je", Imm(0x10_0040, 32)))
+    assert summary.reads_flags
+    assert not summary.writes_flags
+
+
+def test_load_and_store_effects():
+    load = du("mov", "rax", Mem(64, base="rdi", disp=8))
+    assert load.loads and not load.stores
+    assert load.uses == frozenset({"rdi"})
+
+    store = du("mov", Mem(64, base="rdi", disp=8), "rax")
+    assert store.stores and not store.loads
+    assert store.uses == frozenset({"rdi", "rax"})
+    assert store.defs == frozenset()
+    (effect,) = store.stores
+    assert effect.size == 8
+
+
+def test_push_updates_rsp_and_stores():
+    summary = du("push", "rbx")
+    assert summary.defs == frozenset({"rsp"})
+    assert summary.uses == frozenset({"rsp", "rbx"})
+    assert summary.stores
+
+
+def test_pop_loads_and_defines_both():
+    summary = du("pop", "rbx")
+    assert summary.defs == frozenset({"rbx", "rsp"})
+    assert "rsp" in summary.uses
+    assert summary.loads
+
+
+def test_partial_width_write_preserves_family_use():
+    # mov al, 5 writes only the low byte: the rest of rax flows through.
+    summary = du("mov", "al", Imm(5, 8))
+    assert summary.defs == frozenset({"rax"})
+    assert "rax" in summary.uses
+
+
+def test_32bit_write_zero_extends_no_use():
+    # mov eax, 5 zero-extends: the old rax value is NOT read.
+    summary = du("mov", "eax", Imm(5, 32))
+    assert summary.defs == frozenset({"rax"})
+    assert "rax" not in summary.uses
+
+
+def test_lea_is_not_a_load():
+    summary = du("lea", "rax", Mem(64, base="rdi", index="rsi", scale=4))
+    assert summary.defs == frozenset({"rax"})
+    assert summary.uses == frozenset({"rdi", "rsi"})
+    assert not summary.loads and not summary.stores
+
+
+def test_result_of_is_symbolic_in_markers():
+    from repro.semantics.defuse import reg_marker
+    from repro.smt.linear import linearize
+
+    summary = du("add", "rax", "rdi")
+    result = summary.result_of("rax")
+    assert result is not None
+    linear = linearize(result)
+    assert set(dict(linear.terms)) == {reg_marker("rax"), reg_marker("rdi")}
+
+
+def test_unknown_is_conservative_top():
+    top = DefUse.unknown()
+    assert top.writes_flags and top.reads_flags
+    assert "rax" in top.defs and "rax" in top.uses
+    assert top.result_of("rax") is None
+
+
+def test_memoized_same_summary():
+    a = def_use(insn("add", "rax", "rdi"))
+    b = def_use(insn("add", "rax", "rdi"))
+    assert a == b
+
+
+def test_unpinned_and_pinned_agree():
+    pinned = def_use(insn("add", "rax", "rdi").at(0x401000, 4))
+    unpinned = def_use(insn("add", "rax", "rdi"))
+    assert pinned.defs == unpinned.defs
+    assert pinned.uses == unpinned.uses

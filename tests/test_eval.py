@@ -95,3 +95,23 @@ def test_cli_rejects_unknown():
 
     with pytest.raises(SystemExit):
         main(["bogus"])
+
+
+def test_lint_report_small_corpus():
+    from repro.corpus import CorpusBinary
+    from repro.corpus.xenlike import Corpus
+    from repro.eval.lint_report import generate_lint_report
+    from repro.minicc import compile_source
+
+    corpus = Corpus()
+    corpus.binaries.append(CorpusBinary(
+        name="tiny", directory="bin",
+        binary=compile_source("long main(long n) { return n + 1; }",
+                              name="tiny"),
+        expected="lifted",
+    ))
+    text = generate_lint_report(corpus=corpus)
+    assert "bin/tiny" in text
+    assert "lifted" in text
+    # Every seeded-bug binary must report HIT, never MISS.
+    assert "HIT" in text and "MISS" not in text

@@ -1,0 +1,242 @@
+"""The lint engine, the builtin rules on seeded-bug binaries, and the
+``python -m repro lint`` command-line interface."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import lift
+from repro.analysis import (
+    Diagnostic,
+    all_rules,
+    render_json,
+    render_text,
+    run_lint,
+    to_sarif,
+)
+from repro.corpus import ALL_LINTBUGS
+from repro.elf import BinaryBuilder, save_binary
+from repro.isa import Imm, Mem, abs32, abs64
+from repro.minicc import compile_source
+
+CLEAN = """
+long helper(long x) { return x * 3 + 1; }
+long main(long a, long b) {
+  long acc = 0;
+  for (long i = 0; i < a; i = i + 1) acc = acc + helper(b + i);
+  return acc;
+}
+"""
+
+EXPECTED_RULES = {
+    "uninit-read", "dead-store", "unreachable-block", "write-below-rsp",
+    "callee-saved-clobber", "rop-gadget-surface",
+}
+
+
+@pytest.fixture(scope="module")
+def clean_result():
+    return lift(compile_source(CLEAN, name="clean"))
+
+
+def test_builtin_rules_registered():
+    assert EXPECTED_RULES <= set(all_rules())
+
+
+def test_clean_binary_lints_clean(clean_result):
+    report = run_lint(clean_result)
+    assert report.findings == []
+    assert report.exit_code == 0
+    assert "clean" in render_text(report)
+
+
+def test_diagnostic_severity_validated():
+    with pytest.raises(ValueError):
+        Diagnostic(rule="x", severity="fatal", addr=None, message="m")
+
+
+@pytest.mark.parametrize("name", sorted(ALL_LINTBUGS))
+def test_seeded_bug_triggers_expected_rule(name):
+    builder, expected_rule = ALL_LINTBUGS[name]
+    report = run_lint(lift(builder()))
+    hits = report.by_rule(expected_rule)
+    assert hits, f"{name} did not trigger {expected_rule}"
+    assert report.exit_code == 1
+
+
+def test_seeded_findings_are_deterministic():
+    builder, expected_rule = ALL_LINTBUGS["uninit_read"]
+    first = run_lint(lift(builder()))
+    second = run_lint(lift(builder()))
+    assert [str(d) for d in first.diagnostics] == \
+        [str(d) for d in second.diagnostics]
+    (finding,) = first.by_rule(expected_rule)
+    assert finding.severity == "error"
+    assert finding.addr == first.diagnostics[0].addr
+
+
+def test_rejected_lift_still_lintable():
+    builder, expected_rule = ALL_LINTBUGS["callee_saved_clobber"]
+    result = lift(builder())
+    assert not result.verified
+    report = run_lint(result)
+    # The verification error surfaces as an error diagnostic...
+    assert any(d.rule.startswith("verify-") and d.severity == "error"
+               for d in report.diagnostics)
+    # ...and the rule localizes the clobbering definition.
+    (finding,) = report.by_rule(expected_rule)
+    assert "rbx" in finding.message
+    assert "0x401000" in finding.message
+
+
+def test_rule_selection_and_unknown_rule(clean_result):
+    report = run_lint(clean_result, rules=["dead-store"])
+    assert all(d.rule in ("dead-store",) or d.rule.startswith(("verify-", "lift-"))
+               for d in report.diagnostics)
+    with pytest.raises(KeyError):
+        run_lint(clean_result, rules=["no-such-rule"])
+
+
+def test_write_below_rsp_is_info_in_leaf_function():
+    builder = BinaryBuilder("leaf_redzone")
+    t = builder.text
+    t.label("main")
+    t.emit("mov", Mem(64, base="rsp", disp=-8), "rdi")
+    t.emit("mov", "rax", Mem(64, base="rsp", disp=-8))
+    t.emit("ret")
+    report = run_lint(lift(builder.build(entry="main")))
+    (finding,) = report.by_rule("write-below-rsp")
+    # Red-zone use is legal in a leaf: informational, not a finding.
+    assert finding.severity == "info"
+    assert report.exit_code == 0
+
+
+def test_push_does_not_trigger_write_below_rsp():
+    builder = BinaryBuilder("pushy")
+    t = builder.text
+    t.label("main")
+    t.emit("push", "rbx")
+    t.emit("pop", "rbx")
+    t.emit("ret")
+    report = run_lint(lift(builder.build(entry="main")))
+    assert not report.by_rule("write-below-rsp")
+
+
+def test_rop_gadget_surface_on_overlapping_decode():
+    # The Section 2 shape: cmp rax, 0xc3 hides a ret at main+2, and the
+    # jump table can be redirected into it (see test_weird_edges).
+    builder = BinaryBuilder("weird")
+    t = builder.text
+    t.label("main")
+    t.emit("cmp", "rax", Imm(0xC3, 32))
+    t.emit("ja", "out")
+    t.emit("movabs", "rcx", abs64("table"))
+    t.emit("mov", "rax", Mem(64, base="rcx", index="rax", scale=8))
+    t.emit("mov", Mem(64, base="rdi"), "rax")
+    t.emit("mov", Mem(64, base="rsi"), abs32("main", addend=2))
+    t.emit("jmp", Mem(64, base="rdi"))
+    t.label("out")
+    t.emit("ret")
+    t.label("case0")
+    t.emit("mov", "eax", Imm(10, 32))
+    t.emit("ret")
+    rod = builder.rodata
+    rod.label("table")
+    for _ in range(0xC4):
+        rod.quad(abs64("case0"))
+    binary = builder.build(entry="main")
+    result = lift(binary, max_targets=4096)
+    report = run_lint(result)
+    gadgets = report.by_rule("rop-gadget-surface")
+    assert gadgets
+    # The hidden ret is control flow: a warning, at the mid-instruction
+    # address the weird edge jumps to.
+    entry = binary.entry
+    assert any(d.addr == entry + 2 and d.severity == "warning"
+               for d in gadgets)
+
+
+# -- rendering -----------------------------------------------------------------
+
+
+def test_sarif_shape_and_levels():
+    builder, expected_rule = ALL_LINTBUGS["red_zone_write"]
+    report = run_lint(lift(builder()))
+    sarif = to_sarif(report)
+    assert sarif["version"] == "2.1.0"
+    run = sarif["runs"][0]
+    rule_ids = [r["id"] for r in run["tool"]["driver"]["rules"]]
+    assert expected_rule in rule_ids
+    result = next(r for r in run["results"]
+                  if r["ruleId"] == expected_rule)
+    assert result["level"] == "warning"
+    addr = result["locations"][0]["physicalLocation"]["address"]
+    assert addr["absoluteAddress"] == 0x401000
+    # render_json is just the serialized form.
+    assert json.loads(render_json(report)) == sarif
+
+
+# -- the CLI -------------------------------------------------------------------
+
+
+@pytest.fixture()
+def clean_path(tmp_path):
+    path = tmp_path / "clean.elf"
+    save_binary(compile_source(CLEAN, name="clean"), str(path))
+    return str(path)
+
+
+@pytest.fixture()
+def buggy_path(tmp_path):
+    builder, _ = ALL_LINTBUGS["red_zone_write"]
+    path = tmp_path / "redzone.elf"
+    save_binary(builder(), str(path))
+    return str(path)
+
+
+def test_cli_lint_clean_exits_zero(clean_path, capsys):
+    from repro.__main__ import main
+
+    assert main(["lint", clean_path]) == 0
+    out = capsys.readouterr().out
+    assert "clean" in out
+
+
+def test_cli_lint_findings_exit_one(buggy_path, capsys):
+    from repro.__main__ import main
+
+    assert main(["lint", buggy_path]) == 1
+    out = capsys.readouterr().out
+    assert "write-below-rsp" in out
+
+
+def test_cli_lint_json(buggy_path, capsys):
+    from repro.__main__ import main
+
+    assert main(["lint", buggy_path, "--json"]) == 1
+    sarif = json.loads(capsys.readouterr().out)
+    assert sarif["runs"][0]["results"]
+
+
+def test_cli_lint_missing_file_exits_two(tmp_path, capsys):
+    from repro.__main__ import main
+
+    assert main(["lint", str(tmp_path / "nope.elf")]) == 2
+    assert "error:" in capsys.readouterr().err
+
+
+def test_cli_lint_unknown_rule_exits_two(clean_path, capsys):
+    from repro.__main__ import main
+
+    assert main(["lint", clean_path, "--rule", "bogus"]) == 2
+    assert "unknown lint rule" in capsys.readouterr().err
+
+
+def test_cli_lint_single_rule(buggy_path, capsys):
+    from repro.__main__ import main
+
+    assert main(["lint", buggy_path, "--rule", "write-below-rsp"]) == 1
+    out = capsys.readouterr().out
+    assert "write-below-rsp" in out

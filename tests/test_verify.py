@@ -68,3 +68,18 @@ def test_report_renders_failures():
     report = verify_binary(buffer_overflow())
     text = str(report)
     assert "✘ return address integrity" in text
+
+
+def test_unclassified_report_never_claims_success():
+    # Regression: the per-property fields default to None (not a bogus
+    # non-Optional sentinel); a partially-built report must not crash and
+    # must not claim the properties hold.
+    from repro import lift
+    from repro.minicc import compile_source
+    from repro.verify.report import SanityReport
+
+    result = lift(compile_source("long main(long n) { return n; }"))
+    report = SanityReport(result=result)
+    assert report.properties == (None, None, None)
+    assert not report.all_hold
+    assert "not yet classified" in str(report)
