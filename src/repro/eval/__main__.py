@@ -1,4 +1,4 @@
-"""CLI: ``python -m repro.eval <table1|table2|figure3|failures|all>``."""
+"""CLI: ``python -m repro.eval <table1|table2|figure3|failures|bench|all>``."""
 
 from __future__ import annotations
 
@@ -13,18 +13,32 @@ def main(argv=None) -> int:
                     "synthetic corpus.",
     )
     parser.add_argument("what", choices=["table1", "table2", "figure3",
-                                         "failures", "scaling", "lint", "all"])
+                                         "failures", "scaling", "lint",
+                                         "bench", "all"])
     parser.add_argument("--scale", type=int, default=1,
                         help="corpus scale factor (default 1)")
     parser.add_argument("--timeout", type=float, default=10.0,
                         help="per-binary lifting timeout in seconds")
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="worker processes for corpus lifting "
+                             "(default 1 = serial)")
+    parser.add_argument("--quick", action="store_true",
+                        help="bench: use the scale-1 corpus instead of "
+                             "scale 3")
+    parser.add_argument("--check-determinism", action="store_true",
+                        help="bench: also lift with 2 workers and require "
+                             "the canonical reports to match")
+    parser.add_argument("--out", default="BENCH_pr2.json",
+                        help="bench: output JSON path "
+                             "(default BENCH_pr2.json)")
     args = parser.parse_args(argv)
 
     if args.what in ("table1", "all"):
         from repro.eval.table1 import generate_table1
 
         _, text = generate_table1(scale=args.scale,
-                                  timeout_seconds=args.timeout)
+                                  timeout_seconds=args.timeout,
+                                  jobs=args.jobs)
         print(text)
     if args.what in ("table2", "all"):
         from repro.eval.table2 import generate_table2
@@ -35,17 +49,39 @@ def main(argv=None) -> int:
         from repro.eval.figure3 import generate_figure3
 
         _, text = generate_figure3(scale=args.scale,
-                                   timeout_seconds=args.timeout)
+                                   timeout_seconds=args.timeout,
+                                   jobs=args.jobs)
         print(text)
     if args.what == "scaling":
         from repro.eval.scaling import format_scaling, run_scaling
 
-        print(format_scaling(run_scaling(timeout_seconds=args.timeout)))
+        print(format_scaling(run_scaling(timeout_seconds=args.timeout,
+                                         jobs=args.jobs)))
     if args.what == "lint":
         from repro.eval.lint_report import generate_lint_report
 
         print(generate_lint_report(scale=args.scale,
                                    timeout_seconds=args.timeout))
+    if args.what == "bench":
+        from repro.perf.bench import bench_report
+
+        # Bench defaults to the scale-3 corpus (the acceptance target);
+        # --quick drops to scale 1, an explicit --scale wins outright.
+        bench_scale = args.scale if args.scale != 1 else (1 if args.quick
+                                                          else 3)
+        payload, text = bench_report(
+            scale=bench_scale,
+            jobs=args.jobs,
+            timeout_seconds=args.timeout,
+            check_determinism=args.check_determinism,
+            out_path=args.out,
+        )
+        print(text)
+        determinism = payload["current"].get("determinism")
+        if determinism is not None and not determinism["ok"]:
+            print("bench: serial and parallel reports differ",
+                  file=sys.stderr)
+            return 1
     if args.what in ("failures", "all"):
         from repro.eval.failures_report import generate_failures_report
 

@@ -1,12 +1,38 @@
-"""Corpus runner: lifts everything and aggregates the Table 1 statistics."""
+"""Corpus runner: lifts everything and aggregates the Table 1 statistics.
+
+Ordering contract
+-----------------
+``CorpusReport.records`` is sorted by ``(kind, directory, name)`` and
+``CorpusReport.rows`` by ``(kind, directory)``, regardless of corpus
+iteration order or the number of worker processes.  Consumers (Table 1,
+Figure 3, the bench harness, golden files) may rely on this.
+
+Parallelism
+-----------
+``run_corpus(jobs=N)`` fans the per-binary / per-library-function lift
+tasks over a :class:`~concurrent.futures.ProcessPoolExecutor`.  Each task
+is independent (the lifter shares no mutable state across functions
+except soundness-preserving memo caches), so the merged report is the
+same as the serial one apart from wall-clock ``seconds`` — and those are
+excluded from :meth:`CorpusReport.canonical`, which is the comparison
+form.  Both lifter budgets are
+robust to parallelism: ``max_states`` counts states and
+``timeout_seconds`` counts *CPU* seconds, so scheduler time-slicing does
+not change which functions hit them.  (A function very close to the CPU
+budget can still land on either side of it across runs; the corpus
+settings leave ample headroom.)
+"""
 
 from __future__ import annotations
 
-import time
-from dataclasses import dataclass, field
+import json
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import asdict, dataclass, field
 
 from repro.corpus import Corpus, build_corpus, function_binary
+from repro.elf import Binary
 from repro.hoare import LiftResult, lift, lift_function
+from repro.perf.counters import counters
 
 
 @dataclass
@@ -50,8 +76,13 @@ class DirectoryRow:
 
 @dataclass
 class CorpusReport:
+    #: Sorted by (kind, directory) — see the module ordering contract.
     rows: list[DirectoryRow] = field(default_factory=list)
+    #: Sorted by (kind, directory, name) — see the module ordering contract.
     records: list[FunctionRecord] = field(default_factory=list)
+    #: Perf-counter totals over all lift tasks (sum of per-task deltas, so
+    #: parallel runs still report interning/solver hit counts).
+    counters: dict[str, int] = field(default_factory=dict)
 
     def totals(self, kind: str) -> DirectoryRow:
         total = DirectoryRow(directory="Total", kind=kind)
@@ -63,6 +94,26 @@ class CorpusReport:
                          "unresolved_jumps", "unresolved_calls", "seconds"):
                 setattr(total, attr, getattr(total, attr) + getattr(row, attr))
         return total
+
+    def canonical(self) -> dict:
+        """The timing-free view of the report.
+
+        Wall-clock ``seconds`` (and the cache-state-dependent ``counters``)
+        are excluded: they are the only fields that legitimately differ
+        between repeated or serial-vs-parallel runs of the same corpus.
+        """
+        def strip(obj) -> dict:
+            data = asdict(obj)
+            data.pop("seconds")
+            return data
+
+        return {
+            "rows": [strip(row) for row in self.rows],
+            "records": [strip(record) for record in self.records],
+        }
+
+    def canonical_json(self) -> str:
+        return json.dumps(self.canonical(), sort_keys=True, indent=1)
 
 
 def _outcome(result: LiftResult) -> str:
@@ -76,61 +127,117 @@ def _outcome(result: LiftResult) -> str:
     return "unprovable"
 
 
+@dataclass(frozen=True)
+class _LiftTask:
+    """One unit of work, fully resolved in the parent process.
+
+    ``binary`` is a plain picklable dataclass; ``function_binary`` is
+    called *before* task submission so workers never consult the parent's
+    corpus registries.
+    """
+
+    name: str
+    directory: str
+    kind: str           # "binary" | "function"
+    binary: Binary
+    function: str | None
+    timeout_seconds: float
+    max_states: int
+
+
+def _run_task(task: _LiftTask) -> tuple[FunctionRecord, dict[str, int]]:
+    """Lift one task; also report the perf-counter delta it produced.
+
+    Module-level so it pickles for ProcessPoolExecutor; also used verbatim
+    on the serial path so both paths build records identically.
+    """
+    before = counters.snapshot()
+    if task.function is None:
+        result = lift(task.binary, max_states=task.max_states,
+                      timeout_seconds=task.timeout_seconds)
+    else:
+        result = lift_function(task.binary, task.function,
+                               max_states=task.max_states,
+                               timeout_seconds=task.timeout_seconds)
+    delta = counters.delta(before, counters.snapshot())
+    outcome = _outcome(result)
+    stats = result.stats
+    record = FunctionRecord(
+        name=task.name, directory=task.directory, kind=task.kind,
+        outcome=outcome,
+        instructions=stats.instructions, states=stats.states,
+        resolved=stats.resolved_indirections,
+        unresolved_jumps=stats.unresolved_jumps,
+        unresolved_calls=stats.unresolved_calls,
+        seconds=stats.seconds,
+    )
+    return record, delta
+
+
+def _corpus_tasks(corpus: Corpus, timeout_seconds: float,
+                  max_states: int) -> list[_LiftTask]:
+    tasks = [
+        _LiftTask(name=corpus_binary.name, directory=corpus_binary.directory,
+                  kind="binary", binary=corpus_binary.binary, function=None,
+                  timeout_seconds=timeout_seconds, max_states=max_states)
+        for corpus_binary in corpus.binaries
+    ]
+    for library in corpus.libraries:
+        for function in library.functions:
+            tasks.append(_LiftTask(
+                name=f"{library.name}:{function}",
+                directory=library.directory, kind="function",
+                binary=function_binary(library, function), function=function,
+                timeout_seconds=timeout_seconds, max_states=max_states,
+            ))
+    return tasks
+
+
 def run_corpus(
     corpus: Corpus | None = None,
     scale: int = 1,
     timeout_seconds: float = 10.0,
     max_states: int = 10_000,
+    jobs: int = 1,
 ) -> CorpusReport:
-    """Lift every binary and library function; aggregate per directory."""
+    """Lift every binary and library function; aggregate per directory.
+
+    ``jobs > 1`` lifts in that many worker processes; results are merged
+    by name, so the report is deterministic (see the module docstring).
+    """
     if corpus is None:
         corpus = build_corpus(scale)
+    tasks = _corpus_tasks(corpus, timeout_seconds, max_states)
+
+    if jobs > 1 and len(tasks) > 1:
+        with ProcessPoolExecutor(max_workers=jobs) as pool:
+            outcomes = list(pool.map(_run_task, tasks))
+    else:
+        outcomes = [_run_task(task) for task in tasks]
+
     report = CorpusReport()
+    for _, delta in outcomes:
+        counters.merge(report.counters, delta)
+    report.records = sorted(
+        (record for record, _ in outcomes),
+        key=lambda r: (r.kind, r.directory, r.name),
+    )
+
     rows: dict[tuple[str, str], DirectoryRow] = {}
-
-    def row_for(directory: str, kind: str) -> DirectoryRow:
-        key = (directory, kind)
-        if key not in rows:
-            rows[key] = DirectoryRow(directory=directory, kind=kind)
-            report.rows.append(rows[key])
-        return rows[key]
-
-    def record(name, directory, kind, result: LiftResult) -> None:
-        outcome = _outcome(result)
-        stats = result.stats
-        report.records.append(FunctionRecord(
-            name=name, directory=directory, kind=kind, outcome=outcome,
-            instructions=stats.instructions, states=stats.states,
-            resolved=stats.resolved_indirections,
-            unresolved_jumps=stats.unresolved_jumps,
-            unresolved_calls=stats.unresolved_calls,
-            seconds=stats.seconds,
-        ))
-        row = row_for(directory, kind)
+    for record in report.records:
+        key = (record.kind, record.directory)
+        row = rows.get(key)
+        if row is None:
+            row = rows[key] = DirectoryRow(directory=record.directory,
+                                           kind=record.kind)
         row.total += 1
-        setattr(row, {"lifted": "lifted", "unprovable": "unprovable",
-                      "concurrency": "concurrency", "timeout": "timeout"}[outcome],
-                getattr(row, {"lifted": "lifted", "unprovable": "unprovable",
-                              "concurrency": "concurrency",
-                              "timeout": "timeout"}[outcome]) + 1)
-        if outcome == "lifted":
-            row.instructions += stats.instructions
-            row.states += stats.states
-            row.resolved += stats.resolved_indirections
-            row.unresolved_jumps += stats.unresolved_jumps
-            row.unresolved_calls += stats.unresolved_calls
-        row.seconds += stats.seconds
-
-    for corpus_binary in corpus.binaries:
-        result = lift(corpus_binary.binary, max_states=max_states,
-                      timeout_seconds=timeout_seconds)
-        record(corpus_binary.name, corpus_binary.directory, "binary", result)
-
-    for library in corpus.libraries:
-        for function in library.functions:
-            binary = function_binary(library, function)
-            result = lift_function(binary, function, max_states=max_states,
-                                   timeout_seconds=timeout_seconds)
-            record(f"{library.name}:{function}", library.directory,
-                   "function", result)
+        setattr(row, record.outcome, getattr(row, record.outcome) + 1)
+        if record.outcome == "lifted":
+            row.instructions += record.instructions
+            row.states += record.states
+            row.resolved += record.resolved
+            row.unresolved_jumps += record.unresolved_jumps
+            row.unresolved_calls += record.unresolved_calls
+        row.seconds += record.seconds
+    report.rows = [rows[key] for key in sorted(rows)]
     return report

@@ -15,6 +15,8 @@ function of the variables as the naive application.
 
 from __future__ import annotations
 
+from functools import lru_cache
+
 from repro.expr.ast import (
     App,
     Const,
@@ -24,6 +26,7 @@ from repro.expr.ast import (
     mask,
     to_signed,
 )
+from repro.perf import register_lru
 
 
 def _term_key(expr: Expr) -> str:
@@ -85,16 +88,30 @@ def _sum_terms(pairs: list[tuple[Expr, int]], width: int) -> Expr:
     return App("add", tuple(parts), width)
 
 
+# Hash-consed nodes make (a, b, width) an O(1)-hashable key, so the
+# canonical-linear-sum construction — the single hottest rewrite in the
+# lifter — is memoized.  The cache is sound because expressions are
+# immutable value objects and _sum_terms is a pure function of its inputs.
+@lru_cache(maxsize=1 << 17)
+def _sum2(a: Expr, ca: int, b: Expr | None, cb: int, width: int) -> Expr:
+    if b is None:
+        return _sum_terms([(a, ca)], width)
+    return _sum_terms([(a, ca), (b, cb)], width)
+
+
+register_lru("simplify.sum", _sum2)
+
+
 def add(a: Expr, b: Expr, width: int = 64) -> Expr:
-    return _sum_terms([(a, 1), (b, 1)], width)
+    return _sum2(a, 1, b, 1, width)
 
 
 def sub(a: Expr, b: Expr, width: int = 64) -> Expr:
-    return _sum_terms([(a, 1), (b, -1)], width)
+    return _sum2(a, 1, b, -1, width)
 
 
 def neg(a: Expr, width: int = 64) -> Expr:
-    return _sum_terms([(a, -1)], width)
+    return _sum2(a, -1, None, 0, width)
 
 
 def mul(a: Expr, b: Expr, width: int = 64) -> Expr:
@@ -106,7 +123,7 @@ def mul(a: Expr, b: Expr, width: int = 64) -> Expr:
         if b.value == 0:
             return Const(0, width)
         coeff = b.signed
-        return _sum_terms([(a, coeff)], width)
+        return _sum2(a, coeff, None, 0, width)
     args = tuple(sorted((a, b), key=_term_key))
     return App("mul", args, width)
 

@@ -7,10 +7,12 @@ constant for a variable folds everything it touches).
 
 from __future__ import annotations
 
+from functools import lru_cache
 from typing import Callable
 
 from repro.expr import simplify as s
 from repro.expr.ast import App, Const, Deref, Expr, FlagRef, RegRef, Var
+from repro.perf import register_lru
 
 
 def substitute(expr: Expr, replace: Callable[[Expr], Expr | None]) -> Expr:
@@ -47,7 +49,18 @@ def substitute(expr: Expr, replace: Callable[[Expr], Expr | None]) -> Expr:
 
 
 def subst_vars(expr: Expr, bindings: dict[str, Expr]) -> Expr:
-    """Substitute variables by name."""
+    """Substitute variables by name.
+
+    Memoized: hash-consed nodes make ``(expr, bindings)`` a cheap cache
+    key, and variable substitution (unlike the general callable form of
+    :func:`substitute`) is a pure function of that pair.
+    """
+    return _subst_vars_cached(expr, tuple(sorted(bindings.items())))
+
+
+@lru_cache(maxsize=1 << 15)
+def _subst_vars_cached(expr: Expr, bindings_key: tuple[tuple[str, Expr], ...]) -> Expr:
+    bindings = dict(bindings_key)
 
     def replace(node: Expr) -> Expr | None:
         if isinstance(node, Var) and node.name in bindings:
@@ -59,6 +72,9 @@ def subst_vars(expr: Expr, bindings: dict[str, Expr]) -> Expr:
         return None
 
     return substitute(expr, replace)
+
+
+register_lru("subst.vars", _subst_vars_cached)
 
 
 def _rebuild(op: str, args: tuple[Expr, ...], width: int) -> Expr:

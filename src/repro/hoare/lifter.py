@@ -118,8 +118,12 @@ class _Lifter:
         self.max_states = max_states
         self.max_targets = max_targets
         self.timeout_seconds = timeout_seconds
+        # The budget is *CPU* seconds, not wall-clock: process_time is
+        # unaffected by scheduler time-slicing, so a function hits (or
+        # clears) its budget identically whether it is lifted serially or
+        # in one of several workers sharing the machine.
         self.deadline = (
-            time.perf_counter() + timeout_seconds if timeout_seconds else None
+            time.process_time() + timeout_seconds if timeout_seconds else None
         )
 
         # Priority queue ordered by instruction address: loops reach their
@@ -212,9 +216,9 @@ class _Lifter:
         if self.explored > self.max_states:
             self.reject("timeout", rip, "state exploration budget exhausted")
             return
-        if self.deadline is not None and time.perf_counter() > self.deadline:
+        if self.deadline is not None and time.process_time() > self.deadline:
             self.reject("timeout", rip,
-                        f"wall-clock budget ({self.timeout_seconds}s) exhausted")
+                        f"CPU budget ({self.timeout_seconds}s) exhausted")
             return
 
         extern = self.binary.external_name(rip)
@@ -488,7 +492,8 @@ def lift(
     Returns a :class:`LiftResult`; ``result.verified`` reports whether the
     sanity properties were proven (if False, ``result.errors`` explains the
     rejection and the graph is partial).  *timeout_seconds* is the paper's
-    per-binary wall-clock budget (4 hours there; configurable here)."""
+    per-binary time budget (4 hours of wall time there; CPU
+    seconds here, so worker-pool time-slicing cannot change outcomes)."""
     start = time.perf_counter()
     lifter = _Lifter(
         binary,

@@ -1,0 +1,158 @@
+"""The benchmark harness behind ``python -m repro.eval bench``.
+
+Measures end-to-end corpus lifting throughput (instructions per second of
+*lift* time, corpus construction excluded), reports the hot-path counters
+and memo-cache statistics, and writes the results next to the checked-in
+pre-optimization baseline so speedups are tracked in-repo.
+
+The ``check_determinism`` mode runs the same corpus serially and with a
+worker pool and asserts the two reports agree in canonical (timing-free)
+form — the guarantee the parallel runner is built around.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from pathlib import Path
+
+from repro.perf import cache_stats, reset_caches
+from repro.perf.counters import counters, hit_rate
+
+#: Checked-in pre-optimization measurements (totals metric, this corpus).
+BASELINE_PATH = Path(__file__).resolve().parents[3] / "benchmarks" / \
+    "baseline_pr2.json"
+
+
+def _instruction_totals(report) -> int:
+    totals_fn = report.totals("function")
+    totals_bin = report.totals("binary")
+    return totals_fn.instructions + totals_bin.instructions
+
+
+def run_bench(scale: int = 3, jobs: int = 1, timeout_seconds: float = 10.0,
+              max_states: int = 10_000,
+              check_determinism: bool = False) -> dict:
+    """Lift the scale-*scale* corpus once and return the measurement dict.
+
+    Caches and counters are reset first so the reported hit rates describe
+    this run alone.  ``jobs=1`` is the default: a single process keeps the
+    process-global counters meaningful (worker deltas are merged into the
+    report either way, but cold per-worker caches dilute the rates).
+    """
+    from repro.corpus import build_corpus
+    from repro.eval.runner import run_corpus
+
+    reset_caches()
+
+    build_start = time.perf_counter()
+    corpus = build_corpus(scale)
+    build_seconds = time.perf_counter() - build_start
+
+    lift_start = time.perf_counter()
+    report = run_corpus(corpus=corpus, timeout_seconds=timeout_seconds,
+                        max_states=max_states, jobs=jobs)
+    lift_seconds = time.perf_counter() - lift_start
+
+    instructions = _instruction_totals(report)
+    stats = cache_stats()
+    result = {
+        "scale": scale,
+        "jobs": jobs,
+        "functions": sum(1 for _ in report.records),
+        "build_seconds": round(build_seconds, 3),
+        "lift_seconds": round(lift_seconds, 3),
+        "instructions": instructions,
+        "instrs_per_second": round(instructions / lift_seconds, 1)
+        if lift_seconds else 0.0,
+        "counters": dict(report.counters),
+        "hit_rates": {
+            "interning": round(hit_rate(report.counters.get("intern_hits", 0),
+                                        report.counters.get("expr_new", 0)), 4),
+            "solver": round(hit_rate(report.counters.get("solver_hits", 0),
+                                     report.counters.get("solver_misses", 0)),
+                            4),
+        },
+        "caches": stats,
+        "python": platform.python_version(),
+    }
+
+    if check_determinism:
+        result["determinism"] = _check_determinism(corpus, timeout_seconds,
+                                                   max_states, jobs, report)
+    return result
+
+
+def _check_determinism(corpus, timeout_seconds: float, max_states: int,
+                       jobs: int, first_report) -> dict:
+    """Re-lift in the *other* execution mode; compare canonical forms.
+
+    If the measured run was serial, the check run uses a 2-worker pool
+    (and vice versa), so the comparison is always serial vs parallel."""
+    from repro.eval.runner import run_corpus
+
+    check_jobs = 1 if jobs > 1 else 2
+    reset_caches()
+    check_report = run_corpus(corpus=corpus,
+                              timeout_seconds=timeout_seconds,
+                              max_states=max_states, jobs=check_jobs)
+    first = first_report.canonical_json()
+    check = check_report.canonical_json()
+    return {"ok": first == check, "check_jobs": check_jobs,
+            "first_bytes": len(first), "check_bytes": len(check)}
+
+
+def load_baseline(scale: int) -> dict | None:
+    if not BASELINE_PATH.exists():
+        return None
+    data = json.loads(BASELINE_PATH.read_text())
+    return data.get(f"scale_{scale}")
+
+
+def bench_report(scale: int = 3, jobs: int = 1,
+                 timeout_seconds: float = 10.0, max_states: int = 10_000,
+                 check_determinism: bool = False,
+                 out_path: str | Path | None = None) -> tuple[dict, str]:
+    """Run the bench, compare against the checked-in baseline, and render.
+
+    Returns ``(payload, text)``; *payload* is also written to *out_path*
+    (JSON) when given.
+    """
+    current = run_bench(scale=scale, jobs=jobs,
+                        timeout_seconds=timeout_seconds,
+                        max_states=max_states,
+                        check_determinism=check_determinism)
+    baseline = load_baseline(scale)
+    payload = {"baseline": baseline, "current": current}
+    if baseline and baseline.get("instrs_per_second"):
+        payload["speedup"] = round(
+            current["instrs_per_second"] / baseline["instrs_per_second"], 2
+        )
+
+    lines = [
+        f"Bench: scale-{scale} corpus, jobs={jobs}",
+        f"  build    {current['build_seconds']:>9.3f} s",
+        f"  lift     {current['lift_seconds']:>9.3f} s",
+        f"  instrs   {current['instructions']:>9}",
+        f"  instrs/s {current['instrs_per_second']:>9.1f}",
+        f"  interning hit rate {current['hit_rates']['interning']:.1%}  "
+        f"solver hit rate {current['hit_rates']['solver']:.1%}",
+    ]
+    if baseline:
+        lines.append(
+            f"  baseline {baseline['instrs_per_second']:>9.1f} instrs/s"
+            f"  -> speedup {payload.get('speedup', 0):.2f}x"
+        )
+    determinism = current.get("determinism")
+    if determinism is not None:
+        lines.append(
+            "  serial == parallel (canonical): "
+            + ("OK" if determinism["ok"] else "MISMATCH")
+        )
+    text = "\n".join(lines)
+
+    if out_path is not None:
+        Path(out_path).write_text(json.dumps(payload, indent=2, sort_keys=True)
+                                  + "\n")
+    return payload, text

@@ -1,0 +1,64 @@
+"""Global hot-path performance counters.
+
+The lifter's hot loops (expression interning, the canonical-sum memo, the
+SMT verdict cache, state joins) increment plain integer slots on a single
+module-level :data:`counters` object.  Increment sites are guarded by
+``counters.enabled`` so a disabled counter set costs one attribute load and
+a branch — cheap enough to leave in production code paths.
+
+This module is intentionally dependency-free: every layer of the stack
+imports it, so it must import nothing from :mod:`repro`.
+"""
+
+from __future__ import annotations
+
+
+class PerfCounters:
+    """A bag of integer counters for the lifter's hot paths."""
+
+    _FIELDS = (
+        "expr_new",              # interned expression nodes constructed
+        "intern_hits",           # constructor calls served from the tables
+        "solver_hits",           # SMT verdict cache hits
+        "solver_misses",
+        "join_shortcircuits",    # identity short-circuits in join_states
+        "equal_shortcircuits",   # identity short-circuits in states_equal
+    )
+
+    __slots__ = _FIELDS + ("enabled",)
+
+    def __init__(self) -> None:
+        self.enabled = True
+        self.reset()
+
+    def reset(self) -> None:
+        """Zero every counter (does not touch ``enabled``)."""
+        for name in self._FIELDS:
+            setattr(self, name, 0)
+
+    def snapshot(self) -> dict[str, int]:
+        """A plain dict copy of the current counter values."""
+        return {name: getattr(self, name) for name in self._FIELDS}
+
+    @staticmethod
+    def delta(before: dict[str, int], after: dict[str, int]) -> dict[str, int]:
+        """Counter-wise ``after - before``."""
+        return {name: after[name] - before.get(name, 0) for name in after}
+
+    @staticmethod
+    def merge(into: dict[str, int], other: dict[str, int]) -> dict[str, int]:
+        """Counter-wise accumulate *other* into *into* (returns *into*)."""
+        for name, value in other.items():
+            into[name] = into.get(name, 0) + value
+        return into
+
+
+#: The process-global counter set.  Hot sites do
+#: ``if counters.enabled: counters.x += 1``.
+counters = PerfCounters()
+
+
+def hit_rate(hits: int, misses: int) -> float:
+    """``hits / (hits + misses)`` guarded against empty caches."""
+    total = hits + misses
+    return hits / total if total else 0.0

@@ -9,8 +9,10 @@ solver's interval reasoning.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 
 from repro.expr import Const, EvalEnv, Expr, evaluate, mask, to_signed
+from repro.perf import register_lru
 from repro.smt.intervals import Interval, TOP, from_width
 
 #: Relations, paper Section 3.1: {=, ≠, <, <s, ≥, ≥s} plus their closures.
@@ -131,7 +133,17 @@ def _signed_upper(clause: Clause, term: Expr) -> int | None:
 def intersect_intervals(term: Expr, clauses) -> Interval:
     """Intersect every interval the clauses impose on *term*.
 
-    Two passes: unsigned (and sign-bit-clearing) bounds first, then signed
+    Memoized on ``(term, clauses)``: clause sets are long-lived frozensets
+    whose hashes are cached, and the same term is bounded against the same
+    predicate's clauses thousands of times per join fixpoint."""
+    if type(clauses) is not frozenset:
+        clauses = frozenset(clauses)
+    return _intersect_cached(term, clauses)
+
+
+@lru_cache(maxsize=1 << 16)
+def _intersect_cached(term: Expr, clauses: frozenset) -> Interval:
+    """Two passes: unsigned (and sign-bit-clearing) bounds first, then signed
     upper bounds, which become plain unsigned bounds once the first pass
     has pinned the term below the sign bit."""
     result = from_width(term.width)
@@ -151,3 +163,6 @@ def intersect_intervals(term: Expr, clauses) -> Interval:
                 if clipped is not None:
                     result = clipped
     return result
+
+
+register_lru("pred.intervals", _intersect_cached)

@@ -20,6 +20,7 @@ unbounded join variable, so joining terminates.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
+from functools import lru_cache
 
 from repro.expr import (
     Const,
@@ -33,12 +34,14 @@ from repro.expr import (
     mask,
     substitute,
 )
+from repro.expr.ast import expr_key, variable_names
 from repro.expr.simplify import add as simplify_add, mul as _mul
+from repro.perf import register_lru
 from repro.pred.clause import Clause, intersect_intervals
 from repro.pred.flags import FlagState
 from repro.smt.intervals import Interval
 from repro.smt.linear import linearize
-from repro.smt.solver import Region, expr_interval
+from repro.smt.solver import Region, expr_interval, region_key
 
 
 def simplify_mul(term: Expr, coeff: int, width: int) -> Expr:
@@ -76,7 +79,8 @@ class Predicate:
         return Predicate(
             regs=tuple(sorted((regs or {}).items())),
             flags=flags,
-            mem=tuple(sorted((mem or {}).items(), key=lambda kv: str(kv[0]))),
+            mem=tuple(sorted((mem or {}).items(),
+                             key=lambda kv: region_key(kv[0]))),
             clauses=frozenset(clauses),
         )
 
@@ -99,21 +103,27 @@ class Predicate:
 
     # -- functional updates ----------------------------------------------------
     def with_regs(self, regs: dict[str, Expr]) -> "Predicate":
-        return replace(self, regs=tuple(sorted(regs.items())))
+        return Predicate(regs=tuple(sorted(regs.items())), flags=self.flags,
+                         mem=self.mem, clauses=self.clauses)
 
     def with_mem(self, mem: dict[Region, Expr]) -> "Predicate":
-        return replace(
-            self, mem=tuple(sorted(mem.items(), key=lambda kv: str(kv[0])))
+        return Predicate(
+            regs=self.regs, flags=self.flags,
+            mem=tuple(sorted(mem.items(), key=lambda kv: region_key(kv[0]))),
+            clauses=self.clauses,
         )
 
     def with_flags(self, flags: FlagState | None) -> "Predicate":
-        return replace(self, flags=flags)
+        return Predicate(regs=self.regs, flags=flags, mem=self.mem,
+                         clauses=self.clauses)
 
     def with_clause(self, clause: Clause) -> "Predicate":
-        return replace(self, clauses=self.clauses | {clause})
+        return Predicate(regs=self.regs, flags=self.flags, mem=self.mem,
+                         clauses=self.clauses | {clause})
 
     def with_clauses(self, clauses) -> "Predicate":
-        return replace(self, clauses=self.clauses | frozenset(clauses))
+        return Predicate(regs=self.regs, flags=self.flags, mem=self.mem,
+                         clauses=self.clauses | frozenset(clauses))
 
     # -- evaluation (Definition 4.1) ---------------------------------------------
     def eval(self, expr: Expr) -> Expr | None:
@@ -142,34 +152,10 @@ class Predicate:
 
         Handles one level of transitivity through variable bounds:
         ``i ≤ n`` with ``n ≤ 15`` caps ``i`` at 15 (the variable-bounded
-        loop shape)."""
-        interval = intersect_intervals(term, self.clauses)
-        half = 1 << (term.width - 1)
-        for clause in self.clauses:
-            normalized = clause.normalized()
-            if normalized.lhs != term or isinstance(normalized.rhs, Const):
-                continue
-            rhs_interval = intersect_intervals(normalized.rhs, self.clauses)
-            if rhs_interval.is_top:
-                continue
-            op = normalized.op
-            if op == "leu":
-                capped = interval.intersect(Interval(0, rhs_interval.hi))
-            elif op == "ltu" and rhs_interval.hi > 0:
-                capped = interval.intersect(Interval(0, rhs_interval.hi - 1))
-            elif op in ("les", "lts") and rhs_interval.hi < half \
-                    and interval.hi < half:
-                hi = rhs_interval.hi if op == "les" else rhs_interval.hi - 1
-                capped = interval.intersect(Interval(0, hi)) if hi >= 0 else None
-            elif op == "geu":
-                capped = interval.intersect(
-                    Interval(rhs_interval.lo, (1 << term.width) - 1)
-                )
-            else:
-                continue
-            if capped is not None:
-                interval = capped
-        return None if interval.is_top else interval
+        loop shape).  Memoized on ``(term, clauses)``: predicates are
+        immutable and the solver asks for the same term's bounds on every
+        relation query it fingerprints."""
+        return _interval_of_cached(term, self.clauses)
 
     # -- concrete satisfaction: s ⊢ P --------------------------------------------
     def holds(self, env: EvalEnv, read_current=None) -> bool:
@@ -211,6 +197,40 @@ class Predicate:
         return "{" + ", ".join(parts) + "}"
 
 
+@lru_cache(maxsize=1 << 16)
+def _interval_of_cached(term: Expr, clauses: frozenset) -> Interval | None:
+    interval = intersect_intervals(term, clauses)
+    half = 1 << (term.width - 1)
+    for clause in clauses:
+        normalized = clause.normalized()
+        if normalized.lhs != term or isinstance(normalized.rhs, Const):
+            continue
+        rhs_interval = intersect_intervals(normalized.rhs, clauses)
+        if rhs_interval.is_top:
+            continue
+        op = normalized.op
+        if op == "leu":
+            capped = interval.intersect(Interval(0, rhs_interval.hi))
+        elif op == "ltu" and rhs_interval.hi > 0:
+            capped = interval.intersect(Interval(0, rhs_interval.hi - 1))
+        elif op in ("les", "lts") and rhs_interval.hi < half \
+                and interval.hi < half:
+            hi = rhs_interval.hi if op == "les" else rhs_interval.hi - 1
+            capped = interval.intersect(Interval(0, hi)) if hi >= 0 else None
+        elif op == "geu":
+            capped = interval.intersect(
+                Interval(rhs_interval.lo, (1 << term.width) - 1)
+            )
+        else:
+            continue
+        if capped is not None:
+            interval = capped
+    return None if interval.is_top else interval
+
+
+register_lru("pred.interval_of", _interval_of_cached)
+
+
 # -- the join (Definition 3.3, Example 3.4) -------------------------------------
 
 def _join_values(
@@ -218,6 +238,40 @@ def _join_values(
     rip: int,
     v0: Expr | None,
     v1: Expr | None,
+    bounds0: frozenset[Clause],
+    bounds1: frozenset[Clause],
+) -> tuple[Expr | None, tuple[Clause, ...]]:
+    """Join two valuations of one state part (memoized).
+
+    The result is a pure function of the arguments (the join variable name
+    depends only on *rip* and *part_name*), and join fixpoints re-join the
+    same value pairs under the same clause sets at every iteration."""
+    if v0 is None or v1 is None:
+        return None, ()
+    return _join_values_cached(part_name, rip, v0, v1, bounds0, bounds1)
+
+
+@lru_cache(maxsize=1 << 16)
+def _join_values_cached(
+    part_name: str,
+    rip: int,
+    v0: Expr,
+    v1: Expr,
+    bounds0: frozenset[Clause],
+    bounds1: frozenset[Clause],
+) -> tuple[Expr | None, tuple[Clause, ...]]:
+    value, clauses = _join_values_impl(part_name, rip, v0, v1, bounds0, bounds1)
+    return value, tuple(clauses)
+
+
+register_lru("pred.join_values", _join_values_cached)
+
+
+def _join_values_impl(
+    part_name: str,
+    rip: int,
+    v0: Expr,
+    v1: Expr,
     bounds0: frozenset[Clause],
     bounds1: frozenset[Clause],
 ) -> tuple[Expr | None, list[Clause]]:
@@ -228,8 +282,6 @@ def _join_values(
     variable's name is a deterministic function of (rip, part), so repeated
     joins at the same program point reuse it and the ladder has height 3.
     """
-    if v0 is None or v1 is None:
-        return None, []
     if v0 == v1:
         if not isinstance(v0, Var):
             return v0, []
@@ -293,7 +345,7 @@ def _join_values(
         other_iv = iv0
 
     value = join_var
-    for term, coeff in sorted(common.items(), key=lambda kv: str(kv[0])):
+    for term, coeff in sorted(common.items(), key=lambda kv: expr_key(kv[0])):
         value = simplify_add(value, simplify_mul(term, coeff, width), width)
 
     if prior is not None and other_iv is not None:
@@ -351,7 +403,7 @@ def join_predicates(p0: Predicate, p1: Predicate, rip: int) -> Predicate:
 
     mem0, mem1 = p0.mem_dict(), p1.mem_dict()
     new_mem: dict[Region, Expr] = {}
-    for region in sorted(set(mem0) | set(mem1), key=str):
+    for region in sorted(set(mem0) | set(mem1), key=region_key):
         v0, v1 = mem0.get(region), mem1.get(region)
         if v0 is not None and v1 is not None:
             value, bounds = join_pair(f"mem@{region}", v0, v1)
@@ -379,16 +431,16 @@ def join_predicates(p0: Predicate, p1: Predicate, rip: int) -> Predicate:
     ):
         joined_a, bounds_a = join_pair("flags.a", f0.a, f1.a)
         if f0.b is None and f1.b is None:
-            joined_b, bounds_b = None, []
+            joined_b, bounds_b = None, ()
             b_ok = True
         elif f0.b is not None and f1.b is not None:
             joined_b, bounds_b = join_pair("flags.b", f0.b, f1.b)
             b_ok = joined_b is not None
         else:
-            joined_b, bounds_b, b_ok = None, [], False
+            joined_b, bounds_b, b_ok = None, (), False
         if joined_a is not None and b_ok:
             flags = FlagState(f0.kind, joined_a, joined_b, f0.width)
-            extra_clauses += bounds_a + bounds_b
+            extra_clauses += [*bounds_a, *bounds_b]
 
     # Non-join-variable clauses (branch conditions over program values)
     # survive iff present on both sides — plain intersection.
@@ -414,9 +466,7 @@ def join_predicates(p0: Predicate, p1: Predicate, rip: int) -> Predicate:
     if result.flags is not None:
         for operand in (result.flags.a, result.flags.b):
             if operand is not None:
-                live.update(
-                    v.name for v in operand.walk() if isinstance(v, Var)
-                )
+                live.update(variable_names(operand))
     cleaned = frozenset(
         clause for clause in result.clauses
         if not (isinstance(clause.lhs, Var)
@@ -432,10 +482,10 @@ def _referenced_var_names(pred: Predicate) -> set[str]:
     """Variable names occurring in the predicate's valuations."""
     names: set[str] = set()
     for _, value in pred.regs:
-        names.update(v.name for v in value.walk() if isinstance(v, Var))
+        names.update(variable_names(value))
     for region, value in pred.mem:
-        names.update(v.name for v in region.addr.walk() if isinstance(v, Var))
-        names.update(v.name for v in value.walk() if isinstance(v, Var))
+        names.update(variable_names(region.addr))
+        names.update(variable_names(value))
     return names
 
 

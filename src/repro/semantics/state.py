@@ -14,6 +14,7 @@ from dataclasses import dataclass, field, replace
 from repro.elf import Binary
 from repro.expr import Const, Expr, Var
 from repro.memmodel import MemModel, join_models
+from repro.perf.counters import counters as _C
 from repro.pred import Predicate, join_predicates
 from repro.smt.solver import Region
 
@@ -96,7 +97,22 @@ def initial_state(entry: int, ret_symbol: Var | None = None) -> SymState:
 
 
 def join_states(s0: SymState, s1: SymState, rip: int) -> SymState:
-    """Definition 3.15: component-wise join."""
+    """Definition 3.15: component-wise join.
+
+    Identity short-circuit: the join is idempotent, so joining a state
+    with itself (component-wise) only needs the bookkeeping fields merged.
+    With hash-consed expressions, states re-enqueued unchanged hit this
+    path instead of re-running the full predicate/model joins.
+    """
+    if s0.pred is s1.pred and s0.model is s1.model:
+        if _C.enabled:
+            _C.join_shortcircuits += 1
+        return SymState(
+            pred=s0.pred,
+            model=s0.model,
+            epoch=max(s0.epoch, s1.epoch),
+            reachable=s0.reachable or s1.reachable,
+        )
     return SymState(
         pred=join_predicates(s0.pred, s1.pred, rip),
         model=join_models(s0.model, s1.model),
@@ -106,8 +122,15 @@ def join_states(s0: SymState, s1: SymState, rip: int) -> SymState:
 
 
 def states_equal(s0: SymState, s1: SymState) -> bool:
-    return (
-        s0.pred == s1.pred
-        and s0.model == s1.model
-        and s0.epoch == s1.epoch
-    )
+    if s0 is s1:
+        if _C.enabled:
+            _C.equal_shortcircuits += 1
+        return True
+    if s0.epoch != s1.epoch:
+        return False
+    pred_equal = s0.pred is s1.pred or s0.pred == s1.pred
+    if not pred_equal:
+        return False
+    if _C.enabled and s0.pred is s1.pred and s0.model is s1.model:
+        _C.equal_shortcircuits += 1
+    return s0.model is s1.model or s0.model == s1.model

@@ -13,6 +13,7 @@ from dataclasses import dataclass, field
 from functools import lru_cache
 
 from repro.expr.ast import App, Const, Expr, expr_key
+from repro.perf import register_lru
 
 
 @dataclass(frozen=True)
@@ -67,6 +68,9 @@ def linearize(expr: Expr, width: int = 64) -> Linear:
         )
     )
     return Linear(cleaned, const & ((1 << width) - 1))
+
+
+register_lru("smt.linearize", linearize)
 
 
 def difference(a: Expr, b: Expr) -> Linear:

@@ -31,11 +31,15 @@ claim: precision can be lost, soundness cannot.
 from __future__ import annotations
 
 import enum
+from collections import OrderedDict
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import Protocol
 
-from repro.expr.ast import App, Const, Deref, Expr, MASK64, Var
+from repro.expr.ast import App, Const, Deref, Expr, MASK64, Var, expr_key
 from repro.expr.simplify import sub
+from repro.perf import register_cache, register_lru
+from repro.perf.counters import counters as _C
 from repro.smt.intervals import TOP, Interval, from_width, singleton
 from repro.smt.linear import Linear, difference, linearize
 
@@ -65,6 +69,19 @@ class Region:
 
     def __str__(self) -> str:
         return f"[{self.addr}, {self.size}]"
+
+
+@lru_cache(maxsize=1 << 16)
+def region_key(region: Region) -> str:
+    """Memoized ``str(region)`` for deterministic sort keys.
+
+    Rendering an expression tree is linear in its size; predicates sort
+    their memory valuations on every functional update, so the string is
+    worth caching (regions are interned-expression keyed and long-lived)."""
+    return str(region)
+
+
+register_lru("smt.region_key", region_key)
 
 
 @dataclass(frozen=True)
@@ -187,10 +204,134 @@ def _decide_const_diff(diff: int, n0: int, n1: int) -> Relation | None:
     return None
 
 
+# -- verdict cache ---------------------------------------------------------------
+#
+# Relation queries dominate the lifter's profile: the same (r0, r1) pair is
+# re-decided at every re-visit of a store instruction.  Verdicts depend
+# only on the two address expressions, the two sizes, and the intervals the
+# BoundsProvider supplies for the *terms* of those addresses — every
+# interval the decision procedure can consult flows through
+# ``bounds.interval_of`` on a term of one of the two (linearized) addresses
+# or the ``zext`` argument of such a term.  Keying the cache on that
+# fingerprint makes it exact: a verdict that relied on a term having *no*
+# bound (a TOP interval) carries ``None`` for that term in its key, so a
+# later query under a predicate that does bound the term can never be
+# served the stale TOP-dependent verdict.
+
+
+class VerdictCache:
+    """A small LRU mapping query keys to verdicts, with hit/miss counters."""
+
+    def __init__(self, maxsize: int = 1 << 16) -> None:
+        self.maxsize = maxsize
+        self._data: OrderedDict = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, key):
+        entry = self._data.get(key, _MISSING)
+        if entry is _MISSING:
+            self.misses += 1
+            if _C.enabled:
+                _C.solver_misses += 1
+            return _MISSING
+        self._data.move_to_end(key)
+        self.hits += 1
+        if _C.enabled:
+            _C.solver_hits += 1
+        return entry
+
+    def put(self, key, value) -> None:
+        self._data[key] = value
+        if len(self._data) > self.maxsize:
+            self._data.popitem(last=False)
+
+    def clear(self) -> None:
+        self._data.clear()
+        self.hits = 0
+        self.misses = 0
+
+    def stats(self) -> dict:
+        return {"hits": self.hits, "misses": self.misses,
+                "size": len(self._data)}
+
+
+_MISSING = object()
+_DECIDE_CACHE = VerdictCache()
+_FORK_CACHE = VerdictCache()
+
+register_cache("smt.decide", _DECIDE_CACHE.stats, _DECIDE_CACHE.clear)
+register_cache("smt.fork", _FORK_CACHE.stats, _FORK_CACHE.clear)
+
+
+def reset_solver_caches() -> None:
+    """Drop every cached verdict (used by tests and the bench harness)."""
+    _DECIDE_CACHE.clear()
+    _FORK_CACHE.clear()
+
+
+def solver_cache_stats() -> dict[str, dict]:
+    return {"decide": _DECIDE_CACHE.stats(), "fork": _FORK_CACHE.stats()}
+
+
+def _bounds_fingerprint(r0: Region, r1: Region,
+                        bounds: BoundsProvider) -> tuple:
+    """The portion of *bounds* a relation query can observe.
+
+    Every interval the procedures consult comes from
+    ``bounds.interval_of(t)`` where ``t`` is a term of ``linearize`` of one
+    of the two addresses (or of their canonical difference, whose terms are
+    a subset), or the inner argument of such a term when it is a ``zext``
+    (see :func:`_term_interval`).  The simplified differences are included
+    explicitly: simplification may synthesize terms (e.g. folding a shared
+    subtraction) that appear in neither address's own linear form."""
+    terms = _fingerprint_terms(r0.addr, r1.addr)
+    if not terms:
+        return ()
+    fingerprint = []
+    for term in terms:
+        interval = bounds.interval_of(term)
+        fingerprint.append(
+            (term, None if interval is None else (interval.lo, interval.hi))
+        )
+    return tuple(fingerprint)
+
+
+@lru_cache(maxsize=1 << 16)
+def _fingerprint_terms(a0: Expr, a1: Expr) -> tuple[Expr, ...]:
+    """The terms whose bounds a relation query on (a0, a1) can consult,
+    in deterministic order.  Pure in the address pair, so memoized — the
+    same pair is re-queried under many different predicates."""
+    terms: set[Expr] = set()
+    for expr in (a0, a1, sub(a1, a0), sub(a0, a1)):
+        for term, _ in linearize(expr).terms:
+            terms.add(term)
+            if isinstance(term, App) and term.op == "zext":
+                terms.add(term.args[0])
+    return tuple(sorted(terms, key=expr_key))
+
+
+register_lru("smt.fingerprint_terms", _fingerprint_terms)
+
+
 def decide_relation(
     r0: Region, r1: Region, bounds: BoundsProvider = NO_BOUNDS
 ) -> Decision:
-    """Try to prove a *necessary* relation between two regions."""
+    """Try to prove a *necessary* relation between two regions (cached)."""
+    key = (r0.addr, r0.size, r1.addr, r1.size,
+           _bounds_fingerprint(r0, r1, bounds))
+    cached = _DECIDE_CACHE.get(key)
+    if cached is not _MISSING:
+        return cached
+    decision = _decide_relation_uncached(r0, r1, bounds)
+    _DECIDE_CACHE.put(key, decision)
+    return decision
+
+
+def _decide_relation_uncached(
+    r0: Region, r1: Region, bounds: BoundsProvider = NO_BOUNDS
+) -> Decision:
+    """The actual decision procedure behind :func:`decide_relation`."""
     diff = difference(r1.addr, r0.addr)  # e1 - e0
     if diff.is_const:
         relation = _decide_const_diff(diff.const, r0.size, r1.size)
@@ -286,6 +427,20 @@ class Fork:
 
 
 def possible_relations(
+    r0: Region, r1: Region, bounds: BoundsProvider = NO_BOUNDS
+) -> Fork:
+    """Enumerate the relations an undecided pair may stand in (cached)."""
+    key = (r0.addr, r0.size, r1.addr, r1.size,
+           _bounds_fingerprint(r0, r1, bounds))
+    cached = _FORK_CACHE.get(key)
+    if cached is not _MISSING:
+        return cached
+    fork = _possible_relations_uncached(r0, r1, bounds)
+    _FORK_CACHE.put(key, fork)
+    return fork
+
+
+def _possible_relations_uncached(
     r0: Region, r1: Region, bounds: BoundsProvider = NO_BOUNDS
 ) -> Fork:
     """Enumerate the relations an undecided pair may stand in.

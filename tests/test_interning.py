@@ -1,0 +1,132 @@
+"""Hash-consing invariants of the expression AST.
+
+The optimization layers (memoized simplification, the SMT verdict cache,
+state-join short-circuits) all lean on one invariant: while two
+structurally equal nodes are alive in one process, they are the *same
+object*.  These tests pin that invariant down, including the deliberate
+limits: pickling re-interns rather than assuming cross-process hash
+stability, and nodes from before a cache reset stay comparable.
+"""
+
+from __future__ import annotations
+
+import gc
+import pickle
+
+import pytest
+
+from repro.expr.ast import (
+    MASK64,
+    App,
+    Const,
+    Deref,
+    FlagRef,
+    RegRef,
+    Var,
+    intern_table_sizes,
+)
+
+
+def build_samples():
+    return [
+        Const(42),
+        Const(7, width=8),
+        Var("rdi0"),
+        Var("idx", width=32),
+        RegRef("rax"),
+        FlagRef("zf"),
+        Deref(Var("rsp0"), 8),
+        App("add", (Var("rdi0"), Const(8))),
+        App("zext", (Var("idx", width=32),), 64),
+    ]
+
+
+def rebuild(expr):
+    """Reconstruct *expr* bottom-up through the public constructors."""
+    if isinstance(expr, Const):
+        return Const(expr.value, expr.width)
+    if isinstance(expr, Var):
+        return Var(expr.name, expr.width)
+    if isinstance(expr, RegRef):
+        return RegRef(expr.name, expr.width)
+    if isinstance(expr, FlagRef):
+        return FlagRef(expr.name, expr.width)
+    if isinstance(expr, Deref):
+        return Deref(rebuild(expr.addr), expr.size)
+    return App(expr.op, tuple(rebuild(a) for a in expr.args), expr.width)
+
+
+def test_equal_implies_identical():
+    for expr in build_samples():
+        twin = rebuild(expr)
+        assert twin == expr
+        assert twin is expr, f"{expr!r} not interned"
+        assert hash(twin) == hash(expr)
+
+
+def test_distinct_nodes_are_distinct():
+    assert Const(1) is not Const(1, width=32)
+    assert Var("a") != Var("b")
+    assert App("add", (Var("a"), Var("b"))) != App("sub", (Var("a"), Var("b")))
+    # Same name, different node class: never equal, never the same object.
+    assert Var("rax") != RegRef("rax")
+
+
+def test_const_normalizes_modulo_width():
+    assert Const(-1) is Const(MASK64)
+    assert Const(256, width=8) is Const(0, width=8)
+    assert Const(-1, width=8).value == 0xFF
+
+
+def test_pickle_reinterns():
+    for expr in build_samples():
+        clone = pickle.loads(pickle.dumps(expr))
+        assert clone is expr
+
+    # Deep structure round-trips to the identical interned graph.
+    deep = App("add", (Deref(App("add", (Var("rsp0"), Const(-16))), 8),
+                       Const(1)))
+    assert pickle.loads(pickle.dumps(deep)) is deep
+
+
+def test_nodes_are_immutable():
+    v = Var("frozen")
+    with pytest.raises(AttributeError):
+        v.name = "thawed"
+    with pytest.raises(AttributeError):
+        del v.name
+
+
+def test_equality_survives_cache_reset():
+    from repro.perf import reset_caches
+
+    old = App("add", (Var("reset_probe"), Const(3)))
+    reset_caches()
+    new = App("add", (Var("reset_probe"), Const(3)))
+    # Different objects (the table was dropped) but still equal, with
+    # equal hashes — the structural fallback in __eq__.
+    assert new is not old
+    assert new == old and hash(new) == hash(old)
+    assert len({new, old}) == 1
+    reset_caches()
+
+
+def test_unreferenced_nodes_are_reclaimed():
+    name = "interning_gc_probe_unique"
+    Var(name)
+    gc.collect()
+    sizes = intern_table_sizes()
+    # The weak-value table must not have kept the dead node alive.
+    assert all(
+        key != (name, 64) for key in Var._interned.keys()
+    ), "dead node still interned"
+    assert sizes["Var"] == len(Var._interned)
+
+
+def test_no_cross_process_hash_assumption():
+    """The pickle payload must carry constructor arguments, not hashes."""
+    expr = App("add", (Var("h"), Const(5)))
+    fn, argv = expr.__reduce__()
+    assert fn is App
+    flat = repr(argv)
+    assert str(expr._hash) not in flat

@@ -1,0 +1,149 @@
+"""Parallel corpus lifting: ordering contract, determinism, bench plumbing.
+
+``run_corpus`` promises that its report is *identical in canonical form*
+whether the corpus is lifted serially or by a worker pool, and that rows
+and records come back in a documented sort order regardless of corpus
+iteration order.  These tests exercise both promises on a corpus small
+enough for CI, plus the build/lift timing split in the scaling experiment
+and the bench harness's baseline comparison.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.corpus import Corpus, CorpusBinary, CorpusLibrary
+from repro.eval.runner import CorpusReport, DirectoryRow, run_corpus
+from repro.minicc import compile_source
+
+
+@pytest.fixture(scope="module")
+def tiny_corpus() -> Corpus:
+    """Two binaries and a two-function library, deliberately unsorted."""
+    corpus = Corpus()
+    # Names and directories in reverse order: the report must sort them.
+    corpus.binaries.append(CorpusBinary(
+        name="zeta", directory="usr-bin",
+        binary=compile_source("long main(long n) { return n * 3; }",
+                              name="zeta"),
+        expected="lifted",
+    ))
+    corpus.binaries.append(CorpusBinary(
+        name="alpha", directory="bin",
+        binary=compile_source(
+            "long main(long n) { long s = 0;"
+            " for (long i = 0; i < n; i = i + 1) { s = s + i; }"
+            " return s; }",
+            name="alpha"),
+        expected="lifted",
+    ))
+    library = compile_source(
+        "long inc(long n) { return n + 1; }\n"
+        "long twice(long n) { return n + n; }\n",
+        name="tinylib.so", entry="inc", export_labels=True,
+    )
+    corpus.libraries.append(CorpusLibrary(
+        name="tinylib.so", directory="lib", binary=library,
+        functions=["twice", "inc"],  # unsorted on purpose
+    ))
+    return corpus
+
+
+def test_records_and_rows_follow_the_ordering_contract(tiny_corpus):
+    report = run_corpus(corpus=tiny_corpus)
+    record_keys = [(r.kind, r.directory, r.name) for r in report.records]
+    assert record_keys == sorted(record_keys)
+    row_keys = [(r.kind, r.directory) for r in report.rows]
+    assert row_keys == sorted(row_keys)
+    # All four tasks made it through, every one lifted.
+    assert len(report.records) == 4
+    assert all(r.outcome == "lifted" for r in report.records)
+
+
+def test_serial_and_parallel_reports_are_canonically_identical(tiny_corpus):
+    serial = run_corpus(corpus=tiny_corpus, jobs=1)
+    parallel = run_corpus(corpus=tiny_corpus, jobs=2)
+    assert serial.canonical_json() == parallel.canonical_json()
+
+
+def test_parallel_run_still_reports_counters(tiny_corpus):
+    report = run_corpus(corpus=tiny_corpus, jobs=2)
+    # Worker deltas are merged back into the report.
+    assert report.counters.get("expr_new", 0) > 0
+    assert report.counters.get("intern_hits", 0) > 0
+
+
+def test_canonical_excludes_timing_but_keeps_outcomes(tiny_corpus):
+    report = run_corpus(corpus=tiny_corpus)
+    canonical = report.canonical()
+    for row in canonical["rows"] + canonical["records"]:
+        assert "seconds" not in row
+    assert canonical["records"][0]["outcome"] == "lifted"
+    # canonical_json round-trips and is stable under re-serialization.
+    assert json.loads(report.canonical_json()) == canonical
+
+
+def _stub_report() -> CorpusReport:
+    report = CorpusReport()
+    report.rows.append(DirectoryRow(directory="bin", kind="binary", total=2,
+                                    lifted=2, instructions=100, states=120,
+                                    seconds=4.0))
+    report.rows.append(DirectoryRow(directory="lib", kind="function", total=3,
+                                    lifted=3, instructions=400, states=410,
+                                    seconds=6.0))
+    report.counters = {"expr_new": 10, "intern_hits": 90,
+                       "solver_hits": 5, "solver_misses": 5}
+    return report
+
+
+def test_run_scaling_separates_build_time_from_lift_time(monkeypatch):
+    import repro.eval.scaling as scaling
+
+    built = []
+    monkeypatch.setattr(scaling, "build_corpus",
+                        lambda scale: built.append(scale) or f"corpus-{scale}")
+    monkeypatch.setattr(
+        scaling, "run_corpus",
+        lambda corpus=None, timeout_seconds=0, max_states=0, jobs=1:
+        _stub_report(),
+    )
+    points = scaling.run_scaling(scales=(1, 2), jobs=1)
+    assert built == [1, 2]
+    for point in points:
+        assert point.build_seconds >= 0.0
+        assert point.seconds >= 0.0
+        assert point.instructions == 500   # binary + function totals
+        assert point.functions == 5
+    text = scaling.format_scaling(points)
+    assert "build(s)" in text and "lift(s)" in text
+    assert "more lift time" in text
+
+
+def test_bench_report_compares_against_baseline(monkeypatch, tmp_path):
+    import repro.perf.bench as bench
+
+    monkeypatch.setattr(bench, "BASELINE_PATH", tmp_path / "baseline.json")
+    bench.BASELINE_PATH.write_text(json.dumps(
+        {"scale_2": {"instrs_per_second": 100.0, "lift_seconds": 5.0}}
+    ))
+
+    import repro.corpus
+    import repro.eval.runner
+    monkeypatch.setattr(repro.corpus, "build_corpus", lambda scale: "corpus")
+    monkeypatch.setattr(
+        repro.eval.runner, "run_corpus",
+        lambda corpus=None, timeout_seconds=0, max_states=0, jobs=1:
+        _stub_report(),
+    )
+
+    out = tmp_path / "BENCH_test.json"
+    payload, text = bench.bench_report(scale=2, out_path=out)
+    assert payload["baseline"]["instrs_per_second"] == 100.0
+    assert payload["current"]["instructions"] == 500
+    assert payload["current"]["hit_rates"]["interning"] == 0.9
+    assert payload["current"]["hit_rates"]["solver"] == 0.5
+    assert "speedup" in payload
+    assert "instrs/s" in text and "baseline" in text
+    assert json.loads(out.read_text()) == payload

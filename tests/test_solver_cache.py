@@ -1,0 +1,160 @@
+"""Soundness of the SMT verdict cache.
+
+The cache key is ``(addr0, size0, addr1, size1, bounds fingerprint)``; the
+fingerprint captures every interval the decision procedure can consult.
+The property under test: a verdict served from the cache is *always* the
+verdict a fresh run of the decision procedure would produce — across
+randomized queries, randomized bounds, and the adversarial case where an
+earlier query saw no bounds (TOP) and a later one does.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.expr.ast import Const, Expr, Var
+from repro.expr.simplify import add, mul, zext
+from repro.perf import reset_caches
+from repro.smt.intervals import Interval
+from repro.smt.solver import (
+    NO_BOUNDS,
+    Fork,
+    Region,
+    _decide_relation_uncached,
+    _possible_relations_uncached,
+    decide_relation,
+    possible_relations,
+    solver_cache_stats,
+)
+
+
+class MapBounds:
+    """A BoundsProvider backed by a plain dict."""
+
+    def __init__(self, mapping: dict[Expr, Interval]):
+        self.mapping = mapping
+
+    def interval_of(self, term: Expr) -> Interval | None:
+        return self.mapping.get(term)
+
+
+@pytest.fixture(autouse=True)
+def _fresh_caches():
+    reset_caches()
+    yield
+    reset_caches()
+
+
+def random_address(rng: random.Random) -> Expr:
+    """A random pointer expression of the shapes the lifter produces."""
+    base = rng.choice([
+        Var("rsp0"), Var("rdi0"), Var("heap"), Const(rng.randrange(0x1000)),
+    ])
+    expr = base
+    if rng.random() < 0.6:
+        expr = add(expr, Const(rng.randrange(-64, 64)))
+    if rng.random() < 0.4:
+        index = zext(Var("idx", width=32), 64)
+        expr = add(expr, mul(index, Const(rng.choice([1, 2, 4, 8]))))
+    return expr
+
+
+def random_bounds(rng: random.Random, *addrs: Expr) -> MapBounds:
+    """Random intervals for a random subset of the addresses' variables."""
+    from repro.smt.linear import linearize
+
+    mapping: dict[Expr, Interval] = {}
+    for addr in addrs:
+        for term, _ in linearize(addr).terms:
+            if rng.random() < 0.5:
+                lo = rng.randrange(0, 1 << 12)
+                mapping[term] = Interval(lo, lo + rng.randrange(0, 1 << 12))
+    return MapBounds(mapping)
+
+
+def test_randomized_cached_verdict_equals_fresh_verdict():
+    rng = random.Random(0x5EED)
+    queries = []
+    for _ in range(300):
+        r0 = Region(random_address(rng), rng.choice([1, 2, 4, 8, 16]))
+        r1 = Region(random_address(rng), rng.choice([1, 2, 4, 8, 16]))
+        bounds = random_bounds(rng, r0.addr, r1.addr)
+        queries.append((r0, r1, bounds))
+
+    # First pass populates the caches; the second pass re-issues every
+    # query (now mostly cache hits) and checks each answer against a
+    # fresh, uncached run of the decision procedure.
+    for r0, r1, bounds in queries:
+        decide_relation(r0, r1, bounds)
+        possible_relations(r0, r1, bounds)
+    for r0, r1, bounds in queries:
+        cached = decide_relation(r0, r1, bounds)
+        fresh = _decide_relation_uncached(r0, r1, bounds)
+        assert cached == fresh, f"stale verdict for {r0} vs {r1}"
+
+        fork_cached = possible_relations(r0, r1, bounds)
+        fork_fresh = _possible_relations_uncached(r0, r1, bounds)
+        assert fork_cached == fork_fresh
+
+    stats = solver_cache_stats()
+    assert stats["decide"]["hits"] > 0
+    assert stats["decide"]["misses"] > 0
+    assert stats["fork"]["hits"] > 0
+
+
+def test_repeat_query_hits_cache_with_identical_verdict():
+    r0 = Region(Var("p"), 8)
+    r1 = Region(add(Var("p"), Const(32)), 8)
+    first = decide_relation(r0, r1)
+    before = solver_cache_stats()["decide"]["hits"]
+    second = decide_relation(r0, r1)
+    assert second == first
+    assert solver_cache_stats()["decide"]["hits"] == before + 1
+
+
+def test_verdict_survives_cache_clear():
+    rng = random.Random(7)
+    queries = []
+    for _ in range(40):
+        r0 = Region(random_address(rng), rng.choice([1, 2, 4, 8]))
+        r1 = Region(random_address(rng), rng.choice([1, 2, 4, 8]))
+        bounds = random_bounds(rng, r0.addr, r1.addr)
+        queries.append((r0, r1, bounds, decide_relation(r0, r1, bounds)))
+    reset_caches()
+    for r0, r1, bounds, verdict in queries:
+        assert decide_relation(r0, r1, bounds) == verdict
+
+
+def test_top_verdict_not_served_once_bounds_appear():
+    """A verdict computed with *no* bound on a term must not shadow a later
+    query where the term is bounded — the exact staleness the fingerprint
+    key exists to prevent."""
+    gap = Var("k")
+    r0 = Region(Var("p"), 8)
+    r1 = Region(add(Var("p"), gap), 8)
+
+    unbounded = decide_relation(r0, r1, NO_BOUNDS)
+    assert unbounded.relation is None  # nothing provable without bounds
+
+    bounded = decide_relation(r0, r1, MapBounds({gap: Interval(8, 100)}))
+    assert bounded.relation is not None  # k in [8, 100] separates them
+    # And the reverse direction: the bounded verdict must not leak back.
+    assert decide_relation(r0, r1, NO_BOUNDS).relation is None
+
+
+def test_fork_cache_respects_bounds():
+    idx = zext(Var("i", width=32), 64)
+    r0 = Region(Var("t"), 8)
+    r1 = Region(add(Var("t"), mul(idx, Const(8))), 8)
+
+    free = possible_relations(r0, r1, NO_BOUNDS)
+    assert isinstance(free, Fork)
+
+    pinned = possible_relations(
+        r0, r1, MapBounds({idx: Interval(1, 3), Var("i", width=32): Interval(1, 3)})
+    )
+    # With 8*i in [8, 24] the alias case is refuted; without bounds it isn't.
+    assert pinned.relations != free.relations
+    assert possible_relations(r0, r1, NO_BOUNDS) == free
