@@ -11,7 +11,11 @@ Commands:
 * ``check`` — replay every Hoare triple against the concrete emulator;
 * ``diff``  — lift two binaries (original, patched) and compare the HGs;
 * ``lint``  — run the dataflow lint rules; exit 0 = clean, 1 = findings
-  (error/warning severity), 2 = could not load or lift at all.
+  (error/warning severity), 2 = could not load or lift at all;
+* ``trace`` — lift under full-fidelity tracing (sampling 1) and report
+  the event stream: ``--format text`` (summary + provenance chains),
+  ``--format jsonl`` (one event per line), ``--format chrome``
+  (Chrome ``trace_event`` JSON for chrome://tracing / Perfetto).
 """
 
 from __future__ import annotations
@@ -49,6 +53,41 @@ def _print_lift(result) -> int:
     return 0 if result.verified else 1
 
 
+def _run_trace(args) -> int:
+    """``python -m repro trace``: lift once under tracing, report."""
+    import repro.obs as obs
+
+    prior = obs.save_state()
+    obs.reset()
+    obs.enable(sampling=args.sampling)
+    try:
+        result = _load_and_lift(args)
+        events = obs.tracer.events()
+        counts = dict(obs.tracer.counts)
+        capacity = obs.tracer.capacity
+        metrics_snapshot = obs.metrics.snapshot()
+    finally:
+        obs.restore_state(prior)
+
+    if args.trace_format == "jsonl":
+        text = obs.events_jsonl(events)
+    elif args.trace_format == "chrome":
+        text = obs.chrome_trace_json(events)
+    else:
+        summary = obs.render_trace_summary(events, metrics_snapshot,
+                                           counts, capacity)
+        provenance = obs.build_provenance(result, events)
+        text = summary + "\n" + provenance.render() + "\n"
+
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(text)
+        print(f"wrote {args.output}")
+    else:
+        print(text, end="" if text.endswith("\n") else "\n")
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -56,7 +95,8 @@ def main(argv=None) -> int:
                     "(PLDI 2022 reproduction).",
     )
     parser.add_argument("command", choices=["lift", "disasm", "cfg", "decompile",
-                                            "export", "check", "diff", "lint"])
+                                            "export", "check", "diff", "lint",
+                                            "trace"])
     parser.add_argument("binary", help="path to an ELF binary")
     parser.add_argument("patched", nargs="?",
                         help="second binary (diff command only)")
@@ -70,7 +110,17 @@ def main(argv=None) -> int:
                         help="emit the lint report as SARIF-lite JSON")
     parser.add_argument("--rule", action="append", dest="rules", metavar="ID",
                         help="run only this lint rule (repeatable)")
+    parser.add_argument("--format", choices=["text", "jsonl", "chrome"],
+                        default="text", dest="trace_format",
+                        help="trace output format (default text)")
+    parser.add_argument("--sampling", type=int, default=1,
+                        help="trace: record 1 in N high-frequency events "
+                             "(default 1 = everything, so provenance chains "
+                             "are complete)")
     args = parser.parse_args(argv)
+
+    if args.command == "trace":
+        return _run_trace(args)
 
     if args.command == "lint":
         from repro.analysis import render_json, render_text, run_lint

@@ -1,4 +1,4 @@
-"""CLI: ``python -m repro.eval <table1|table2|figure3|failures|bench|all>``."""
+"""CLI: ``python -m repro.eval <table1|table2|figure3|failures|bench|obs|all>``."""
 
 from __future__ import annotations
 
@@ -14,7 +14,7 @@ def main(argv=None) -> int:
     )
     parser.add_argument("what", choices=["table1", "table2", "figure3",
                                          "failures", "scaling", "lint",
-                                         "bench", "all"])
+                                         "bench", "obs", "all"])
     parser.add_argument("--scale", type=int, default=1,
                         help="corpus scale factor (default 1)")
     parser.add_argument("--timeout", type=float, default=10.0,
@@ -28,9 +28,15 @@ def main(argv=None) -> int:
     parser.add_argument("--check-determinism", action="store_true",
                         help="bench: also lift with 2 workers and require "
                              "the canonical reports to match")
-    parser.add_argument("--out", default="BENCH_pr2.json",
+    parser.add_argument("--trace-overhead", action="store_true",
+                        help="bench: also measure the obs-enabled lift-time "
+                             "ratio (scale-1 corpus, default sampling)")
+    parser.add_argument("--sampling", type=int, default=None,
+                        help="obs: record 1 in N high-frequency events "
+                             "(default: the obs layer's default)")
+    parser.add_argument("--out", default="BENCH_pr3.json",
                         help="bench: output JSON path "
-                             "(default BENCH_pr2.json)")
+                             "(default BENCH_pr3.json)")
     args = parser.parse_args(argv)
 
     if args.what in ("table1", "all"):
@@ -74,6 +80,7 @@ def main(argv=None) -> int:
             jobs=args.jobs,
             timeout_seconds=args.timeout,
             check_determinism=args.check_determinism,
+            check_trace_overhead=args.trace_overhead,
             out_path=args.out,
         )
         print(text)
@@ -82,6 +89,20 @@ def main(argv=None) -> int:
             print("bench: serial and parallel reports differ",
                   file=sys.stderr)
             return 1
+        overhead = payload.get("trace_overhead")
+        if overhead is not None and overhead["overhead_ratio"] > 1.05:
+            print(f"bench: tracing overhead {overhead['overhead_ratio']:.3f}x "
+                  "exceeds the 1.05x bound", file=sys.stderr)
+            return 1
+    if args.what == "obs":
+        from repro.eval.obs_report import generate_obs_report
+        from repro.obs.tracer import DEFAULT_SAMPLING
+
+        _, text = generate_obs_report(
+            scale=args.scale, timeout_seconds=args.timeout, jobs=args.jobs,
+            sampling=args.sampling if args.sampling else DEFAULT_SAMPLING,
+        )
+        print(text)
     if args.what in ("failures", "all"):
         from repro.eval.failures_report import generate_failures_report
 

@@ -1,0 +1,25 @@
+"""``python -m repro.eval obs``: corpus-wide observability rollup.
+
+Runs the corpus with per-task obs capture (``run_corpus(obs=True)``) and
+renders the merged rollup: exact event totals, histograms aggregated over
+all tasks, the tasks whose canonical tails carry diagnostics, and the
+annotation counts by directory.  The rollup content (canonical form) is a
+pure function of the corpus — identical for serial and parallel runs.
+"""
+
+from __future__ import annotations
+
+from repro.obs.report import render_obs_rollup
+from repro.obs.tracer import DEFAULT_SAMPLING
+
+
+def generate_obs_report(scale: int = 1, timeout_seconds: float = 10.0,
+                        jobs: int = 1,
+                        sampling: int = DEFAULT_SAMPLING):
+    """Return ``(report, text)`` for the obs rollup of one corpus run."""
+    from repro.eval.runner import run_corpus
+
+    report = run_corpus(scale=scale, timeout_seconds=timeout_seconds,
+                        jobs=jobs, obs=True, obs_sampling=sampling)
+    text = render_obs_rollup(report.obs, report.records)
+    return report, text

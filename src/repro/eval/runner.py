@@ -32,6 +32,9 @@ from dataclasses import asdict, dataclass, field
 from repro.corpus import Corpus, build_corpus, function_binary
 from repro.elf import Binary
 from repro.hoare import LiftResult, lift, lift_function
+from repro.obs.metrics import metrics as _obs_metrics
+from repro.obs.report import canonical_obs, merge_rollup, task_obs_data
+from repro.obs.tracer import DEFAULT_SAMPLING, tracer as _obs_tracer
 from repro.perf.counters import counters
 
 
@@ -49,6 +52,8 @@ class FunctionRecord:
     unresolved_jumps: int
     unresolved_calls: int
     seconds: float
+    #: Annotation counts by kind (``LiftStats.annotations_by_kind``).
+    annotations: dict[str, int] = field(default_factory=dict)
 
 
 @dataclass
@@ -68,6 +73,9 @@ class DirectoryRow:
     unresolved_jumps: int = 0   # column B
     unresolved_calls: int = 0   # column C
     seconds: float = 0.0
+    #: Annotation counts by kind, over *all* records of the row (annotations
+    #: accompany every outcome, not just lifted ones).
+    annotations: dict[str, int] = field(default_factory=dict)
 
     def counts_cell(self) -> str:
         return (f"{self.total} = {self.lifted} + {self.unprovable} "
@@ -83,6 +91,9 @@ class CorpusReport:
     #: Perf-counter totals over all lift tasks (sum of per-task deltas, so
     #: parallel runs still report interning/solver hit counts).
     counters: dict[str, int] = field(default_factory=dict)
+    #: Observability rollup (``repro.obs.report.merge_rollup`` form) when
+    #: the run was made with ``obs=True``; None otherwise.
+    obs: dict | None = None
 
     def totals(self, kind: str) -> DirectoryRow:
         total = DirectoryRow(directory="Total", kind=kind)
@@ -93,6 +104,10 @@ class CorpusReport:
                          "timeout", "instructions", "states", "resolved",
                          "unresolved_jumps", "unresolved_calls", "seconds"):
                 setattr(total, attr, getattr(total, attr) + getattr(row, attr))
+            for ann_kind, count in row.annotations.items():
+                total.annotations[ann_kind] = (
+                    total.annotations.get(ann_kind, 0) + count
+                )
         return total
 
     def canonical(self) -> dict:
@@ -101,16 +116,21 @@ class CorpusReport:
         Wall-clock ``seconds`` (and the cache-state-dependent ``counters``)
         are excluded: they are the only fields that legitimately differ
         between repeated or serial-vs-parallel runs of the same corpus.
+        The obs rollup enters in its canonical form (timers, timestamps,
+        and cache-dependent content stripped) for the same reason.
         """
         def strip(obj) -> dict:
             data = asdict(obj)
             data.pop("seconds")
             return data
 
-        return {
+        data = {
             "rows": [strip(row) for row in self.rows],
             "records": [strip(record) for record in self.records],
         }
+        if self.obs is not None:
+            data["obs"] = canonical_obs(self.obs)
+        return data
 
     def canonical_json(self) -> str:
         return json.dumps(self.canonical(), sort_keys=True, indent=1)
@@ -143,14 +163,26 @@ class _LiftTask:
     function: str | None
     timeout_seconds: float
     max_states: int
+    #: Capture an obs snapshot for this task (tracer reset per task so the
+    #: sampled event stream is a pure function of the task — identical in
+    #: serial and worker-pool runs).
+    obs: bool = False
+    obs_sampling: int = DEFAULT_SAMPLING
 
 
-def _run_task(task: _LiftTask) -> tuple[FunctionRecord, dict[str, int]]:
-    """Lift one task; also report the perf-counter delta it produced.
+def _run_task(
+    task: _LiftTask,
+) -> tuple[FunctionRecord, dict[str, int], dict | None]:
+    """Lift one task; also report the perf-counter delta it produced and,
+    when ``task.obs`` is set, the task's obs snapshot.
 
     Module-level so it pickles for ProcessPoolExecutor; also used verbatim
     on the serial path so both paths build records identically.
     """
+    if task.obs:
+        _obs_tracer.reset()
+        _obs_metrics.reset()
+        _obs_tracer.configure(enabled=True, sampling=task.obs_sampling)
     before = counters.snapshot()
     if task.function is None:
         result = lift(task.binary, max_states=task.max_states,
@@ -160,6 +192,10 @@ def _run_task(task: _LiftTask) -> tuple[FunctionRecord, dict[str, int]]:
                                max_states=task.max_states,
                                timeout_seconds=task.timeout_seconds)
     delta = counters.delta(before, counters.snapshot())
+    obs_data = None
+    if task.obs:
+        obs_data = task_obs_data(_obs_tracer, _obs_metrics)
+        _obs_tracer.configure(enabled=False)
     outcome = _outcome(result)
     stats = result.stats
     record = FunctionRecord(
@@ -170,16 +206,19 @@ def _run_task(task: _LiftTask) -> tuple[FunctionRecord, dict[str, int]]:
         unresolved_jumps=stats.unresolved_jumps,
         unresolved_calls=stats.unresolved_calls,
         seconds=stats.seconds,
+        annotations=dict(stats.annotations_by_kind),
     )
-    return record, delta
+    return record, delta, obs_data
 
 
 def _corpus_tasks(corpus: Corpus, timeout_seconds: float,
-                  max_states: int) -> list[_LiftTask]:
+                  max_states: int, obs: bool,
+                  obs_sampling: int) -> list[_LiftTask]:
     tasks = [
         _LiftTask(name=corpus_binary.name, directory=corpus_binary.directory,
                   kind="binary", binary=corpus_binary.binary, function=None,
-                  timeout_seconds=timeout_seconds, max_states=max_states)
+                  timeout_seconds=timeout_seconds, max_states=max_states,
+                  obs=obs, obs_sampling=obs_sampling)
         for corpus_binary in corpus.binaries
     ]
     for library in corpus.libraries:
@@ -189,8 +228,14 @@ def _corpus_tasks(corpus: Corpus, timeout_seconds: float,
                 directory=library.directory, kind="function",
                 binary=function_binary(library, function), function=function,
                 timeout_seconds=timeout_seconds, max_states=max_states,
+                obs=obs, obs_sampling=obs_sampling,
             ))
     return tasks
+
+
+def _task_key(record: FunctionRecord) -> str:
+    """The rollup key for one task — unique and sort-stable."""
+    return f"{record.kind}/{record.directory}/{record.name}"
 
 
 def run_corpus(
@@ -199,29 +244,47 @@ def run_corpus(
     timeout_seconds: float = 10.0,
     max_states: int = 10_000,
     jobs: int = 1,
+    obs: bool = False,
+    obs_sampling: int = DEFAULT_SAMPLING,
 ) -> CorpusReport:
     """Lift every binary and library function; aggregate per directory.
 
     ``jobs > 1`` lifts in that many worker processes; results are merged
     by name, so the report is deterministic (see the module docstring).
+    ``obs=True`` additionally captures a per-task observability snapshot
+    (tracer + metrics, reset per task) and attaches the merged rollup as
+    ``CorpusReport.obs``; the caller's tracer configuration is restored
+    afterwards.
     """
     if corpus is None:
         corpus = build_corpus(scale)
-    tasks = _corpus_tasks(corpus, timeout_seconds, max_states)
+    tasks = _corpus_tasks(corpus, timeout_seconds, max_states,
+                          obs, obs_sampling)
 
-    if jobs > 1 and len(tasks) > 1:
-        with ProcessPoolExecutor(max_workers=jobs) as pool:
-            outcomes = list(pool.map(_run_task, tasks))
-    else:
-        outcomes = [_run_task(task) for task in tasks]
+    prior = (_obs_tracer.enabled, _obs_tracer.sampling)
+    try:
+        if jobs > 1 and len(tasks) > 1:
+            with ProcessPoolExecutor(max_workers=jobs) as pool:
+                outcomes = list(pool.map(_run_task, tasks))
+        else:
+            outcomes = [_run_task(task) for task in tasks]
+    finally:
+        if obs:
+            _obs_tracer.configure(enabled=prior[0], sampling=prior[1])
 
     report = CorpusReport()
-    for _, delta in outcomes:
+    for _, delta, _ in outcomes:
         counters.merge(report.counters, delta)
     report.records = sorted(
-        (record for record, _ in outcomes),
+        (record for record, _, _ in outcomes),
         key=lambda r: (r.kind, r.directory, r.name),
     )
+    if obs:
+        report.obs = merge_rollup(
+            {_task_key(record): obs_data
+             for record, _, obs_data in outcomes if obs_data is not None},
+            sampling=obs_sampling,
+        )
 
     rows: dict[tuple[str, str], DirectoryRow] = {}
     for record in report.records:
@@ -239,5 +302,7 @@ def run_corpus(
             row.unresolved_jumps += record.unresolved_jumps
             row.unresolved_calls += record.unresolved_calls
         row.seconds += record.seconds
+        for ann_kind, count in record.annotations.items():
+            row.annotations[ann_kind] = row.annotations.get(ann_kind, 0) + count
     report.rows = [rows[key] for key in sorted(rows)]
     return report

@@ -44,6 +44,13 @@ def format_table1(report: CorpusReport) -> str:
         "\nA = resolved indirections   B = unresolved jumps   "
         "C = unresolved calls\n"
     )
+    annotated = [row for row in report.rows if row.annotations]
+    if annotated:
+        out.write("\nUnsoundness annotations by kind:\n")
+        for row in annotated:
+            cell = "  ".join(f"{kind}={count}" for kind, count
+                             in sorted(row.annotations.items()))
+            out.write(f"  {row.directory:<16} ({row.kind}) {cell}\n")
     return out.getvalue()
 
 

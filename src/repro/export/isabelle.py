@@ -19,6 +19,7 @@ import io
 from repro.expr import Var
 from repro.hoare import HoareGraph, LiftResult
 from repro.hoare.graph import VertexKey
+from repro.obs.tracer import tracer as _T
 from repro.export.terms import _sanitize, to_isabelle
 
 
@@ -73,6 +74,13 @@ def export_theory(result: LiftResult, theory_name: str | None = None,
     With *with_equations* (the default) each lifted instruction also gets a
     generated ``definition step_<addr>`` giving its machine semantics over
     the X86_Semantics state record."""
+    with _T.span("export.theory", binary=result.binary.name,
+                 entry=result.entry):
+        return _export_theory(result, theory_name, with_equations)
+
+
+def _export_theory(result: LiftResult, theory_name: str | None,
+                   with_equations: bool) -> str:
     graph = result.graph
     name = theory_name or _sanitize(f"HG_{result.binary.name}_{result.entry:x}")
     out = io.StringIO()

@@ -39,7 +39,7 @@ import weakref
 from functools import lru_cache
 
 from repro.perf import register_cache, register_lru
-from repro.perf.counters import counters as _C
+from repro.perf.counters import counters as _C, gated as _gated
 
 MASK64 = (1 << 64) - 1
 
@@ -138,11 +138,9 @@ class Const(Expr):
         key = (value, width)
         self = cls._interned.get(key)
         if self is not None:
-            if _C.enabled:
-                _C.intern_hits += 1
+            _gated("intern_hits")
             return self
-        if _C.enabled:
-            _C.expr_new += 1
+        _gated("expr_new")
         self = object.__new__(cls)
         _set(self, "value", value)
         _set(self, "width", width)
@@ -191,11 +189,9 @@ class Var(Expr):
         key = (name, width)
         self = cls._interned.get(key)
         if self is not None:
-            if _C.enabled:
-                _C.intern_hits += 1
+            _gated("intern_hits")
             return self
-        if _C.enabled:
-            _C.expr_new += 1
+        _gated("expr_new")
         self = object.__new__(cls)
         _set(self, "name", name)
         _set(self, "width", width)
@@ -235,11 +231,9 @@ class RegRef(Expr):
         key = (name, width)
         self = cls._interned.get(key)
         if self is not None:
-            if _C.enabled:
-                _C.intern_hits += 1
+            _gated("intern_hits")
             return self
-        if _C.enabled:
-            _C.expr_new += 1
+        _gated("expr_new")
         self = object.__new__(cls)
         _set(self, "name", name)
         _set(self, "width", width)
@@ -279,11 +273,9 @@ class FlagRef(Expr):
         key = (name, width)
         self = cls._interned.get(key)
         if self is not None:
-            if _C.enabled:
-                _C.intern_hits += 1
+            _gated("intern_hits")
             return self
-        if _C.enabled:
-            _C.expr_new += 1
+        _gated("expr_new")
         self = object.__new__(cls)
         _set(self, "name", name)
         _set(self, "width", width)
@@ -328,11 +320,9 @@ class Deref(Expr):
         key = (addr, size)
         self = cls._interned.get(key)
         if self is not None:
-            if _C.enabled:
-                _C.intern_hits += 1
+            _gated("intern_hits")
             return self
-        if _C.enabled:
-            _C.expr_new += 1
+        _gated("expr_new")
         self = object.__new__(cls)
         _set(self, "addr", addr)
         _set(self, "size", size)
@@ -396,13 +386,11 @@ class App(Expr):
         key = (op, args, width)
         self = cls._interned.get(key)
         if self is not None:
-            if _C.enabled:
-                _C.intern_hits += 1
+            _gated("intern_hits")
             return self
         if op not in OPS:
             raise ValueError(f"unknown operator: {op}")
-        if _C.enabled:
-            _C.expr_new += 1
+        _gated("expr_new")
         self = object.__new__(cls)
         _set(self, "op", op)
         _set(self, "args", args)

@@ -23,9 +23,12 @@ from __future__ import annotations
 import heapq
 import itertools
 import time
+from collections import Counter
 from dataclasses import dataclass, field
 
 from repro.elf import Binary
+from repro.obs.metrics import metrics as _M
+from repro.obs.tracer import tracer as _T
 from repro.expr import Const, Var, simplify as s
 from repro.isa import DecodeError, Instruction
 from repro.isa.registers import CALLEE_SAVED
@@ -72,6 +75,9 @@ class LiftStats:
     unresolved_jumps: int = 0         # column B
     unresolved_calls: int = 0         # column C
     seconds: float = 0.0
+    #: Annotation counts by kind (e.g. {"unresolved-jump": 2}); columns B/C
+    #: count *addresses*, this counts every annotation instance.
+    annotations_by_kind: dict[str, int] = field(default_factory=dict)
 
 
 @dataclass
@@ -98,12 +104,18 @@ class LiftResult:
 
     def summary(self) -> str:
         flag = "OK" if self.verified else "REJECTED"
-        return (
+        text = (
             f"{self.binary.name}@{self.entry:#x}: {flag}, "
             f"{self.stats.instructions} instructions, {self.stats.states} states, "
             f"A={self.stats.resolved_indirections} B={self.stats.unresolved_jumps} "
             f"C={self.stats.unresolved_calls}"
         )
+        by_kind = self.stats.annotations_by_kind
+        if by_kind:
+            counts = " ".join(f"{kind}={by_kind[kind]}"
+                              for kind in sorted(by_kind))
+            text += f", annotations: {counts}"
+        return text
 
 
 class _Lifter:
@@ -153,10 +165,21 @@ class _Lifter:
         error = VerificationError(kind, addr, detail)
         if error not in self.errors:
             self.errors.append(error)
+            if _T.enabled:
+                _T.emit("reject", addr, kind=kind, detail=detail)
+
+    def annotate(self, kind: str, addr: int, detail: str) -> None:
+        self.annotations.append(Annotation(kind, addr, detail))
+        if _T.enabled:
+            _T.emit("annotation", addr, kind=kind, detail=detail)
 
     def enqueue(self, state: SymState) -> None:
         if state.rip is not None:
             heapq.heappush(self.bag, (state.rip, next(self._tiebreak), state))
+            if _T.enabled:
+                _T.emit_sampled("state.enqueue", state.rip,
+                                queue=len(self.bag))
+                _M.observe("queue.length", len(self.bag))
 
     def queue_function(self, entry: int) -> None:
         if entry not in self.queued_functions:
@@ -194,6 +217,11 @@ class _Lifter:
         rip = state.rip
         if rip is None:
             return
+        if _T.enabled:
+            # All events fired while stepping this instruction (SMT
+            # queries, joins, annotations) inherit this address.
+            _T.addr = rip
+            _T.emit_sampled("state.explore", rip, explored=self.explored)
         key = code_key(state, self.text_range)
         current = self.graph.vertices.get(key)
         if current is not None:
@@ -201,12 +229,17 @@ class _Lifter:
             if states_equal(joined, current):
                 return
             self.join_counts[key] = self.join_counts.get(key, 0) + 1
+            if _T.enabled:
+                _T.emit_sampled("join", rip, count=self.join_counts[key])
+                _M.observe("join.depth", self.join_counts[key])
             if self.join_counts[key] > self.widen_after:
                 # Interval hulls may ascend forever (unbounded counters);
                 # jump to the top of the range-abstraction ladder.
                 from repro.pred.predicate import widen_predicate
 
                 joined = joined.with_pred(widen_predicate(joined.pred))
+                if _T.enabled:
+                    _T.emit("join.widen", rip, count=self.join_counts[key])
             self.graph.vertices[key] = joined
             state = joined
         else:
@@ -230,14 +263,14 @@ class _Lifter:
         try:
             instr = self.binary.fetch(rip)
         except (FetchError, DecodeError) as exc:
-            self.annotations.append(Annotation("undecodable", rip, str(exc)))
+            self.annotate("undecodable", rip, str(exc))
             return
         self.graph.instructions[rip] = instr
 
         try:
             successors = step(state, instr, self.ctx)
         except UnsupportedInstruction as exc:
-            self.annotations.append(Annotation("unsupported", rip, str(exc)))
+            self.annotate("unsupported", rip, str(exc))
             return
 
         for successor in successors:
@@ -290,9 +323,7 @@ class _Lifter:
             )
         else:
             self.unresolved_jump_addrs.add(rip)
-            self.annotations.append(
-                Annotation("unresolved-jump", rip, resolution.detail)
-            )
+            self.annotate("unresolved-jump", rip, resolution.detail)
 
     def edge_to_target(self, state: SymState, src_key, instr_addr: int,
                        target: int) -> None:
@@ -324,9 +355,7 @@ class _Lifter:
         # Unresolved indirect call: annotate, then treat as an unknown
         # external function (Section 5.1).
         self.unresolved_call_addrs.add(rip)
-        self.annotations.append(
-            Annotation("unresolved-call", rip, f"target = {target}")
-        )
+        self.annotate("unresolved-call", rip, f"target = {target}")
         self.obligations.append(call_obligation(state, rip, "<indirect>"))
         continuation = after_call_state(state, event.return_addr, self.ctx)
         continuation = continuation.mark_reachable(True)
@@ -350,10 +379,8 @@ class _Lifter:
             self.enqueue(continuation)
             return
         if not self.binary.is_executable(target):
-            self.annotations.append(
-                Annotation("unresolved-call", rip,
-                           f"call target {target:#x} not executable")
-            )
+            self.annotate("unresolved-call", rip,
+                          f"call target {target:#x} not executable")
             self.unresolved_call_addrs.add(rip)
             return
         # Internal, context-free call (Section 4.2.2).
@@ -459,6 +486,9 @@ class _Lifter:
     # -- result ----------------------------------------------------------------------------------
 
     def result(self, seconds: float) -> LiftResult:
+        if _T.enabled:
+            _M.observe("function.instructions", len(self.graph.instructions))
+            _M.observe("function.states", self.graph.state_count())
         stats = LiftStats(
             instructions=len(self.graph.instructions),
             states=self.graph.state_count(),
@@ -466,6 +496,9 @@ class _Lifter:
             unresolved_jumps=len(self.unresolved_jump_addrs),
             unresolved_calls=len(self.unresolved_call_addrs),
             seconds=seconds,
+            annotations_by_kind=dict(sorted(Counter(
+                annotation.kind for annotation in self.annotations
+            ).items())),
         )
         return LiftResult(
             binary=self.binary,
@@ -503,8 +536,16 @@ def lift(
         max_targets=max_targets,
         timeout_seconds=timeout_seconds,
     )
-    lifter.run()
-    return lifter.result(time.perf_counter() - start)
+    with _T.span("lift", binary=binary.name, entry=lifter.entry):
+        lifter.run()
+    result = lifter.result(time.perf_counter() - start)
+    if _T.enabled:
+        _T.addr = None
+        _T.emit("lift.done", lifter.entry, binary=binary.name,
+                verified=result.verified,
+                instructions=result.stats.instructions,
+                states=result.stats.states)
+    return result
 
 
 def lift_function(binary: Binary, name: str, **kwargs) -> LiftResult:

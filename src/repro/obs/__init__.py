@@ -1,0 +1,111 @@
+"""Observability: structured tracing, metrics, and lift provenance.
+
+The pipeline (lifter → solver → predicate join → export → eval runner) is
+instrumented with one process-global :data:`tracer` and one
+:data:`metrics` registry.  Both are **off by default** and every
+instrumented site is guarded by a single ``tracer.enabled`` branch, so the
+disabled overhead matches the ``counters.enabled`` discipline of
+:mod:`repro.perf` — one attribute load and a jump.
+
+Typical uses::
+
+    from repro import obs
+
+    obs.enable()                  # default sampling (bench-verified <=5%)
+    result = lift(binary)
+    print(obs.tracer.events())    # the raw event stream
+    obs.disable()
+
+    # Full-fidelity single-binary forensics (what `python -m repro trace`
+    # does): record everything, then reconstruct causal chains.
+    obs.enable(sampling=1)
+    result = lift(binary)
+    report = obs.build_provenance(result, obs.tracer.events())
+    print(report.render())
+
+The package is zero-dependency (stdlib only) and imports nothing from the
+rest of :mod:`repro`, so every layer may import it without cycles.
+"""
+
+from __future__ import annotations
+
+from repro.obs.export import (
+    chrome_trace_json,
+    event_to_obj,
+    events_jsonl,
+    to_chrome_trace,
+    validate_event_obj,
+    validate_jsonl,
+)
+from repro.obs.metrics import (
+    Histogram,
+    Metrics,
+    canonical_snapshot,
+    merge_snapshots,
+    metrics,
+)
+from repro.obs.provenance import (
+    Cause,
+    CauseChain,
+    ProvenanceReport,
+    build_provenance,
+)
+from repro.obs.report import (
+    canonical_obs,
+    merge_rollup,
+    render_obs_rollup,
+    render_trace_summary,
+    task_obs_data,
+)
+from repro.obs.tracer import (
+    DEFAULT_CAPACITY,
+    DEFAULT_SAMPLING,
+    Event,
+    Tracer,
+    tracer,
+)
+
+
+def enable(sampling: int = DEFAULT_SAMPLING,
+           capacity: int | None = None) -> None:
+    """Switch the whole obs layer on (tracer + metrics, one switch)."""
+    tracer.configure(enabled=True, sampling=sampling, capacity=capacity)
+
+
+def disable() -> None:
+    """Switch the obs layer off (buffered events are kept until reset)."""
+    tracer.configure(enabled=False)
+
+
+def is_enabled() -> bool:
+    return tracer.enabled
+
+
+def reset() -> None:
+    """Clear buffered events, counts, and metrics (keeps enabled state)."""
+    tracer.reset()
+    metrics.reset()
+
+
+def save_state() -> tuple:
+    """Capture (enabled, sampling) so a scoped user can restore it."""
+    return (tracer.enabled, tracer.sampling)
+
+
+def restore_state(state: tuple) -> None:
+    enabled, sampling = state
+    tracer.configure(enabled=enabled, sampling=sampling)
+
+
+__all__ = [
+    "DEFAULT_CAPACITY", "DEFAULT_SAMPLING", "Event", "Tracer", "tracer",
+    "Histogram", "Metrics", "metrics",
+    "canonical_snapshot", "merge_snapshots",
+    "chrome_trace_json", "event_to_obj", "events_jsonl",
+    "to_chrome_trace", "validate_event_obj", "validate_jsonl",
+    "Cause", "CauseChain", "ProvenanceReport", "build_provenance",
+    "canonical_obs", "merge_rollup", "render_obs_rollup",
+    "render_trace_summary", "task_obs_data",
+    "enable", "disable", "is_enabled", "reset",
+    "save_state", "restore_state",
+]

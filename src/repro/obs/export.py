@@ -1,0 +1,147 @@
+"""Trace serialization: JSONL event streams and Chrome ``trace_event`` JSON.
+
+Two consumers, two formats:
+
+* **JSONL** — one JSON object per line, schema-checked by
+  :func:`validate_event_obj` (CI lifts a binary with tracing on and
+  validates every emitted line against it);
+* **Chrome trace_event** — the ``{"traceEvents": [...]}`` envelope that
+  ``chrome://tracing`` and Perfetto load directly: spans become complete
+  (``"ph": "X"``) slices, everything else becomes thread-scoped instant
+  events, so a lift renders as a flamegraph with annotations/SMT verdicts
+  as markers.
+
+Event ``detail`` values are arbitrary objects on the hot path; they are
+made JSON-safe here (``str()`` fallback), never at emit time.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Iterable
+
+from repro.obs.tracer import Event
+
+#: The JSONL schema, field -> required type(s).  ``addr`` may be null.
+EVENT_FIELDS = {
+    "ts": (int, float),
+    "kind": (str,),
+    "addr": (int, type(None)),
+    "detail": (dict,),
+}
+
+
+def json_safe(value: Any):
+    """Coerce a detail value to something ``json.dumps`` accepts."""
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, (list, tuple)):
+        return [json_safe(item) for item in value]
+    if isinstance(value, dict):
+        return {str(key): json_safe(item) for key, item in value.items()}
+    return str(value)
+
+
+def event_to_obj(event: Event) -> dict[str, Any]:
+    """One event as a JSONL-ready dict."""
+    return {
+        "ts": event.ts,
+        "kind": event.kind,
+        "addr": event.addr,
+        "detail": {key: json_safe(value)
+                   for key, value in event.detail.items()},
+    }
+
+
+def events_jsonl(events: Iterable[Event]) -> str:
+    """The whole event stream as JSON Lines (one object per line)."""
+    return "\n".join(json.dumps(event_to_obj(event), sort_keys=True)
+                     for event in events)
+
+
+def validate_event_obj(obj: Any) -> list[str]:
+    """Schema-check one decoded JSONL object; returns the violations."""
+    errors: list[str] = []
+    if not isinstance(obj, dict):
+        return [f"event is {type(obj).__name__}, expected object"]
+    for name, types in EVENT_FIELDS.items():
+        if name not in obj:
+            errors.append(f"missing field {name!r}")
+        elif not isinstance(obj[name], types):
+            expected = "/".join(t.__name__ for t in types)
+            errors.append(
+                f"field {name!r} is {type(obj[name]).__name__}, "
+                f"expected {expected}"
+            )
+    # booleans are ints in Python; ts/addr must not be bools.
+    for name in ("ts", "addr"):
+        if isinstance(obj.get(name), bool):
+            errors.append(f"field {name!r} is bool, expected number")
+    extra = set(obj) - set(EVENT_FIELDS)
+    if extra:
+        errors.append(f"unknown fields {sorted(extra)}")
+    if isinstance(obj.get("kind"), str) and not obj["kind"]:
+        errors.append("field 'kind' is empty")
+    return errors
+
+
+def validate_jsonl(text: str) -> list[str]:
+    """Schema-check a JSONL document; returns per-line violations."""
+    errors: list[str] = []
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        try:
+            obj = json.loads(line)
+        except json.JSONDecodeError as exc:
+            errors.append(f"line {lineno}: invalid JSON ({exc.msg})")
+            continue
+        errors.extend(f"line {lineno}: {problem}"
+                      for problem in validate_event_obj(obj))
+    return errors
+
+
+# -- Chrome trace_event ----------------------------------------------------
+
+_US = 1_000_000  # trace_event timestamps are microseconds
+
+
+def to_chrome_trace(events: Iterable[Event], pid: int = 1,
+                    process_name: str = "repro") -> dict[str, Any]:
+    """The event stream in Chrome ``trace_event`` JSON (object format).
+
+    Load the serialized dict in ``chrome://tracing`` or Perfetto.  Spans
+    map to complete slices (begin timestamp + duration); instantaneous
+    events map to thread-scoped instants with their detail in ``args``.
+    """
+    trace: list[dict[str, Any]] = [{
+        "ph": "M", "pid": pid, "tid": 1, "name": "process_name",
+        "args": {"name": process_name},
+    }]
+    for event in events:
+        args = {key: json_safe(value) for key, value in event.detail.items()}
+        if event.addr is not None:
+            args.setdefault("addr", hex(event.addr))
+        if event.kind == "span":
+            name = args.pop("name", "span")
+            dur = args.pop("dur", 0.0)
+            args.pop("depth", None)
+            trace.append({
+                "ph": "X", "pid": pid, "tid": 1, "cat": "span",
+                "name": name, "ts": round(event.ts * _US, 3),
+                "dur": round(float(dur) * _US, 3), "args": args,
+            })
+        else:
+            trace.append({
+                "ph": "i", "s": "t", "pid": pid, "tid": 1,
+                "cat": event.kind.split(".")[0], "name": event.kind,
+                "ts": round(event.ts * _US, 3), "args": args,
+            })
+    return {"traceEvents": trace, "displayTimeUnit": "ms"}
+
+
+def chrome_trace_json(events: Iterable[Event], pid: int = 1,
+                      process_name: str = "repro") -> str:
+    return json.dumps(to_chrome_trace(events, pid=pid,
+                                      process_name=process_name),
+                      sort_keys=True)

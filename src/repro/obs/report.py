@@ -1,0 +1,199 @@
+"""Rollups and text rendering for the observability layer.
+
+Two jobs:
+
+* **per-task capture** — :func:`task_obs_data` snapshots the process-global
+  tracer + metrics into a small picklable dict after one lift task; the
+  corpus runner collects these from workers and :func:`merge_rollup`
+  aggregates them in sorted-name order, so serial and parallel corpus runs
+  produce identical rollup *content*;
+* **rendering** — the ``python -m repro trace`` text report (trace summary,
+  metrics, provenance chains) and the ``python -m repro.eval obs`` corpus
+  rollup table.
+
+Canonical form: wall-clock quantities (timers, timestamps) and
+cache-state-dependent fields (``cached`` flags, the SMT hit/miss split)
+are excluded by :func:`canonical_obs` — everything that remains is a pure
+function of the lifted tasks.
+"""
+
+from __future__ import annotations
+
+import io
+from typing import Any
+
+from repro.obs.metrics import (
+    Metrics,
+    canonical_snapshot,
+    merge_snapshots,
+)
+from repro.obs.tracer import Event, Tracer
+
+#: Event kinds whose occurrence and content are deterministic per task
+#: (never sampled away, independent of cache state) — the only kinds that
+#: enter canonical trace tails.
+CANONICAL_TAIL_KINDS = frozenset({
+    "annotation", "reject", "join.widen",
+})
+
+#: How many trailing events each task contributes to the rollup.
+DEFAULT_TAIL_LIMIT = 32
+
+
+def _canonical_tail(events: list[Event], limit: int) -> list[list]:
+    """The last *limit* deterministic events, timestamps stripped."""
+    picked = [event for event in events
+              if event.kind in CANONICAL_TAIL_KINDS][-limit:]
+    return [
+        [event.kind, event.addr,
+         {key: value if isinstance(value, (bool, int, float, str))
+          or value is None else str(value)
+          for key, value in sorted(event.detail.items())}]
+        for event in picked
+    ]
+
+
+def task_obs_data(tracer: Tracer, metrics: Metrics,
+                  tail_limit: int = DEFAULT_TAIL_LIMIT) -> dict[str, Any]:
+    """Snapshot one task's obs state into a picklable, mergeable dict."""
+    return {
+        "events": dict(tracer.counts),
+        "metrics": metrics.snapshot(),
+        "tail": _canonical_tail(tracer.events(), tail_limit),
+    }
+
+
+def merge_rollup(tasks: dict[str, dict[str, Any]],
+                 sampling: int) -> dict[str, Any]:
+    """Aggregate per-task obs data (keyed by task name) into the report
+    form.  Tasks are merged in sorted-name order; the result's content is
+    independent of how tasks were distributed over workers."""
+    totals_events: dict[str, int] = {}
+    totals_metrics: dict[str, Any] = {}
+    for name in sorted(tasks):
+        data = tasks[name]
+        for kind, count in data.get("events", {}).items():
+            totals_events[kind] = totals_events.get(kind, 0) + count
+        merge_snapshots(totals_metrics, data.get("metrics", {}))
+    return {
+        "sampling": sampling,
+        "tasks": {name: tasks[name] for name in sorted(tasks)},
+        "totals": {"events": totals_events, "metrics": totals_metrics},
+    }
+
+
+def canonical_obs(obs: dict[str, Any]) -> dict[str, Any]:
+    """The deterministic view of a rollup (see the module docstring)."""
+    tasks = {}
+    for name in sorted(obs.get("tasks", {})):
+        data = obs["tasks"][name]
+        tasks[name] = {
+            "events": dict(data.get("events", {})),
+            "metrics": canonical_snapshot(data.get("metrics", {})),
+            "tail": data.get("tail", []),
+        }
+    totals = obs.get("totals", {})
+    return {
+        "sampling": obs.get("sampling"),
+        "tasks": tasks,
+        "totals": {
+            "events": dict(totals.get("events", {})),
+            "metrics": canonical_snapshot(totals.get("metrics", {})),
+        },
+    }
+
+
+# -- rendering -------------------------------------------------------------
+
+def _format_histogram(name: str, snap: dict[str, Any]) -> str:
+    count = snap.get("count", 0)
+    mean = (snap.get("sum", 0) / count) if count else 0.0
+    return (f"  {name:<24} n={count:<8} mean={mean:<10.1f} "
+            f"max={snap.get('max', 0)}")
+
+
+def render_trace_summary(events: list[Event],
+                         metrics_snapshot: dict[str, Any],
+                         counts: dict[str, int],
+                         capacity: int) -> str:
+    """The header block of the ``python -m repro trace`` text report."""
+    out = io.StringIO()
+    recorded = len(events)
+    emitted = sum(counts.values())
+    out.write(f"Trace: {recorded} events buffered "
+              f"({emitted} emitted, capacity {capacity})\n")
+    out.write("Event counts (exact, including sampled-away occurrences):\n")
+    for kind in sorted(counts):
+        out.write(f"  {kind:<24} {counts[kind]}\n")
+    histograms = metrics_snapshot.get("histograms", {})
+    if histograms:
+        out.write("Histograms:\n")
+        for name in sorted(histograms):
+            out.write(_format_histogram(name, histograms[name]) + "\n")
+    timers = metrics_snapshot.get("timers", {})
+    if timers:
+        out.write("Timers:\n")
+        for name in sorted(timers):
+            timer = timers[name]
+            out.write(f"  {name:<24} {timer['seconds']:.6f} s over "
+                      f"{timer['count']} samples\n")
+    counters = metrics_snapshot.get("counters", {})
+    if counters:
+        out.write("Counters:\n")
+        for name in sorted(counters):
+            out.write(f"  {name:<24} {counters[name]}\n")
+    return out.getvalue()
+
+
+def render_obs_rollup(obs: dict[str, Any], records=None) -> str:
+    """The ``python -m repro.eval obs`` corpus rollup."""
+    out = io.StringIO()
+    totals = obs.get("totals", {})
+    out.write("Observability rollup "
+              f"(sampling level {obs.get('sampling')}, "
+              f"{len(obs.get('tasks', {}))} tasks)\n\n")
+    out.write("Event totals:\n")
+    events = totals.get("events", {})
+    for kind in sorted(events):
+        out.write(f"  {kind:<24} {events[kind]}\n")
+    metrics_totals = totals.get("metrics", {})
+    histograms = metrics_totals.get("histograms", {})
+    if histograms:
+        out.write("\nHistograms (all tasks):\n")
+        for name in sorted(histograms):
+            out.write(_format_histogram(name, histograms[name]) + "\n")
+    timers = metrics_totals.get("timers", {})
+    if timers:
+        out.write("\nTimers (all tasks):\n")
+        for name in sorted(timers):
+            timer = timers[name]
+            out.write(f"  {name:<24} {timer['seconds']:.3f} s over "
+                      f"{timer['count']} samples\n")
+    # The per-task section surfaces only tasks whose tail carries
+    # diagnostics (annotations/rejections) — the interesting ones.
+    noisy = {name: data for name, data in obs.get("tasks", {}).items()
+             if data.get("tail")}
+    if noisy:
+        out.write("\nTasks with annotations or rejections:\n")
+        for name in sorted(noisy):
+            out.write(f"  {name}:\n")
+            for kind, addr, detail in noisy[name]["tail"]:
+                where = f"@{addr:#x}" if addr is not None else "@?"
+                brief = detail.get("kind", "")
+                extra = detail.get("detail", "")
+                out.write(f"    {kind} {where} {brief} {extra}".rstrip()
+                          + "\n")
+    # *records* are duck-typed FunctionRecords (``directory``,
+    # ``annotations``) — the runner's annotation-by-kind satellite view.
+    if records:
+        by_dir: dict[tuple[str, str], int] = {}
+        for record in records:
+            for ann_kind, count in record.annotations.items():
+                key = (record.directory, ann_kind)
+                by_dir[key] = by_dir.get(key, 0) + count
+        if by_dir:
+            out.write("\nAnnotation counts by directory:\n")
+            for (directory, ann_kind) in sorted(by_dir):
+                out.write(f"  {directory:<20} {ann_kind:<20} "
+                          f"{by_dir[(directory, ann_kind)]}\n")
+    return out.getvalue()

@@ -14,7 +14,7 @@ from __future__ import annotations
 
 from typing import Callable
 
-from repro.perf.counters import PerfCounters, counters, hit_rate
+from repro.perf.counters import PerfCounters, counters, gated, hit_rate
 
 #: name -> (stats_fn, clear_fn).  stats_fn returns a small dict
 #: (e.g. {"hits": h, "misses": m, "size": n}); clear_fn drops the cache.
@@ -55,6 +55,6 @@ def reset_caches() -> None:
 
 
 __all__ = [
-    "PerfCounters", "counters", "hit_rate",
+    "PerfCounters", "counters", "gated", "hit_rate",
     "register_cache", "register_lru", "cache_stats", "reset_caches",
 ]

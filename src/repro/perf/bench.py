@@ -17,6 +17,7 @@ import platform
 import time
 from pathlib import Path
 
+from repro.obs.tracer import DEFAULT_SAMPLING
 from repro.perf import cache_stats, reset_caches
 from repro.perf.counters import counters, hit_rate
 
@@ -103,6 +104,43 @@ def _check_determinism(corpus, timeout_seconds: float, max_states: int,
             "first_bytes": len(first), "check_bytes": len(check)}
 
 
+def trace_overhead(scale: int = 1, timeout_seconds: float = 10.0,
+                   max_states: int = 10_000, rounds: int = 2,
+                   sampling: int = DEFAULT_SAMPLING) -> dict:
+    """Measure the enabled-tracing overhead: corpus lifts with obs off and
+    on, interleaved over *rounds* so drift hits both sides, best-of taken
+    per side (standard noise reduction).  ``overhead_ratio`` is
+    on/off lift time — the quantity the <=5% acceptance bound is on."""
+    from repro.corpus import build_corpus
+    from repro.eval.runner import run_corpus
+
+    corpus = build_corpus(scale)
+    times: dict[bool, list[float]] = {False: [], True: []}
+    instructions = 0
+    for _ in range(rounds):
+        for enabled in (False, True):
+            reset_caches()
+            start = time.perf_counter()
+            report = run_corpus(corpus=corpus,
+                                timeout_seconds=timeout_seconds,
+                                max_states=max_states, jobs=1,
+                                obs=enabled, obs_sampling=sampling)
+            times[enabled].append(time.perf_counter() - start)
+            instructions = _instruction_totals(report)
+    off, on = min(times[False]), min(times[True])
+    return {
+        "scale": scale,
+        "rounds": rounds,
+        "sampling": sampling,
+        "instructions": instructions,
+        "off_seconds": round(off, 3),
+        "on_seconds": round(on, 3),
+        "off_instrs_per_second": round(instructions / off, 1) if off else 0.0,
+        "on_instrs_per_second": round(instructions / on, 1) if on else 0.0,
+        "overhead_ratio": round(on / off, 4) if off else 0.0,
+    }
+
+
 def load_baseline(scale: int) -> dict | None:
     if not BASELINE_PATH.exists():
         return None
@@ -113,11 +151,13 @@ def load_baseline(scale: int) -> dict | None:
 def bench_report(scale: int = 3, jobs: int = 1,
                  timeout_seconds: float = 10.0, max_states: int = 10_000,
                  check_determinism: bool = False,
+                 check_trace_overhead: bool = False,
                  out_path: str | Path | None = None) -> tuple[dict, str]:
     """Run the bench, compare against the checked-in baseline, and render.
 
     Returns ``(payload, text)``; *payload* is also written to *out_path*
-    (JSON) when given.
+    (JSON) when given.  ``check_trace_overhead`` additionally measures the
+    obs-enabled lift-time ratio on the scale-1 corpus.
     """
     current = run_bench(scale=scale, jobs=jobs,
                         timeout_seconds=timeout_seconds,
@@ -129,6 +169,9 @@ def bench_report(scale: int = 3, jobs: int = 1,
         payload["speedup"] = round(
             current["instrs_per_second"] / baseline["instrs_per_second"], 2
         )
+    if check_trace_overhead:
+        payload["trace_overhead"] = trace_overhead(
+            scale=1, timeout_seconds=timeout_seconds, max_states=max_states)
 
     lines = [
         f"Bench: scale-{scale} corpus, jobs={jobs}",
@@ -149,6 +192,14 @@ def bench_report(scale: int = 3, jobs: int = 1,
         lines.append(
             "  serial == parallel (canonical): "
             + ("OK" if determinism["ok"] else "MISMATCH")
+        )
+    overhead = payload.get("trace_overhead")
+    if overhead is not None:
+        lines.append(
+            f"  tracing overhead (scale-{overhead['scale']}, sampling "
+            f"{overhead['sampling']}): off {overhead['off_seconds']:.3f} s, "
+            f"on {overhead['on_seconds']:.3f} s -> "
+            f"{overhead['overhead_ratio']:.3f}x"
         )
     text = "\n".join(lines)
 

@@ -36,6 +36,8 @@ from repro.expr import (
 )
 from repro.expr.ast import expr_key, variable_names
 from repro.expr.simplify import add as simplify_add, mul as _mul
+from repro.obs.metrics import metrics as _M
+from repro.obs.tracer import tracer as _T
 from repro.perf import register_lru
 from repro.pred.clause import Clause, intersect_intervals
 from repro.pred.flags import FlagState
@@ -475,6 +477,11 @@ def join_predicates(p0: Predicate, p1: Predicate, rip: int) -> Predicate:
     )
     if cleaned != result.clauses:
         result = replace(result, clauses=cleaned)
+    if _T.enabled:
+        _T.emit_sampled("pred.join", rip,
+                        clauses=len(result.clauses),
+                        regs=len(result.regs), mem=len(result.mem))
+        _M.observe("pred.join.clauses", len(result.clauses))
     return result
 
 

@@ -14,7 +14,7 @@ from dataclasses import dataclass, field, replace
 from repro.elf import Binary
 from repro.expr import Const, Expr, Var
 from repro.memmodel import MemModel, join_models
-from repro.perf.counters import counters as _C
+from repro.perf.counters import gated as _gated
 from repro.pred import Predicate, join_predicates
 from repro.smt.solver import Region
 
@@ -105,8 +105,7 @@ def join_states(s0: SymState, s1: SymState, rip: int) -> SymState:
     path instead of re-running the full predicate/model joins.
     """
     if s0.pred is s1.pred and s0.model is s1.model:
-        if _C.enabled:
-            _C.join_shortcircuits += 1
+        _gated("join_shortcircuits")
         return SymState(
             pred=s0.pred,
             model=s0.model,
@@ -123,14 +122,13 @@ def join_states(s0: SymState, s1: SymState, rip: int) -> SymState:
 
 def states_equal(s0: SymState, s1: SymState) -> bool:
     if s0 is s1:
-        if _C.enabled:
-            _C.equal_shortcircuits += 1
+        _gated("equal_shortcircuits")
         return True
     if s0.epoch != s1.epoch:
         return False
     pred_equal = s0.pred is s1.pred or s0.pred == s1.pred
     if not pred_equal:
         return False
-    if _C.enabled and s0.pred is s1.pred and s0.model is s1.model:
-        _C.equal_shortcircuits += 1
+    if s0.pred is s1.pred and s0.model is s1.model:
+        _gated("equal_shortcircuits")
     return s0.model is s1.model or s0.model == s1.model

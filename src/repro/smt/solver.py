@@ -31,6 +31,7 @@ claim: precision can be lost, soundness cannot.
 from __future__ import annotations
 
 import enum
+import time
 from collections import OrderedDict
 from dataclasses import dataclass
 from functools import lru_cache
@@ -38,8 +39,10 @@ from typing import Protocol
 
 from repro.expr.ast import App, Const, Deref, Expr, MASK64, Var, expr_key
 from repro.expr.simplify import sub
+from repro.obs.metrics import metrics as _M
+from repro.obs.tracer import tracer as _T
 from repro.perf import register_cache, register_lru
-from repro.perf.counters import counters as _C
+from repro.perf.counters import gated as _gated
 from repro.smt.intervals import TOP, Interval, from_width, singleton
 from repro.smt.linear import Linear, difference, linearize
 
@@ -232,13 +235,11 @@ class VerdictCache:
         entry = self._data.get(key, _MISSING)
         if entry is _MISSING:
             self.misses += 1
-            if _C.enabled:
-                _C.solver_misses += 1
+            _gated("solver_misses")
             return _MISSING
         self._data.move_to_end(key)
         self.hits += 1
-        if _C.enabled:
-            _C.solver_hits += 1
+        _gated("solver_hits")
         return entry
 
     def put(self, key, value) -> None:
@@ -314,16 +315,56 @@ def _fingerprint_terms(a0: Expr, a1: Expr) -> tuple[Expr, ...]:
 register_lru("smt.fingerprint_terms", _fingerprint_terms)
 
 
+def _decision_verdict(decision: Decision) -> str:
+    return "UNKNOWN" if decision.relation is None else decision.relation.name
+
+
+def _fork_verdict(fork: "Fork") -> str:
+    cases = "|".join(relation.name for relation in fork.relations)
+    return f"{cases}+PARTIAL" if fork.may_partial else cases
+
+
+def _query_detail(op: str, r0: Region, r1: Region, verdict: str,
+                  assumptions, cached: bool) -> dict:
+    detail = dict(op=op, r0=r0, r1=r1, verdict=verdict, cached=cached)
+    if assumptions:
+        detail["assumptions"] = [a.kind for a in assumptions]
+    return detail
+
+
 def decide_relation(
     r0: Region, r1: Region, bounds: BoundsProvider = NO_BOUNDS
 ) -> Decision:
-    """Try to prove a *necessary* relation between two regions (cached)."""
+    """Try to prove a *necessary* relation between two regions (cached).
+
+    Tracing discipline (~1M queries per scale-1 corpus, almost all cache
+    hits): the hit path pays only the exact-count bookkeeping
+    (``_M.inc`` + ``_T.sample``) and builds the event detail solely for
+    the 1-in-``sampling`` occurrences that enter the ring.  Decisions
+    actually computed are always recorded (provenance chains cite them)
+    and contribute to the SMT wall-time accumulator.
+    """
     key = (r0.addr, r0.size, r1.addr, r1.size,
            _bounds_fingerprint(r0, r1, bounds))
     cached = _DECIDE_CACHE.get(key)
     if cached is not _MISSING:
+        if _T.enabled:
+            _M.inc("smt.queries")
+            if _T.sample("smt.query"):
+                _T.record("smt.query", _query_detail(
+                    "decide", r0, r1, _decision_verdict(cached),
+                    cached.assumptions, True))
         return cached
-    decision = _decide_relation_uncached(r0, r1, bounds)
+    if _T.enabled:
+        start = time.perf_counter()
+        decision = _decide_relation_uncached(r0, r1, bounds)
+        _M.inc("smt.queries")
+        _M.add_time("smt.wall", time.perf_counter() - start)
+        _T.emit("smt.query", **_query_detail(
+            "decide", r0, r1, _decision_verdict(decision),
+            decision.assumptions, False))
+    else:
+        decision = _decide_relation_uncached(r0, r1, bounds)
     _DECIDE_CACHE.put(key, decision)
     return decision
 
@@ -434,8 +475,22 @@ def possible_relations(
            _bounds_fingerprint(r0, r1, bounds))
     cached = _FORK_CACHE.get(key)
     if cached is not _MISSING:
+        if _T.enabled:
+            _M.inc("smt.queries")
+            if _T.sample("smt.query"):
+                _T.record("smt.query", _query_detail(
+                    "fork", r0, r1, _fork_verdict(cached),
+                    cached.assumptions, True))
         return cached
-    fork = _possible_relations_uncached(r0, r1, bounds)
+    if _T.enabled:
+        start = time.perf_counter()
+        fork = _possible_relations_uncached(r0, r1, bounds)
+        _M.inc("smt.queries")
+        _M.add_time("smt.wall", time.perf_counter() - start)
+        _T.emit("smt.query", **_query_detail(
+            "fork", r0, r1, _fork_verdict(fork), fork.assumptions, False))
+    else:
+        fork = _possible_relations_uncached(r0, r1, bounds)
     _FORK_CACHE.put(key, fork)
     return fork
 

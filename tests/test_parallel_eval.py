@@ -68,6 +68,45 @@ def test_serial_and_parallel_reports_are_canonically_identical(tiny_corpus):
     assert serial.canonical_json() == parallel.canonical_json()
 
 
+def test_serial_and_parallel_obs_rollups_are_canonically_identical(tiny_corpus):
+    from repro.obs.report import canonical_obs
+    from repro.obs.tracer import tracer
+
+    serial = run_corpus(corpus=tiny_corpus, jobs=1, obs=True)
+    parallel = run_corpus(corpus=tiny_corpus, jobs=2, obs=True)
+    assert serial.obs is not None and parallel.obs is not None
+    # The canonical rollup (no timers/timestamps, no cache-dependent
+    # content) is a pure function of the corpus — worker count invisible.
+    assert canonical_obs(serial.obs) == canonical_obs(parallel.obs)
+    # The rollup rides inside the canonical report comparison too.
+    assert serial.canonical_json() == parallel.canonical_json()
+    # ... and matches a run without obs apart from the obs key itself.
+    plain = run_corpus(corpus=tiny_corpus, jobs=1)
+    stripped = serial.canonical()
+    stripped.pop("obs")
+    assert stripped == plain.canonical()
+    # The caller's tracer configuration was restored (off by default).
+    assert not tracer.enabled
+
+
+def test_obs_rollup_counts_real_events(tiny_corpus):
+    report = run_corpus(corpus=tiny_corpus, obs=True, obs_sampling=1)
+    totals = report.obs["totals"]
+    assert totals["events"]["lift.done"] == len(report.records)
+    assert totals["events"]["state.explore"] > 0
+    assert totals["metrics"]["counters"]["smt.queries"] > 0
+    histogram = totals["metrics"]["histograms"]["function.instructions"]
+    assert histogram["count"] == len(report.records)
+
+
+def test_records_carry_annotation_counts(tiny_corpus):
+    report = run_corpus(corpus=tiny_corpus)
+    # The tiny corpus lifts cleanly: every record exists and is empty.
+    assert all(record.annotations == {} for record in report.records)
+    canonical = report.canonical()
+    assert all("annotations" in record for record in canonical["records"])
+
+
 def test_parallel_run_still_reports_counters(tiny_corpus):
     report = run_corpus(corpus=tiny_corpus, jobs=2)
     # Worker deltas are merged back into the report.
