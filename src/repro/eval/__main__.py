@@ -1,4 +1,4 @@
-"""CLI: ``python -m repro.eval <table1|table2|figure3|failures|bench|obs|all>``."""
+"""CLI: ``python -m repro.eval <table1|table2|figure3|failures|bench|obs|qa|all>``."""
 
 from __future__ import annotations
 
@@ -14,7 +14,7 @@ def main(argv=None) -> int:
     )
     parser.add_argument("what", choices=["table1", "table2", "figure3",
                                          "failures", "scaling", "lint",
-                                         "bench", "obs", "all"])
+                                         "bench", "obs", "qa", "all"])
     parser.add_argument("--scale", type=int, default=1,
                         help="corpus scale factor (default 1)")
     parser.add_argument("--timeout", type=float, default=10.0,
@@ -37,6 +37,17 @@ def main(argv=None) -> int:
     parser.add_argument("--out", default="BENCH_pr3.json",
                         help="bench: output JSON path "
                              "(default BENCH_pr3.json)")
+    parser.add_argument("--campaign", choices=["quick", "full"],
+                        default="quick",
+                        help="qa: campaign size (default quick)")
+    parser.add_argument("--seed", type=int, default=2022,
+                        help="qa: campaign seed (default 2022)")
+    parser.add_argument("--qa-out", default=None,
+                        help="qa: also write the canonical JSON report "
+                             "to this path")
+    parser.add_argument("--witness-dir", default="qa-witnesses",
+                        help="qa: directory for missed-expectation "
+                             "witnesses (default qa-witnesses)")
     args = parser.parse_args(argv)
 
     if args.what in ("table1", "all"):
@@ -103,6 +114,23 @@ def main(argv=None) -> int:
             sampling=args.sampling if args.sampling else DEFAULT_SAMPLING,
         )
         print(text)
+    if args.what == "qa":
+        import json
+
+        from repro.eval.qa_report import generate_qa_report
+
+        payload, text = generate_qa_report(
+            campaign=args.campaign, seed=args.seed, jobs=args.jobs,
+            witness_dir=args.witness_dir,
+        )
+        print(text)
+        if args.qa_out:
+            with open(args.qa_out, "w", encoding="utf-8") as fh:
+                json.dump(payload, fh, sort_keys=True, indent=1)
+        if not payload["gate_ok"]:
+            print("qa: campaign gate failed (missed faults or false "
+                  "positives)", file=sys.stderr)
+            return 1
     if args.what in ("failures", "all"):
         from repro.eval.failures_report import generate_failures_report
 

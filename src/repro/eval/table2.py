@@ -18,6 +18,7 @@ class Table2Row:
     triples: int
     proven: int
     assumed: int
+    untested: int
     failed: int
     theory_lines: int
 
@@ -42,6 +43,7 @@ def generate_table2(check_samples: int = 4) -> tuple[list[Table2Row], str]:
             triples=len(report.checks),
             proven=report.proven,
             assumed=report.assumed,
+            untested=report.untested,
             failed=report.failed,
             theory_lines=theory.count("\n"),
         ))
@@ -53,7 +55,8 @@ def format_table2(rows: list[Table2Row]) -> str:
     out = io.StringIO()
     out.write("Table 2: binaries exported to Isabelle/HOL and validated\n\n")
     header = (f"{'Binary':<10} {'#Instructions':>14} {'#Indirections':>14} "
-              f"{'#Triples':>9} {'proven':>7} {'assumed':>8} {'FAILED':>7}")
+              f"{'#Triples':>9} {'proven':>7} {'assumed':>8} "
+              f"{'untested':>9} {'FAILED':>7}")
     out.write(header + "\n")
     out.write("-" * len(header) + "\n")
     total_instr = total_ind = total_triples = 0
@@ -61,7 +64,7 @@ def format_table2(rows: list[Table2Row]) -> str:
         out.write(
             f"{row.name:<10} {row.instructions:>14} {row.indirections:>14} "
             f"{row.triples:>9} {row.proven:>7} {row.assumed:>8} "
-            f"{row.failed:>7}\n"
+            f"{row.untested:>9} {row.failed:>7}\n"
         )
         total_instr += row.instructions
         total_ind += row.indirections

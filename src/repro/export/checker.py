@@ -32,8 +32,13 @@ from repro.hoare.graph import VertexKey
 from repro.hoare.resolve import is_return_symbol
 from repro.machine import CPU, Memory
 from repro.memmodel import MemModel, MemTree, model_holds
+from repro.obs.metrics import metrics as _M
+from repro.obs.tracer import tracer as _T
 from repro.semantics import SymState
 from repro.smt.linear import linearize
+
+#: The four triple statuses, in reporting order.
+STATUSES = ("proven", "assumed", "untested", "FAILED")
 
 #: Where witness stacks live.
 WITNESS_STACK = 0x7FF0_0000_0000
@@ -81,6 +86,10 @@ class CheckReport:
     def all_proven(self) -> bool:
         """Every replayable triple proven; none failed."""
         return self.failed == 0 and self.proven + self.assumed == len(self.checks)
+
+    def status_counts(self) -> dict[str, int]:
+        """All four statuses, zero-filled — the rollup/report shape."""
+        return {status: self.count(status) for status in STATUSES}
 
     def summary(self) -> str:
         return (
@@ -387,6 +396,12 @@ def check_triples(
         report.checks.append(
             TripleCheck(src, instr_addr, status, witnesses=passed, detail=failure)
         )
+    if _T.enabled:
+        for status, count in report.status_counts().items():
+            if count:
+                _M.inc(f"check.status.{status}", count)
+        _T.emit("check.report", triples=len(report.checks),
+                **report.status_counts())
     return report
 
 

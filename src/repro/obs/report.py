@@ -169,6 +169,11 @@ def render_obs_rollup(obs: dict[str, Any], records=None) -> str:
             timer = timers[name]
             out.write(f"  {name:<24} {timer['seconds']:.3f} s over "
                       f"{timer['count']} samples\n")
+    counters = metrics_totals.get("counters", {})
+    if counters:
+        out.write("\nCounters (all tasks):\n")
+        for name in sorted(counters):
+            out.write(f"  {name:<24} {counters[name]}\n")
     # The per-task section surfaces only tasks whose tail carries
     # diagnostics (annotations/rejections) — the interesting ones.
     noisy = {name: data for name, data in obs.get("tasks", {}).items()

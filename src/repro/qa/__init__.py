@@ -1,0 +1,58 @@
+"""repro.qa — mutation-testing campaigns over the verified lifter.
+
+The package turns "the verifier passes on good binaries" into the far
+stronger claim the ISSUE asks for: **the verifier catches bugs**.  Three
+layers:
+
+* :mod:`repro.qa.faults` — named, seeded semantic faults injected into the
+  trusted computing base (τ, the emulator, the SMT decision procedure, the
+  predicate join) via context-managed monkeypatching;
+* :mod:`repro.qa.mutants` — byte-level binary mutants produced with the
+  assembler/decoder round-trip;
+* :mod:`repro.qa.campaign` — the driver that runs every trial through the
+  detector pipeline of :mod:`repro.qa.detectors` and rolls up a
+  deterministic kill-rate report, plus the τ-vs-emulator differential
+  battery of :mod:`repro.qa.diffsweep`.
+
+Entry point: ``python -m repro.eval qa``.
+"""
+
+from repro.qa.campaign import (
+    CampaignReport,
+    Trial,
+    TrialResult,
+    build_trials,
+    run_campaign,
+)
+from repro.qa.detectors import (
+    DETECTOR_ORDER,
+    binary_signature,
+    signature_diff,
+)
+from repro.qa.diffsweep import forms, run_battery, run_form
+from repro.qa.faults import FAULTS, LAYERS, inject
+from repro.qa.mutants import CURATED_MUTANTS, MutationSpec, apply_mutation
+from repro.qa.targets import BATTERY, build_target, target_names
+
+__all__ = [
+    "BATTERY",
+    "CURATED_MUTANTS",
+    "CampaignReport",
+    "DETECTOR_ORDER",
+    "FAULTS",
+    "LAYERS",
+    "MutationSpec",
+    "Trial",
+    "TrialResult",
+    "apply_mutation",
+    "binary_signature",
+    "build_target",
+    "build_trials",
+    "forms",
+    "inject",
+    "run_battery",
+    "run_campaign",
+    "run_form",
+    "signature_diff",
+    "target_names",
+]

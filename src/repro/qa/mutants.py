@@ -1,0 +1,208 @@
+"""Byte-level binary mutants: decode → perturb → re-encode → patch.
+
+The second arm of the mutation campaign: instead of breaking the
+*pipeline* (faults), break the *binary* and check the detectors notice.
+A mutant is produced by decoding one instruction of a target, applying a
+mutation operator to the decoded form, re-encoding, and patching the
+section bytes — only same-length re-encodings are accepted, so every
+mutant is a valid binary with an unchanged layout (labels, branch
+displacements and the entry point all stay put).
+
+Operators (the classes of the ISSUE):
+
+* ``opcode-swap``        — substitute a same-group mnemonic (add → sub);
+* ``imm-perturb``        — skew an immediate (e.g. unbalance a frame);
+* ``disp-perturb``       — skew a memory displacement (e.g. point a store
+  at the return-address slot);
+* ``reg-swap``           — replace a register operand with a same-width
+  sibling;
+* ``callee-save-clobber``— retarget a destination register to a
+  callee-saved one the function never saves.
+
+Not every mutant is a bug: a legal ``add → sub`` swap changes behaviour
+but verifies fine.  Curated mutants therefore carry an expectation —
+``killed`` mutants must change some detector verdict, ``survives``
+mutants must not (they are the campaign's false-positive probes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.elf import Binary, Section
+from repro.isa import Imm, Instruction, Mem, Reg
+from repro.isa.encode import EncodeError, encode
+
+
+@dataclass(frozen=True)
+class MutationSpec:
+    """One curated mutant: where, what, and the expected campaign verdict."""
+
+    name: str
+    target: str          # qa target name (see repro.qa.targets)
+    index: int           # instruction index from the text section start
+    operator: str
+    #: operator parameter: new mnemonic, immediate/displacement delta, or
+    #: replacement register name.
+    param: str | int
+    expect: str          # "killed" | "survives"
+
+
+def text_instructions(binary: Binary) -> list[Instruction]:
+    """Decode the executable section front-to-back (flat code, no data)."""
+    section = binary.section_at(binary.entry)
+    out: list[Instruction] = []
+    addr = section.addr
+    while addr < section.end:
+        instr = binary.fetch(addr)
+        out.append(instr)
+        addr = instr.end
+    return out
+
+
+def _mutate_instruction(instr: Instruction, operator: str,
+                        param: str | int) -> Instruction:
+    ops = instr.operands
+    if operator == "opcode-swap":
+        return replace(instr, mnemonic=str(param))
+    if operator == "imm-perturb":
+        new_ops = []
+        done = False
+        for op in ops:
+            if isinstance(op, Imm) and not done:
+                value = (op.value + int(param)) & ((1 << op.width) - 1)
+                op = Imm(value, op.width)
+                done = True
+            new_ops.append(op)
+        if not done:
+            raise ValueError(f"no immediate operand in {instr}")
+        return replace(instr, operands=tuple(new_ops))
+    if operator == "disp-perturb":
+        new_ops = []
+        done = False
+        for op in ops:
+            if isinstance(op, Mem) and not done:
+                op = replace(op, disp=op.disp + int(param))
+                done = True
+            new_ops.append(op)
+        if not done:
+            raise ValueError(f"no memory operand in {instr}")
+        return replace(instr, operands=tuple(new_ops))
+    if operator in ("reg-swap", "callee-save-clobber"):
+        # reg-swap substitutes a *source* (the last register operand);
+        # callee-save-clobber retargets the *destination* (the first).
+        indices = [i for i, op in enumerate(ops) if isinstance(op, Reg)]
+        if not indices:
+            raise ValueError(f"no register operand in {instr}")
+        where = indices[-1] if operator == "reg-swap" else indices[0]
+        new_ops = list(ops)
+        new_ops[where] = Reg(str(param))
+        return replace(instr, operands=tuple(new_ops))
+    raise ValueError(f"unknown mutation operator {operator!r}")
+
+
+def apply_mutation(binary: Binary, spec: MutationSpec) -> Binary | None:
+    """The mutant binary, or None when the re-encoding changes length."""
+    instructions = text_instructions(binary)
+    instr = instructions[spec.index]
+    mutated = _mutate_instruction(instr, spec.operator, spec.param)
+    try:
+        raw = encode(mutated)
+    except EncodeError:
+        return None
+    if len(raw) != instr.size:
+        return None
+
+    section = binary.section_at(instr.addr)
+    offset = instr.addr - section.addr
+    data = section.data[:offset] + raw + section.data[offset + instr.size:]
+    sections = [
+        Section(s.name, s.addr, data if s is section else s.data,
+                s.executable, s.writable)
+        for s in binary.sections
+    ]
+    return Binary(
+        entry=binary.entry, sections=sections,
+        externals=dict(binary.externals), symbols=dict(binary.symbols),
+        name=f"{binary.name}+{spec.name}",
+    )
+
+
+#: The curated mutants of the quick campaign.  One per operator class;
+#: the two ``survives`` entries are behaviour-changing but perfectly legal
+#: programs — the campaign's check that detectors do not cry wolf.
+CURATED_MUTANTS = (
+    MutationSpec(
+        name="frame-imbalance", target="frame", index=3,
+        operator="imm-perturb", param=8, expect="killed",
+    ),
+    MutationSpec(
+        name="store-hits-ret-slot", target="frame", index=1,
+        operator="disp-perturb", param=0x18, expect="killed",
+    ),
+    MutationSpec(
+        name="clobber-callee-saved", target="scratch", index=0,
+        operator="callee-save-clobber", param="rbx", expect="killed",
+    ),
+    MutationSpec(
+        name="benign-opcode-swap", target="scratch", index=1,
+        operator="opcode-swap", param="sub", expect="survives",
+    ),
+    MutationSpec(
+        name="benign-reg-swap", target="scratch", index=0,
+        operator="reg-swap", param="rsi", expect="survives",
+    ),
+)
+
+
+#: Operators eligible for seeded random sampling in the full campaign.
+_RANDOM_OPERATORS = ("opcode-swap", "imm-perturb", "disp-perturb", "reg-swap")
+
+_ALU_SWAPS = {"add": "sub", "sub": "add", "and": "or", "or": "xor",
+              "xor": "and", "cmp": "test", "test": "cmp"}
+_REG_CYCLE = {"rax": "rcx", "rcx": "rdx", "rdx": "rax", "rdi": "rsi",
+              "rsi": "rdi", "r8": "r9", "r9": "r8"}
+
+
+def random_mutants(binary: Binary, target: str, rng, count: int
+                   ) -> list[tuple[MutationSpec, Binary]]:
+    """Sample *count* applicable random mutants of *binary* (full campaign).
+
+    Deterministic for a given rng state; mutants whose re-encoding changes
+    length are skipped, so fewer than *count* may come back.
+    """
+    instructions = text_instructions(binary)
+    out: list[tuple[MutationSpec, Binary]] = []
+    attempts = 0
+    while len(out) < count and attempts < count * 16:
+        attempts += 1
+        index = rng.randrange(len(instructions))
+        instr = instructions[index]
+        operator = rng.choice(_RANDOM_OPERATORS)
+        param: str | int | None = None
+        if operator == "opcode-swap":
+            param = _ALU_SWAPS.get(instr.mnemonic)
+        elif operator == "imm-perturb":
+            if any(isinstance(op, Imm) for op in instr.operands):
+                param = rng.choice((1, -1, 8, -8))
+        elif operator == "disp-perturb":
+            if any(isinstance(op, Mem) for op in instr.operands):
+                param = rng.choice((1, -1, 8, -8))
+        elif operator == "reg-swap":
+            regs = [op for op in instr.operands if isinstance(op, Reg)]
+            if regs:
+                param = _REG_CYCLE.get(regs[0].name)
+        if param is None:
+            continue
+        spec = MutationSpec(
+            name=f"rand-{target}-{index}-{operator}-{attempts}",
+            target=target, index=index, operator=operator, param=param,
+            expect="unknown",
+        )
+        try:
+            mutant = apply_mutation(binary, spec)
+        except ValueError:
+            continue
+        if mutant is not None:
+            out.append((spec, mutant))
+    return out

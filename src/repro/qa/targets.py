@@ -1,0 +1,137 @@
+"""The qa target binaries: small programs every campaign trial lifts.
+
+Each target is chosen to exercise one trusted mechanism, so the curated
+fault set can pair every fault with a program whose verification verdict
+that fault actually influences:
+
+* ``arith``    — straight-line arithmetic with shifts (τ ALU transformers,
+  replayed value postconditions);
+* ``branch``   — a clamp diamond (condition clauses, predicate join);
+* ``guard``    — early-return chain (clause/value coupling per branch);
+* ``loop``     — a bounded accumulation loop (join fixpoint, back edges);
+* ``stack``    — local-array traffic (memory regions, displacement maths);
+* ``overflow`` — the Section 5.1 buffer overflow (the SMT separation
+  verdict is the only thing standing between this binary and a bogus
+  "verified");
+* ``frame``/``scratch`` — hand-assembled bodies with stable encodings, the
+  substrate for byte-level mutants (frame imbalance, ret-slot stores,
+  callee-save clobbers).
+
+``battery`` is the pseudo-target whose only detector is the τ-vs-emulator
+differential battery of :mod:`repro.qa.diffsweep`.
+"""
+
+from __future__ import annotations
+
+from repro.corpus.failures import buffer_overflow
+from repro.elf import Binary, BinaryBuilder
+from repro.isa import Imm, Mem
+from repro.minicc import compile_source
+
+#: Name of the pseudo-target that runs the differential battery.
+BATTERY = "battery"
+
+
+def _arith() -> Binary:
+    return compile_source("""
+long main(long x, long y) {
+    long t = x * 3 + y;
+    t = t ^ (y << 2);
+    t = t - (x & y);
+    return t + 7;
+}
+""", name="qa_arith")
+
+
+def _branch() -> Binary:
+    # A genuine diamond: both arms fall through to a merge point, so the
+    # lifter must join predicates (early-return shapes never would).
+    return compile_source("""
+long main(long x) {
+    long r = x;
+    if (x < 0) r = 0 - x;
+    if (r > 255) r = 255;
+    return r + 7;
+}
+""", name="qa_branch")
+
+
+def _guard() -> Binary:
+    # Early-return shape: each jcc picks between paths with *different*
+    # observable results, so mislabelled condition clauses contradict
+    # downstream values (a symmetric diamond would hide a clause swap —
+    # the edge-group disjunction ∨Q is invariant under relabelling).
+    return compile_source("""
+long main(long x) {
+    if (x < 0) return 0;
+    if (x > 255) return 255;
+    return x + 1;
+}
+""", name="qa_guard")
+
+
+def _loop() -> Binary:
+    return compile_source("""
+long main(long n) {
+    long sum = 0;
+    for (long i = 0; i < 8; i = i + 1) {
+        sum = sum + i + n;
+    }
+    return sum;
+}
+""", name="qa_loop")
+
+
+def _stack() -> Binary:
+    return compile_source("""
+long main(long n) {
+    long buf[4];
+    for (long i = 0; i < 4; i = i + 1) buf[i] = i + n;
+    if (n < 0) n = 0;
+    if (n > 3) n = 3;
+    return buf[n];
+}
+""", name="qa_stack")
+
+
+def _frame() -> Binary:
+    builder = BinaryBuilder("qa_frame")
+    text = builder.text
+    text.label("main")
+    text.emit("sub", "rsp", Imm(0x20, 32))
+    text.emit("mov", Mem(64, base="rsp", disp=0x8), "rdi")
+    text.emit("mov", "rax", Mem(64, base="rsp", disp=0x8))
+    text.emit("add", "rsp", Imm(0x20, 32))
+    text.emit("ret")
+    return builder.build(entry="main")
+
+
+def _scratch() -> Binary:
+    builder = BinaryBuilder("qa_scratch")
+    text = builder.text
+    text.label("main")
+    text.emit("mov", "rax", "rdi")
+    text.emit("add", "rax", Imm(1, 32))
+    text.emit("ret")
+    return builder.build(entry="main")
+
+
+_BUILDERS = {
+    "arith": _arith,
+    "branch": _branch,
+    "guard": _guard,
+    "loop": _loop,
+    "stack": _stack,
+    "overflow": buffer_overflow,
+    "frame": _frame,
+    "scratch": _scratch,
+}
+
+
+def build_target(name: str) -> Binary:
+    """Build one qa target by name (KeyError on typos)."""
+    return _BUILDERS[name]()
+
+
+def target_names() -> list[str]:
+    return sorted(_BUILDERS)

@@ -524,7 +524,22 @@ def _shift(
                 s.shl(a, Const(width - shift, width), width), width
             ) if shift else a
     new_state, events = _store(state, dst, result, instr, ctx)
-    flags = FlagState("arith", result, None, width) if result is not None else None
+    count = None
+    if n is not None and isinstance(n, Const):
+        count = n.value & (63 if width == 64 else 31)
+    if mnemonic in ("rol", "ror"):
+        # Rotates touch only CF/OF on hardware (and nothing at all in the
+        # reference machine): claiming result-derived SF/ZF would be
+        # unsound, so havoc the flag state.
+        flags = None
+    elif count == 0:
+        flags = state.pred.flags   # zero-count shifts leave flags alone
+    elif result is None or count is None:
+        # Variable (cl) shift count: a zero count would leave the previous
+        # flags in place, so a blanket result-derived claim is unsound.
+        flags = None
+    else:
+        flags = FlagState("arith", result, None, width)
     return new_state.with_pred(new_state.pred.with_flags(flags)), events
 
 

@@ -54,10 +54,11 @@ def test_format_table1_contains_sections():
 def test_format_table2():
     rows = [
         Table2Row(name="wc", instructions=90, indirections=0, triples=90,
-                  proven=88, assumed=2, failed=0, theory_lines=400),
+                  proven=88, assumed=2, untested=0, failed=0,
+                  theory_lines=400),
         Table2Row(name="tar", instructions=1100, indirections=3,
-                  triples=1100, proven=1050, assumed=30, failed=0,
-                  theory_lines=5000),
+                  triples=1100, proven=1050, assumed=30, untested=20,
+                  failed=0, theory_lines=5000),
     ]
     text = format_table2(rows)
     assert "wc" in text and "tar" in text and "Total" in text

@@ -10,12 +10,15 @@ disassembly, and the concrete control-flow steps must follow lifted edges
 from __future__ import annotations
 
 import pytest
-from hypothesis import HealthCheck, given, settings
+from hypothesis import HealthCheck, example, given, settings
 from hypothesis import strategies as st
 
 from repro import lift
+from repro.expr import EvalEnv, evaluate
 from repro.machine import CPU, MachineError
+from repro.machine.cpu import _SENTINEL_RETURN
 from repro.minicc import compile_source
+from repro.qa.diffsweep import _bind_unknowns
 
 # -- a compact random-program generator -------------------------------------------
 
@@ -115,6 +118,144 @@ def test_fuzz_lift_overapproximates_execution(source, arg_a, arg_b):
             continue  # context-free: the callee entry edge is by symbol
         assert dst in allowed.get(src, ()), (
             f"untracked edge {src:#x} -> {dst:#x} ({instr})\n{source}"
+        )
+
+
+def _flags_agree(flags, env: EvalEnv, cpu: CPU) -> bool:
+    """The lifted flag postcondition must agree with the machine flags.
+
+    Evaluable claims only: an unbound symbolic operand means the predicate
+    claims nothing concrete about the flags, which is sound.
+    """
+    if flags is None:
+        return True
+    mask = (1 << flags.width) - 1
+    sign = 1 << (flags.width - 1)
+
+    def signed(v: int) -> int:
+        v &= mask
+        return v - (1 << flags.width) if v & sign else v
+
+    try:
+        a = evaluate(flags.a, env)
+    except Exception:
+        return True
+    if flags.kind == "cmp" and flags.b is not None:
+        try:
+            b = evaluate(flags.b, env)
+        except Exception:
+            return True
+        expected = {"e": (a & mask) == (b & mask),
+                    "b": (a & mask) < (b & mask),
+                    "l": signed(a) < signed(b)}
+    else:
+        if flags.kind == "test":
+            if flags.b is None:
+                return True
+            try:
+                value = a & evaluate(flags.b, env)
+            except Exception:
+                return True
+        else:  # "arith": flags of a result value; ZF/SF are modelled
+            value = a
+        expected = {"e": (value & mask) == 0,
+                    "s": bool(value & sign)}
+    return all(cpu.condition(cc) == want for cc, want in expected.items())
+
+
+# derandomize: witness synthesis for join variables is heuristic (the
+# relation is existential; `_bind_unknowns` proposes, `holds` validates),
+# so an unlucky fresh program shape can fail to *relate* without any
+# lifter bug.  A fixed example stream keeps tier-1 deterministic; the
+# campaign battery and the sweep carry the exploratory load.
+@settings(max_examples=25, deadline=None, derandomize=True,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(
+    source=programs,
+    arg_a=st.integers(min_value=-1000, max_value=1000),
+    arg_b=st.integers(min_value=-1000, max_value=1000),
+)
+# Shrunk falsifying programs that once defeated witness synthesis — each
+# exercises a distinct join shape (flag-operand join vars under one- and
+# two-sided merges, n-ary adds, clause-pinned operands, loop-head arith
+# flags).  Pinned here because derandomize skips the failure database.
+@example(source="long main(long a, long b) {\n    long c = 0;\n"
+                "    if (-2 < a) { if (0 < 0) { a = 0; } }\n"
+                "    return a + b + c;\n}", arg_a=0, arg_b=0)
+@example(source="long main(long a, long b) {\n    long c = 0;\n"
+                "    if (0 < a) { c = 1; }\n"
+                "    return a + b + c;\n}", arg_a=0, arg_b=0)
+@example(source="long main(long a, long b) {\n    long c = 0;\n"
+                "    if (0 > a) { if (1 < 0) { a = 0; } }\n"
+                "    return a + b + c;\n}", arg_a=0, arg_b=0)
+@example(source="long main(long a, long b) {\n    long c = 0;\n"
+                "    a = -2;\n"
+                "    if (-2 != b) { if (0 < a) { a = 0; } }\n"
+                "    return a + b + c;\n}", arg_a=0, arg_b=0)
+@example(source="long main(long a, long b) {\n    long c = 0;\n"
+                "    a = -1;\n"
+                "    for (long i = 0; i < 1; i = i + 1) { a = 0; }\n"
+                "    return a + b + c;\n}", arg_a=0, arg_b=0)
+def test_fuzz_values_match_lifted_postconditions(source, arg_a, arg_b):
+    """Beyond address coverage: on straight-line code, some lifted state at
+    each executed address must agree with the machine's *register, memory
+    and flag values* (the predicate `holds` on the concrete state)."""
+    binary = compile_source(source, name="fuzzv")
+    result = lift(binary, max_states=20_000, timeout_seconds=20)
+    if not result.verified:
+        return
+
+    cpu = CPU(binary)
+    cpu.regs["rdi"] = arg_a & ((1 << 64) - 1)
+    cpu.regs["rsi"] = arg_b & ((1 << 64) - 1)
+    pristine = dict(cpu.memory.bytes)
+
+    def read_initial(addr: int, size: int) -> int:
+        value = 0
+        for i in range(size):
+            a = (addr + i) & ((1 << 64) - 1)
+            byte = pristine.get(a)
+            if byte is None:
+                section = binary.section_at(a)
+                byte = section.data[a - section.addr] if section else 0
+            value |= byte << (8 * i)
+        return value
+
+    variables = {f"{reg}0": value for reg, value in cpu.regs.items()}
+    variables["ret0"] = read_initial(cpu.regs["rsp"], 8)
+
+    for _ in range(2000):
+        if cpu.halted or cpu.rip == _SENTINEL_RETURN:
+            break
+        instr = binary.fetch(cpu.rip)
+        if instr.mnemonic == "call":
+            return  # context-free lifting: callee predicates use fresh vars
+        try:
+            cpu.execute(instr)
+        except MachineError:
+            return
+        if cpu.halted or cpu.rip == _SENTINEL_RETURN:
+            break
+        states = result.graph.states_at(cpu.rip)
+        if not states:
+            continue  # address coverage is the other test's job
+        registers = {**cpu.regs, "rip": cpu.rip}
+        related = False
+        for state in states:
+            bindings = dict(variables)
+            _bind_unknowns(state, cpu, bindings)
+            probe = EvalEnv(variables=bindings, read_mem=read_initial,
+                            registers=registers)
+            try:
+                if state.pred.holds(probe, read_current=cpu.memory.read) \
+                        and _flags_agree(state.pred.flags, probe, cpu):
+                    related = True
+                    break
+            except Exception:
+                continue
+        assert related, (
+            f"no lifted state at {cpu.rip:#x} matches the concrete "
+            f"registers/flags after {instr}\nprogram:\n{source}"
         )
 
 

@@ -1,0 +1,168 @@
+"""The qa mutation-campaign gates: kills, controls, and determinism.
+
+Satellite (c) is the determinism contract: the quick campaign run twice
+serially and twice with two worker processes must produce byte-identical
+canonical reports.  The rest locks down the campaign's semantics — the
+curated fault set is 100% killed, controls detect nothing, fault
+injection is context-managed (uninstall restores the pristine pipeline),
+and mutants re-encode to same-length patches.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hoare import lift
+from repro.qa import (
+    BATTERY,
+    CURATED_MUTANTS,
+    FAULTS,
+    LAYERS,
+    apply_mutation,
+    build_target,
+    build_trials,
+    inject,
+    run_campaign,
+    target_names,
+)
+from repro.qa.campaign import BATTERY_FORMS, CURATED_FAULT_TRIALS
+from repro.qa.diffsweep import forms
+from repro.qa.mutants import text_instructions
+
+
+@pytest.fixture(scope="module")
+def quick_report():
+    return run_campaign("quick", seed=2022, jobs=1)
+
+
+# -- the campaign gates -------------------------------------------------------
+
+
+def test_quick_campaign_kills_every_curated_fault(quick_report):
+    missed = [r.name for r in quick_report.missed]
+    assert quick_report.kill_rate == 1.0, f"missed: {missed}"
+
+
+def test_quick_campaign_has_no_false_positives(quick_report):
+    wrong = [(r.name, r.killed_by) for r in quick_report.false_positives]
+    assert not wrong, f"controls/survivors tripped detectors: {wrong}"
+
+
+def test_quick_campaign_gate_ok(quick_report):
+    assert quick_report.gate_ok
+
+
+def test_kills_are_attributed_to_detectors(quick_report):
+    for result in quick_report.results:
+        if result.killed:
+            assert result.killed_by in ("lift", "sanity", "triples",
+                                        "lint", "differential")
+        else:
+            assert result.killed_by == ""
+
+
+def test_every_layer_is_exercised_by_the_curated_set():
+    layers = {FAULTS[fault].layer for fault, _ in CURATED_FAULT_TRIALS}
+    assert layers == set(LAYERS)
+
+
+def test_curated_set_spans_detectors(quick_report):
+    killers = {r.killed_by for r in quick_report.results
+               if r.killed and r.kind == "fault"}
+    assert {"lift", "triples", "differential"} <= killers
+
+
+# -- determinism (satellite c) ------------------------------------------------
+
+
+def test_campaign_reports_are_deterministic_and_jobs_invariant(quick_report):
+    serial_again = run_campaign("quick", seed=2022, jobs=1)
+    parallel_one = run_campaign("quick", seed=2022, jobs=2)
+    parallel_two = run_campaign("quick", seed=2022, jobs=2)
+    reference = quick_report.canonical_json()
+    assert serial_again.canonical_json() == reference
+    assert parallel_one.canonical_json() == reference
+    assert parallel_two.canonical_json() == reference
+
+
+def test_campaign_seed_changes_are_reported():
+    other = run_campaign("quick", seed=3, jobs=1)
+    assert other.canonical()["seed"] == 3
+
+
+# -- fault registry mechanics -------------------------------------------------
+
+
+def test_fault_registry_covers_all_layers():
+    assert {fault.layer for fault in FAULTS.values()} == set(LAYERS)
+    assert len(FAULTS) >= 9
+
+
+def test_inject_is_context_managed_and_restores():
+    binary = build_target("scratch")
+    before = lift(binary)
+    assert before.verified
+    with inject("tau-add-imm-off-by-one"):
+        pass  # enter/exit only
+    after = lift(binary)
+    assert after.verified
+    assert len(after.graph.vertices) == len(before.graph.vertices)
+
+
+def test_inject_unknown_fault_raises():
+    with pytest.raises(KeyError):
+        with inject("no-such-fault"):
+            pass
+
+
+def test_battery_forms_are_real_form_names():
+    names = {form.name for form in forms()}
+    assert set(BATTERY_FORMS) <= names
+
+
+# -- trials and targets -------------------------------------------------------
+
+
+def test_build_trials_quick_structure():
+    trials = build_trials("quick")
+    names = [t.name for t in trials]
+    assert len(names) == len(set(names))
+    kinds = {t.kind for t in trials}
+    assert kinds == {"control", "fault", "mutant"}
+    controls = [t for t in trials if t.kind == "control"]
+    assert len(controls) == len(target_names()) + 1  # + battery
+
+
+def test_build_trials_full_is_superset():
+    quick = {t.name for t in build_trials("quick")}
+    full = {t.name for t in build_trials("full")}
+    assert quick < full
+
+
+def test_build_trials_rejects_unknown_campaign():
+    with pytest.raises(ValueError):
+        build_trials("nightly")
+
+
+def test_targets_build_and_curated_mutants_encode():
+    for name in target_names():
+        binary = build_target(name)
+        assert binary.section_at(binary.entry) is not None
+    for spec in CURATED_MUTANTS:
+        base = build_target(spec.target)
+        mutant = apply_mutation(base, spec)
+        assert mutant is not None, spec.name
+        # Same-length patch: layout identical, exactly one instruction
+        # differs.
+        base_instrs = text_instructions(base)
+        mutant_instrs = text_instructions(mutant)
+        assert [i.addr for i in base_instrs] == [i.addr for i in mutant_instrs]
+        differing = [i for i, (x, y) in enumerate(zip(base_instrs,
+                                                      mutant_instrs))
+                     if str(x) != str(y)]
+        assert differing == [spec.index]
+
+
+def test_battery_pseudo_target_is_in_quick_controls():
+    trials = build_trials("quick")
+    assert any(t.target == BATTERY and t.kind == "control" for t in trials)

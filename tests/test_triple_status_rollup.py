@@ -1,0 +1,84 @@
+"""Satellite (d): triple status counts surface in table2 and obs rollups."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import obs
+from repro.eval.table2 import Table2Row, format_table2
+from repro.export.checker import STATUSES, check_triples
+from repro.hoare import lift
+from repro.obs.metrics import metrics
+from repro.obs.report import render_obs_rollup
+from repro.obs.tracer import tracer
+from repro.qa.targets import build_target
+
+
+@pytest.fixture(autouse=True)
+def _obs_off_after():
+    yield
+    obs.disable()
+    obs.reset()
+
+
+def test_status_counts_shape():
+    result = lift(build_target("scratch"))
+    report = check_triples(result, samples=2, seed=2022)
+    counts = report.status_counts()
+    assert tuple(counts) == STATUSES
+    assert sum(counts.values()) == len(report.checks)
+    assert counts["FAILED"] == 0
+
+
+def test_checker_emits_status_counters_when_traced():
+    metrics.reset()
+    tracer.reset()
+    tracer.configure(enabled=True)
+    result = lift(build_target("guard"))
+    report = check_triples(result, samples=2, seed=2022)
+    snap = metrics.snapshot()
+    counters = snap.get("counters", {})
+    assert counters.get("check.status.proven") == report.proven
+    for status in STATUSES:
+        assert counters.get(f"check.status.{status}", 0) == \
+            report.count(status)
+    kinds = [event.kind for event in tracer.events()]
+    assert "check.report" in kinds
+
+
+def test_checker_emits_nothing_when_tracing_disabled():
+    metrics.reset()
+    tracer.configure(enabled=False)
+    result = lift(build_target("scratch"))
+    check_triples(result, samples=2, seed=2022)
+    assert "check.status.proven" not in metrics.snapshot().get("counters", {})
+
+
+def test_table2_row_and_text_carry_untested():
+    row = Table2Row(name="cat", instructions=10, indirections=0, triples=5,
+                    proven=3, assumed=1, untested=1, failed=0,
+                    theory_lines=40)
+    text = format_table2([row])
+    header, _, body = text.splitlines()[2:5]
+    assert "untested" in header
+    assert body.split()[-2:] == ["1", "0"]  # untested, FAILED columns
+
+
+def test_obs_rollup_renders_counter_totals():
+    rollup = {
+        "sampling": 1,
+        "tasks": {},
+        "totals": {
+            "events": {},
+            "metrics": {
+                "counters": {"check.status.proven": 12,
+                             "check.status.FAILED": 1},
+                "histograms": {},
+                "timers": {},
+            },
+        },
+    }
+    text = render_obs_rollup(rollup)
+    assert "Counters (all tasks):" in text
+    assert "check.status.proven" in text
+    assert "12" in text
