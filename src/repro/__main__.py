@@ -15,7 +15,10 @@ Commands:
 * ``trace`` — lift under full-fidelity tracing (sampling 1) and report
   the event stream: ``--format text`` (summary + provenance chains),
   ``--format jsonl`` (one event per line), ``--format chrome``
-  (Chrome ``trace_event`` JSON for chrome://tracing / Perfetto).
+  (Chrome ``trace_event`` JSON for chrome://tracing / Perfetto);
+* ``cache`` — persistent lift-store maintenance: ``cache stats`` prints
+  entry/byte totals, ``cache clear`` empties the store.  Lifting
+  commands take ``--cache`` / ``--no-cache`` / ``--cache-dir``.
 """
 
 from __future__ import annotations
@@ -29,11 +32,37 @@ from repro.hoare import lift, lift_function
 
 def _load_and_lift(args) -> "LiftResult":
     binary = load_binary(args.binary)
+    cache = getattr(args, "cache", None)
+    cache_dir = getattr(args, "cache_dir", None)
     if getattr(args, "function", None):
         return lift_function(binary, args.function, max_states=args.max_states,
-                             timeout_seconds=args.timeout)
+                             timeout_seconds=args.timeout,
+                             cache=cache, cache_dir=cache_dir)
     return lift(binary, max_states=args.max_states,
-                timeout_seconds=args.timeout)
+                timeout_seconds=args.timeout,
+                cache=cache, cache_dir=cache_dir)
+
+
+def _run_cache(args) -> int:
+    """``python -m repro cache <stats|clear>``: lift-store maintenance."""
+    from repro.perf.store import LiftStore
+
+    store = LiftStore(root=args.cache_dir)
+    action = args.binary  # positional slot doubles as the cache action
+    if action == "stats":
+        stats = store.stats()
+        print(f"lift store at {stats['root']}")
+        print(f"  entries   {stats['entries']}")
+        print(f"  bytes     {stats['bytes']}")
+        print(f"  max bytes {stats['max_bytes']}")
+        return 0
+    if action == "clear":
+        removed = store.clear()
+        print(f"removed {removed} entries from {store.root}")
+        return 0
+    print(f"error: unknown cache action {action!r} (use stats or clear)",
+          file=sys.stderr)
+    return 2
 
 
 def _print_lift(result) -> int:
@@ -57,6 +86,8 @@ def _run_trace(args) -> int:
     """``python -m repro trace``: lift once under tracing, report."""
     import repro.obs as obs
 
+    # Tracing measures a real lift — a store hit would yield no events.
+    args.cache = False
     prior = obs.save_state()
     obs.reset()
     obs.enable(sampling=args.sampling)
@@ -96,8 +127,9 @@ def main(argv=None) -> int:
     )
     parser.add_argument("command", choices=["lift", "disasm", "cfg", "decompile",
                                             "export", "check", "diff", "lint",
-                                            "trace"])
-    parser.add_argument("binary", help="path to an ELF binary")
+                                            "trace", "cache"])
+    parser.add_argument("binary", help="path to an ELF binary "
+                                       "(cache command: stats|clear)")
     parser.add_argument("patched", nargs="?",
                         help="second binary (diff command only)")
     parser.add_argument("--function", help="lift one exported function "
@@ -117,7 +149,21 @@ def main(argv=None) -> int:
                         help="trace: record 1 in N high-frequency events "
                              "(default 1 = everything, so provenance chains "
                              "are complete)")
+    parser.add_argument("--cache", action="store_true", default=None,
+                        dest="cache",
+                        help="serve lifts from the persistent lift store "
+                             "(default: the REPRO_CACHE environment "
+                             "variable)")
+    parser.add_argument("--no-cache", action="store_false", dest="cache",
+                        help="disable the persistent lift store even if "
+                             "REPRO_CACHE is set")
+    parser.add_argument("--cache-dir", default=None,
+                        help="lift-store directory (default REPRO_CACHE_DIR "
+                             "or ~/.cache/repro-lift)")
     args = parser.parse_args(argv)
+
+    if args.command == "cache":
+        return _run_cache(args)
 
     if args.command == "trace":
         return _run_trace(args)
@@ -143,9 +189,11 @@ def main(argv=None) -> int:
         from repro.hoare.diff import diff_lifts
 
         original = lift(load_binary(args.binary), max_states=args.max_states,
-                        timeout_seconds=args.timeout)
+                        timeout_seconds=args.timeout,
+                        cache=args.cache, cache_dir=args.cache_dir)
         patched = lift(load_binary(args.patched), max_states=args.max_states,
-                       timeout_seconds=args.timeout)
+                       timeout_seconds=args.timeout,
+                       cache=args.cache, cache_dir=args.cache_dir)
         diff = diff_lifts(original, patched)
         print(diff.summary())
         for addr, (old, new) in sorted(diff.changed_instructions.items()):

@@ -31,12 +31,23 @@ def main(argv=None) -> int:
     parser.add_argument("--trace-overhead", action="store_true",
                         help="bench: also measure the obs-enabled lift-time "
                              "ratio (scale-1 corpus, default sampling)")
+    parser.add_argument("--cold", action="store_true",
+                        help="bench: measure the cold (empty-store) cached "
+                             "lift; with --warm, records both sides of the "
+                             "persistent-store split")
+    parser.add_argument("--warm", action="store_true",
+                        help="bench: measure the warm (populated-store) "
+                             "cached lift; implies the cold pass that "
+                             "populates it")
+    parser.add_argument("--schedule-ab", action="store_true",
+                        help="bench: also run the address-vs-SCC schedule "
+                             "A/B (scale-1 corpus)")
     parser.add_argument("--sampling", type=int, default=None,
                         help="obs: record 1 in N high-frequency events "
                              "(default: the obs layer's default)")
-    parser.add_argument("--out", default="BENCH_pr3.json",
+    parser.add_argument("--out", default="BENCH_pr5.json",
                         help="bench: output JSON path "
-                             "(default BENCH_pr3.json)")
+                             "(default BENCH_pr5.json)")
     parser.add_argument("--campaign", choices=["quick", "full"],
                         default="quick",
                         help="qa: campaign size (default quick)")
@@ -92,6 +103,8 @@ def main(argv=None) -> int:
             timeout_seconds=args.timeout,
             check_determinism=args.check_determinism,
             check_trace_overhead=args.trace_overhead,
+            check_cache=args.cold or args.warm,
+            check_schedule=args.schedule_ab,
             out_path=args.out,
         )
         print(text)
@@ -104,6 +117,17 @@ def main(argv=None) -> int:
         if overhead is not None and overhead["overhead_ratio"] > 1.05:
             print(f"bench: tracing overhead {overhead['overhead_ratio']:.3f}x "
                   "exceeds the 1.05x bound", file=sys.stderr)
+            return 1
+        cache = payload.get("cache")
+        if cache is not None and not (cache["reports_identical"]
+                                      and cache["reports_identical_jobs2"]):
+            print("bench: warm cached report differs from the cold one",
+                  file=sys.stderr)
+            return 1
+        schedule = payload.get("schedule")
+        if schedule is not None and not schedule["verdicts_identical"]:
+            print("bench: address and scc schedules reached different "
+                  "verdicts", file=sys.stderr)
             return 1
     if args.what == "obs":
         from repro.eval.obs_report import generate_obs_report

@@ -168,6 +168,13 @@ class _LiftTask:
     #: serial and worker-pool runs).
     obs: bool = False
     obs_sampling: int = DEFAULT_SAMPLING
+    #: Persistent lift store (resolved to an explicit bool in the parent so
+    #: workers do not re-consult the environment).  Obs tasks force this
+    #: off: tracing measures real lifting, and a cache hit would make the
+    #: warm obs rollup differ from the cold one.
+    cache: bool = False
+    cache_dir: str | None = None
+    schedule: str = "scc"
 
 
 def _run_task(
@@ -184,13 +191,18 @@ def _run_task(
         _obs_metrics.reset()
         _obs_tracer.configure(enabled=True, sampling=task.obs_sampling)
     before = counters.snapshot()
+    use_cache = task.cache and not task.obs
     if task.function is None:
         result = lift(task.binary, max_states=task.max_states,
-                      timeout_seconds=task.timeout_seconds)
+                      timeout_seconds=task.timeout_seconds,
+                      schedule=task.schedule,
+                      cache=use_cache, cache_dir=task.cache_dir)
     else:
         result = lift_function(task.binary, task.function,
                                max_states=task.max_states,
-                               timeout_seconds=task.timeout_seconds)
+                               timeout_seconds=task.timeout_seconds,
+                               schedule=task.schedule,
+                               cache=use_cache, cache_dir=task.cache_dir)
     delta = counters.delta(before, counters.snapshot())
     obs_data = None
     if task.obs:
@@ -213,12 +225,14 @@ def _run_task(
 
 def _corpus_tasks(corpus: Corpus, timeout_seconds: float,
                   max_states: int, obs: bool,
-                  obs_sampling: int) -> list[_LiftTask]:
+                  obs_sampling: int, cache: bool,
+                  cache_dir: str | None, schedule: str) -> list[_LiftTask]:
     tasks = [
         _LiftTask(name=corpus_binary.name, directory=corpus_binary.directory,
                   kind="binary", binary=corpus_binary.binary, function=None,
                   timeout_seconds=timeout_seconds, max_states=max_states,
-                  obs=obs, obs_sampling=obs_sampling)
+                  obs=obs, obs_sampling=obs_sampling,
+                  cache=cache, cache_dir=cache_dir, schedule=schedule)
         for corpus_binary in corpus.binaries
     ]
     for library in corpus.libraries:
@@ -229,6 +243,7 @@ def _corpus_tasks(corpus: Corpus, timeout_seconds: float,
                 binary=function_binary(library, function), function=function,
                 timeout_seconds=timeout_seconds, max_states=max_states,
                 obs=obs, obs_sampling=obs_sampling,
+                cache=cache, cache_dir=cache_dir, schedule=schedule,
             ))
     return tasks
 
@@ -246,6 +261,9 @@ def run_corpus(
     jobs: int = 1,
     obs: bool = False,
     obs_sampling: int = DEFAULT_SAMPLING,
+    cache: "bool | None" = None,
+    cache_dir: str | None = None,
+    schedule: str = "scc",
 ) -> CorpusReport:
     """Lift every binary and library function; aggregate per directory.
 
@@ -255,11 +273,23 @@ def run_corpus(
     (tracer + metrics, reset per task) and attaches the merged rollup as
     ``CorpusReport.obs``; the caller's tracer configuration is restored
     afterwards.
+
+    ``cache`` enables the persistent lift store (:mod:`repro.perf.store`):
+    ``None`` consults ``REPRO_CACHE``, booleans force it.  The decision is
+    resolved here, once, and shipped to workers as an explicit flag, so a
+    worker pool never re-reads the parent's environment.  A warm cached
+    run produces a byte-identical :meth:`CorpusReport.canonical_json` to
+    the cold run that populated the store (``seconds`` and ``counters``
+    are already excluded from the canonical form).  Obs tasks bypass the
+    cache (see :class:`_LiftTask`).
     """
     if corpus is None:
         corpus = build_corpus(scale)
+    from repro.perf.store import ambient_enabled
+
+    use_cache = bool(cache) if cache is not None else ambient_enabled()
     tasks = _corpus_tasks(corpus, timeout_seconds, max_states,
-                          obs, obs_sampling)
+                          obs, obs_sampling, use_cache, cache_dir, schedule)
 
     prior = (_obs_tracer.enabled, _obs_tracer.sampling)
     try:

@@ -163,10 +163,15 @@ def build_cfg(result: LiftResult) -> CFG:
                 cfg.exits.add(leader)
 
     # Function partition: flood fill from each context-free entry point.
+    # Block discovery order is deterministic — a depth-first walk that
+    # visits each block's successors in ascending leader order (the edge
+    # *set* has no stable iteration order, so the walk goes through the
+    # sorted successor_map instead of iterating cfg.edges directly).
     entries = {result.entry}
     for edge in result.graph.edges:
         if edge.dst[0] == "ret":
             entries.add(edge.dst[1])
+    successors = cfg.successor_map()
     for entry in sorted(entries):
         if entry not in cfg.blocks:
             continue
@@ -177,12 +182,14 @@ def build_cfg(result: LiftResult) -> CFG:
             if block in seen:
                 continue
             seen.add(block)
-            for src, dst in cfg.edges:
-                if src == block and dst not in seen:
-                    # Do not cross into another function's entry.
-                    if dst in entries and dst != entry:
-                        continue
-                    worklist.append(dst)
+            # Reversed push so the lowest-address successor pops first.
+            for dst in reversed(successors.get(block, ())):
+                if dst in seen:
+                    continue
+                # Do not cross into another function's entry.
+                if dst in entries and dst != entry:
+                    continue
+                worklist.append(dst)
         cfg.functions[entry] = seen
     return cfg
 

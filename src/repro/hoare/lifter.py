@@ -56,6 +56,13 @@ from repro.hoare.calls import (
     is_terminating_external,
 )
 from repro.hoare.graph import Edge, HoareGraph, VertexKey, code_key, exit_key, ret_key
+from repro.hoare.schedule import (
+    SCC_ORDER,
+    SCHEDULE_MODES,
+    Schedule,
+    build_schedule,
+)
+from repro.perf.counters import gated as _gated
 from repro.hoare.resolve import (
     Resolution,
     is_return_symbol,
@@ -121,7 +128,8 @@ class LiftResult:
 class _Lifter:
     def __init__(self, binary: Binary, entry: int, trust_data: bool,
                  max_states: int, max_targets: int,
-                 timeout_seconds: float | None = None):
+                 timeout_seconds: float | None = None,
+                 schedule: Schedule | None = None):
         self.binary = binary
         self.entry = entry
         self.ctx = LiftContext(binary, trust_data=trust_data)
@@ -138,10 +146,15 @@ class _Lifter:
             time.process_time() + timeout_seconds if timeout_seconds else None
         )
 
-        # Priority queue ordered by instruction address: loops reach their
-        # local fixpoint before their exit continuations run, so transient
-        # early-iteration abstractions never leak downstream.
-        self.bag: list[tuple[int, int, SymState]] = []
+        # Priority queue ordered by (scc_rank, head?, address) when a
+        # precomputed schedule is given (the default), else by plain
+        # instruction address: either way loops reach their local fixpoint
+        # before their exit continuations run, so transient early-iteration
+        # abstractions never leak downstream.  The SCC order additionally
+        # survives layouts where the loop body sits *after* its exit in
+        # the address space (see repro.hoare.schedule).
+        self.schedule = schedule
+        self.bag: list[tuple[int, int, int, int, SymState]] = []
         self._tiebreak = itertools.count()
         self.join_counts: dict[VertexKey, int] = {}
         self.widen_after = 64
@@ -175,7 +188,22 @@ class _Lifter:
 
     def enqueue(self, state: SymState) -> None:
         if state.rip is not None:
-            heapq.heappush(self.bag, (state.rip, next(self._tiebreak), state))
+            if self.schedule is not None:
+                rank, head = self.schedule.priority(state.rip)[:2]
+                # Newest-first within one (rank, head?, addr) key: after a
+                # loop drains, the most recent escape state carries the
+                # widest hull, so the stale earlier escapes join as no-ops
+                # and the downstream region is explored once instead of
+                # once per iteration.  (The address schedule keeps its
+                # historical oldest-first order.)
+                tiebreak = -next(self._tiebreak)
+            else:
+                rank, head = 0, 0
+                tiebreak = next(self._tiebreak)
+            heapq.heappush(
+                self.bag,
+                (rank, head, state.rip, tiebreak, state),
+            )
             if _T.enabled:
                 _T.emit_sampled("state.enqueue", state.rip,
                                 queue=len(self.bag))
@@ -208,7 +236,7 @@ class _Lifter:
         self.queued_functions.add(self.entry)
         self.enqueue(callee_initial_state(self.entry))
         while self.bag and not self.errors:
-            _, _, state = heapq.heappop(self.bag)
+            state = heapq.heappop(self.bag)[-1]
             self.explore(state)
         if self.bag and self.errors:
             self.bag.clear()
@@ -229,6 +257,7 @@ class _Lifter:
             if states_equal(joined, current):
                 return
             self.join_counts[key] = self.join_counts.get(key, 0) + 1
+            _gated("lift_joins")
             if _T.enabled:
                 _T.emit_sampled("join", rip, count=self.join_counts[key])
                 _M.observe("join.depth", self.join_counts[key])
@@ -519,6 +548,9 @@ def lift(
     max_states: int = 50_000,
     max_targets: int = 1024,
     timeout_seconds: float | None = None,
+    schedule: str = SCC_ORDER,
+    cache: "bool | object | None" = None,
+    cache_dir: str | None = None,
 ) -> LiftResult:
     """Lift *binary* starting at *entry* (default: the ELF entry point).
 
@@ -526,15 +558,65 @@ def lift(
     sanity properties were proven (if False, ``result.errors`` explains the
     rejection and the graph is partial).  *timeout_seconds* is the paper's
     per-binary time budget (4 hours of wall time there; CPU
-    seconds here, so worker-pool time-slicing cannot change outcomes)."""
+    seconds here, so worker-pool time-slicing cannot change outcomes).
+
+    *schedule* selects the bag order: ``"scc"`` (default, loop-aware SCC
+    ranks precomputed by :mod:`repro.hoare.schedule`) or ``"address"``
+    (the flat pre-PR5 order, kept for A/B comparison).  Both reach the
+    same fixpoint; the SCC order reaches it in fewer joins.
+
+    *cache* controls the persistent lift store (:mod:`repro.perf.store`):
+    ``None`` (default) consults the ``REPRO_CACHE`` environment variable,
+    ``True`` enables it (directory from *cache_dir*, ``REPRO_CACHE_DIR``
+    or the default), ``False`` disables it, and a
+    :class:`~repro.perf.store.LiftStore` instance is used directly.  A
+    cache hit returns the exact pickled :class:`LiftResult` the cold path
+    produced — same graph, annotations, verdicts and stats.
+    """
+    if schedule not in SCHEDULE_MODES:
+        raise ValueError(f"unknown schedule mode {schedule!r}")
+    from repro.perf import store as _store
+
+    lift_store = _store.resolve_store(cache, cache_dir)
+    if lift_store is not None:
+        return _store.cached_lift(
+            binary, entry=entry, store=lift_store, trust_data=trust_data,
+            max_states=max_states, max_targets=max_targets,
+            timeout_seconds=timeout_seconds, schedule=schedule,
+        )
+    return lift_uncached(
+        binary, entry=entry, trust_data=trust_data, max_states=max_states,
+        max_targets=max_targets, timeout_seconds=timeout_seconds,
+        schedule=schedule,
+    )
+
+
+def lift_uncached(
+    binary: Binary,
+    entry: int | None = None,
+    trust_data: bool = True,
+    max_states: int = 50_000,
+    max_targets: int = 1024,
+    timeout_seconds: float | None = None,
+    schedule: str = SCC_ORDER,
+) -> LiftResult:
+    """The cold path of :func:`lift`: always runs the fixpoint engine.
+
+    :func:`repro.perf.store.cached_lift` calls this on a miss; everything
+    else should go through :func:`lift`.
+    """
     start = time.perf_counter()
+    resolved_entry = entry if entry is not None else binary.entry
+    sched = (build_schedule(binary, resolved_entry)
+             if schedule == SCC_ORDER else None)
     lifter = _Lifter(
         binary,
-        entry if entry is not None else binary.entry,
+        resolved_entry,
         trust_data=trust_data,
         max_states=max_states,
         max_targets=max_targets,
         timeout_seconds=timeout_seconds,
+        schedule=sched,
     )
     with _T.span("lift", binary=binary.name, entry=lifter.entry):
         lifter.run()

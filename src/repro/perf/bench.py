@@ -25,6 +25,10 @@ from repro.perf.counters import counters, hit_rate
 BASELINE_PATH = Path(__file__).resolve().parents[3] / "benchmarks" / \
     "baseline_pr2.json"
 
+#: Pre-incremental-lifting measurements (the PR5 comparison point).
+BASELINE_PR5_PATH = Path(__file__).resolve().parents[3] / "benchmarks" / \
+    "baseline_pr5.json"
+
 
 def _instruction_totals(report) -> int:
     totals_fn = report.totals("function")
@@ -52,8 +56,10 @@ def run_bench(scale: int = 3, jobs: int = 1, timeout_seconds: float = 10.0,
     build_seconds = time.perf_counter() - build_start
 
     lift_start = time.perf_counter()
+    # cache=False: the throughput bench measures the lifter, not the
+    # persistent store — an ambient REPRO_CACHE must not skew it.
     report = run_corpus(corpus=corpus, timeout_seconds=timeout_seconds,
-                        max_states=max_states, jobs=jobs)
+                        max_states=max_states, jobs=jobs, cache=False)
     lift_seconds = time.perf_counter() - lift_start
 
     instructions = _instruction_totals(report)
@@ -97,7 +103,8 @@ def _check_determinism(corpus, timeout_seconds: float, max_states: int,
     reset_caches()
     check_report = run_corpus(corpus=corpus,
                               timeout_seconds=timeout_seconds,
-                              max_states=max_states, jobs=check_jobs)
+                              max_states=max_states, jobs=check_jobs,
+                              cache=False)
     first = first_report.canonical_json()
     check = check_report.canonical_json()
     return {"ok": first == check, "check_jobs": check_jobs,
@@ -124,7 +131,8 @@ def trace_overhead(scale: int = 1, timeout_seconds: float = 10.0,
             report = run_corpus(corpus=corpus,
                                 timeout_seconds=timeout_seconds,
                                 max_states=max_states, jobs=1,
-                                obs=enabled, obs_sampling=sampling)
+                                obs=enabled, obs_sampling=sampling,
+                                cache=False)
             times[enabled].append(time.perf_counter() - start)
             instructions = _instruction_totals(report)
     off, on = min(times[False]), min(times[True])
@@ -141,6 +149,115 @@ def trace_overhead(scale: int = 1, timeout_seconds: float = 10.0,
     }
 
 
+def run_cache_bench(scale: int = 3, timeout_seconds: float = 10.0,
+                    max_states: int = 10_000,
+                    cache_dir: str | None = None) -> dict:
+    """Cold-vs-warm lift of the same corpus through the persistent store.
+
+    The cold pass lifts into an (empty) store; the warm pass re-runs the
+    identical corpus and should be served almost entirely from disk.  Both
+    passes go through ``run_corpus(cache=True)``, so the comparison also
+    exercises the canonical-report identity the store guarantees.  A
+    third, 2-worker warm pass checks the identity holds across a process
+    pool.  Uses a private temp directory unless *cache_dir* is given.
+    """
+    import tempfile
+
+    from repro.corpus import build_corpus
+    from repro.eval.runner import run_corpus
+
+    corpus = build_corpus(scale)
+
+    def phase(jobs: int, directory: str) -> tuple[dict, str]:
+        reset_caches()
+        counters.reset()
+        start = time.perf_counter()
+        report = run_corpus(corpus=corpus, timeout_seconds=timeout_seconds,
+                            max_states=max_states, jobs=jobs,
+                            cache=True, cache_dir=directory)
+        seconds = time.perf_counter() - start
+        instructions = _instruction_totals(report)
+        measurement = {
+            "jobs": jobs,
+            "lift_seconds": round(seconds, 3),
+            "instructions": instructions,
+            "instrs_per_second": round(instructions / seconds, 1)
+            if seconds else 0.0,
+            "cache_hits": report.counters.get("cache_lift_hits", 0),
+            "cache_misses": report.counters.get("cache_lift_misses", 0),
+            "cache_stores": report.counters.get("cache_lift_stores", 0),
+        }
+        return measurement, report.canonical_json()
+
+    with tempfile.TemporaryDirectory() as tmp:
+        directory = cache_dir or tmp
+        cold, cold_canonical = phase(1, directory)
+        warm, warm_canonical = phase(1, directory)
+        warm2, warm2_canonical = phase(2, directory)
+
+    cold_rate = cold["instrs_per_second"]
+    warm_rate = warm["instrs_per_second"]
+    return {
+        "scale": scale,
+        "cold": cold,
+        "warm": warm,
+        "warm_jobs2": warm2,
+        "warm_speedup": round(warm_rate / cold_rate, 2) if cold_rate else 0.0,
+        "reports_identical": cold_canonical == warm_canonical,
+        "reports_identical_jobs2": cold_canonical == warm2_canonical,
+    }
+
+
+def run_schedule_bench(scale: int = 1, timeout_seconds: float = 10.0,
+                       max_states: int = 10_000) -> dict:
+    """Address-order vs SCC-order A/B over one corpus.
+
+    Both orders must reach the same *verdict* on every corpus entry —
+    ``verdicts_identical`` compares per-record outcomes — while the
+    loop-aware order should need fewer productive joins (``lift_joins``)
+    to get there.  Annotation counts are deliberately excluded: on
+    rejected or widened lifts they describe the order-dependent partial
+    remainder, not the verdict (docs/INTERNALS.md §6).
+    """
+    from repro.corpus import build_corpus
+    from repro.eval.runner import run_corpus
+
+    corpus = build_corpus(scale)
+    sides = {}
+    verdicts = {}
+    for mode in ("address", "scc"):
+        reset_caches()
+        counters.reset()
+        start = time.perf_counter()
+        report = run_corpus(corpus=corpus, timeout_seconds=timeout_seconds,
+                            max_states=max_states, jobs=1,
+                            cache=False, schedule=mode)
+        seconds = time.perf_counter() - start
+        instructions = _instruction_totals(report)
+        sides[mode] = {
+            "lift_seconds": round(seconds, 3),
+            "instructions": instructions,
+            "instrs_per_second": round(instructions / seconds, 1)
+            if seconds else 0.0,
+            "lift_joins": report.counters.get("lift_joins", 0),
+        }
+        verdicts[mode] = {
+            (record.kind, record.directory, record.name): record.outcome
+            for record in report.records
+        }
+
+    address_joins = sides["address"]["lift_joins"]
+    scc_joins = sides["scc"]["lift_joins"]
+    return {
+        "scale": scale,
+        "address": sides["address"],
+        "scc": sides["scc"],
+        "join_reduction": round(1 - scc_joins / address_joins, 4)
+        if address_joins else 0.0,
+        "verdicts_identical": verdicts["address"] == verdicts["scc"],
+    }
+
+
 def load_baseline(scale: int) -> dict | None:
     if not BASELINE_PATH.exists():
         return None
@@ -148,16 +265,28 @@ def load_baseline(scale: int) -> dict | None:
     return data.get(f"scale_{scale}")
 
 
+def load_pr5_baseline(scale: int) -> dict | None:
+    if not BASELINE_PR5_PATH.exists():
+        return None
+    data = json.loads(BASELINE_PR5_PATH.read_text())
+    return data.get(f"scale_{scale}")
+
+
 def bench_report(scale: int = 3, jobs: int = 1,
                  timeout_seconds: float = 10.0, max_states: int = 10_000,
                  check_determinism: bool = False,
                  check_trace_overhead: bool = False,
+                 check_cache: bool = False,
+                 check_schedule: bool = False,
                  out_path: str | Path | None = None) -> tuple[dict, str]:
     """Run the bench, compare against the checked-in baseline, and render.
 
     Returns ``(payload, text)``; *payload* is also written to *out_path*
     (JSON) when given.  ``check_trace_overhead`` additionally measures the
-    obs-enabled lift-time ratio on the scale-1 corpus.
+    obs-enabled lift-time ratio on the scale-1 corpus.  ``check_cache``
+    adds the cold/warm persistent-store split (``run_cache_bench``) at the
+    same scale; ``check_schedule`` adds the address-vs-SCC A/B
+    (``run_schedule_bench``, scale 1).
     """
     current = run_bench(scale=scale, jobs=jobs,
                         timeout_seconds=timeout_seconds,
@@ -169,8 +298,21 @@ def bench_report(scale: int = 3, jobs: int = 1,
         payload["speedup"] = round(
             current["instrs_per_second"] / baseline["instrs_per_second"], 2
         )
+    pr5_baseline = load_pr5_baseline(scale)
+    if pr5_baseline and pr5_baseline.get("instrs_per_second"):
+        payload["pr5_baseline"] = pr5_baseline
+        payload["pr5_speedup"] = round(
+            current["instrs_per_second"] / pr5_baseline["instrs_per_second"], 2
+        )
     if check_trace_overhead:
         payload["trace_overhead"] = trace_overhead(
+            scale=1, timeout_seconds=timeout_seconds, max_states=max_states)
+    if check_cache:
+        payload["cache"] = run_cache_bench(
+            scale=scale, timeout_seconds=timeout_seconds,
+            max_states=max_states)
+    if check_schedule:
+        payload["schedule"] = run_schedule_bench(
             scale=1, timeout_seconds=timeout_seconds, max_states=max_states)
 
     lines = [
@@ -200,6 +342,28 @@ def bench_report(scale: int = 3, jobs: int = 1,
             f"{overhead['sampling']}): off {overhead['off_seconds']:.3f} s, "
             f"on {overhead['on_seconds']:.3f} s -> "
             f"{overhead['overhead_ratio']:.3f}x"
+        )
+    cache = payload.get("cache")
+    if cache is not None:
+        lines.append(
+            f"  lift store: cold {cache['cold']['instrs_per_second']:.1f} "
+            f"instrs/s, warm {cache['warm']['instrs_per_second']:.1f} "
+            f"instrs/s -> {cache['warm_speedup']:.2f}x "
+            f"(hits {cache['warm']['cache_hits']}, "
+            f"misses {cache['warm']['cache_misses']}); "
+            "cold == warm (canonical): "
+            + ("OK" if cache["reports_identical"] else "MISMATCH")
+            + ", jobs=2: "
+            + ("OK" if cache["reports_identical_jobs2"] else "MISMATCH")
+        )
+    schedule = payload.get("schedule")
+    if schedule is not None:
+        lines.append(
+            f"  schedule A/B (scale-{schedule['scale']}): address "
+            f"{schedule['address']['lift_joins']} joins, scc "
+            f"{schedule['scc']['lift_joins']} joins -> "
+            f"{schedule['join_reduction']:.1%} fewer; verdicts "
+            + ("identical" if schedule["verdicts_identical"] else "DIFFER")
         )
     text = "\n".join(lines)
 

@@ -23,6 +23,10 @@ class PerfCounters:
         "solver_misses",
         "join_shortcircuits",    # identity short-circuits in join_states
         "equal_shortcircuits",   # identity short-circuits in states_equal
+        "lift_joins",            # vertex joins that actually changed a state
+        "cache_lift_hits",       # persistent lift-store hits
+        "cache_lift_misses",     # persistent lift-store misses
+        "cache_lift_stores",     # persistent lift-store writes
     )
 
     __slots__ = _FIELDS + ("enabled",)

@@ -514,8 +514,26 @@ def _join_foreign_var_clauses(
                 out.setdefault(clause.lhs, []).append(clause)
         return out
 
+    def references(pred: Predicate) -> set[str]:
+        # "Free on this side" must consider *every* place the predicate
+        # can pin the variable: valuations, flags operands (a branch on
+        # joined flags constrains them), and compound clause expressions.
+        # Missing the flags made a kept one-sided bound contradict the
+        # other path's flag state — an unsound (unsatisfiable) join.
+        names = _referenced_var_names(pred)
+        if pred.flags is not None:
+            for operand in (pred.flags.a, pred.flags.b):
+                if operand is not None:
+                    names.update(variable_names(operand))
+        for clause in pred.clauses:
+            if not isinstance(clause.lhs, Var):
+                names.update(variable_names(clause.lhs))
+            if not isinstance(clause.rhs, Const):
+                names.update(variable_names(clause.rhs))
+        return names
+
     by_var0, by_var1 = grouped(p0), grouped(p1)
-    refs0, refs1 = _referenced_var_names(p0), _referenced_var_names(p1)
+    refs0, refs1 = references(p0), references(p1)
     kept: set[Clause] = set()
     for var in set(by_var0) | set(by_var1):
         clauses0, clauses1 = by_var0.get(var), by_var1.get(var)

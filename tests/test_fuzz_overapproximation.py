@@ -196,6 +196,14 @@ def _flags_agree(flags, env: EvalEnv, cpu: CPU) -> bool:
                 "    a = -1;\n"
                 "    for (long i = 0; i < 1; i = i + 1) { a = 0; }\n"
                 "    return a + b + c;\n}", arg_a=0, arg_b=0)
+# A nested loop feeding an if-merge: under SCC scheduling the merge once
+# kept a one-sided bound on a foreign join variable that the other path's
+# joined *flags* contradicted (the `references` fix in join_predicates).
+@example(source="long main(long a, long b) {\n    long c = 0;\n"
+                "    for (long i = 0; i < 1; i = i + 1) { "
+                "for (long i = 0; i < 1; i = i + 1) { a = 0; } "
+                "if (a < 0) { a = 0; } }\n"
+                "    return a + b + c;\n}", arg_a=0, arg_b=0)
 def test_fuzz_values_match_lifted_postconditions(source, arg_a, arg_b):
     """Beyond address coverage: on straight-line code, some lifted state at
     each executed address must agree with the machine's *register, memory

@@ -1,0 +1,233 @@
+"""The persistent lift store: keys, invalidation, corruption, identity.
+
+The store's contract has two halves.  *Hits must be exact*: a warm lift
+returns the same artifact the cold lift produced, down to byte-identical
+canonical corpus reports, serially and under a worker pool.  *Misses must
+be conservative*: any change a lift could observe — a flipped instruction
+byte, a bumped ``SEMANTICS_VERSION``, an injected semantic fault
+(a runtime monkeypatch, invisible to source hashing), different lifter
+options — must change the key; and any storage-level damage degrades to
+a silent miss, never an exception.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import random
+
+import pytest
+
+from repro.corpus import Corpus, CorpusBinary
+from repro.eval.runner import run_corpus
+from repro.hoare.lifter import lift
+from repro.minicc import compile_source
+from repro.perf import store as store_mod
+from repro.perf.counters import counters
+from repro.perf.store import (
+    LiftStore,
+    cached_lift,
+    lift_key,
+    resolve_store,
+    semantics_fingerprint,
+)
+from repro.qa import faults
+from repro.qa.mutants import random_mutants
+from repro.qa.targets import build_target
+
+
+@pytest.fixture()
+def store(tmp_path) -> LiftStore:
+    return LiftStore(root=tmp_path / "lift-store")
+
+
+# -- hits are exact ---------------------------------------------------------
+
+def test_roundtrip_hit_reproduces_the_cold_result(store):
+    binary = build_target("loop")
+    counters.reset()
+    cold = lift(binary, cache=store)
+    assert counters.cache_lift_misses == 1
+    assert counters.cache_lift_stores == 1
+    warm = lift(binary, cache=store)
+    assert counters.cache_lift_hits == 1
+    assert warm.verified == cold.verified
+    assert len(warm.graph.vertices) == len(cold.graph.vertices)
+    assert len(warm.graph.edges) == len(cold.graph.edges)
+    assert sorted(warm.instructions) == sorted(cold.instructions)
+    assert warm.stats.instructions == cold.stats.instructions
+    assert warm.stats.states == cold.stats.states
+
+
+def test_warm_corpus_report_is_byte_identical(tmp_path):
+    corpus = Corpus()
+    corpus.binaries.append(CorpusBinary(
+        name="sum", directory="bin",
+        binary=compile_source(
+            "long main(long n) { long s = 0;"
+            " for (long i = 0; i < n; i = i + 1) { s = s + i; }"
+            " return s; }",
+            name="sum"),
+        expected="lifted",
+    ))
+    corpus.binaries.append(CorpusBinary(
+        name="mul", directory="bin",
+        binary=compile_source("long main(long n) { return n * 3; }",
+                              name="mul"),
+        expected="lifted",
+    ))
+    directory = str(tmp_path / "corpus-store")
+    counters.reset()
+    cold = run_corpus(corpus=corpus, cache=True, cache_dir=directory)
+    assert counters.cache_lift_stores == 2
+    counters.reset()
+    warm = run_corpus(corpus=corpus, cache=True, cache_dir=directory)
+    assert counters.cache_lift_hits == 2
+    assert warm.canonical_json() == cold.canonical_json()
+    # The identity must survive a worker pool as well.
+    warm2 = run_corpus(corpus=corpus, cache=True, cache_dir=directory,
+                       jobs=2)
+    assert warm2.canonical_json() == cold.canonical_json()
+
+
+def test_obs_tasks_bypass_the_store(tmp_path):
+    corpus = Corpus()
+    corpus.binaries.append(CorpusBinary(
+        name="mul", directory="bin",
+        binary=compile_source("long main(long n) { return n * 3; }",
+                              name="mul"),
+        expected="lifted",
+    ))
+    directory = str(tmp_path / "obs-store")
+    counters.reset()
+    first = run_corpus(corpus=corpus, cache=True, cache_dir=directory,
+                       obs=True)
+    second = run_corpus(corpus=corpus, cache=True, cache_dir=directory,
+                        obs=True)
+    # No hits, no stores: tracing always measures a real lift, and the
+    # warm obs rollup must equal the cold one.
+    assert counters.cache_lift_hits == 0
+    assert counters.cache_lift_stores == 0
+    assert first.obs is not None
+    assert second.canonical_json() == first.canonical_json()
+
+
+# -- misses are conservative ------------------------------------------------
+
+def test_byte_perturbed_function_misses(store):
+    binary = build_target("loop")
+    mutants = random_mutants(binary, "loop", random.Random(7), 1)
+    assert mutants, "expected at least one applicable mutant"
+    _, mutant = mutants[0]
+    assert lift_key(binary) != lift_key(mutant)
+    counters.reset()
+    lift(binary, cache=store)
+    lift(mutant, cache=store)
+    assert counters.cache_lift_hits == 0
+    assert counters.cache_lift_misses == 2
+    assert counters.cache_lift_stores == 2
+
+
+def test_semantics_version_bump_misses(store, monkeypatch):
+    binary = build_target("arith")
+    key_before = lift_key(binary)
+    lift(binary, cache=store)
+    monkeypatch.setattr(store_mod, "SEMANTICS_VERSION",
+                        store_mod.SEMANTICS_VERSION + "-bumped")
+    assert lift_key(binary) != key_before
+    counters.reset()
+    lift(binary, cache=store)
+    assert counters.cache_lift_hits == 0
+    assert counters.cache_lift_misses == 1
+
+
+def test_injected_fault_changes_the_fingerprint():
+    clean = semantics_fingerprint()
+    with faults.inject("tau-jcc-cond-swap"):
+        assert semantics_fingerprint() != clean
+    assert semantics_fingerprint() == clean
+
+
+def test_options_change_the_key():
+    binary = build_target("arith")
+    base = lift_key(binary)
+    assert lift_key(binary, max_states=99) != base
+    assert lift_key(binary, trust_data=False) != base
+    assert lift_key(binary, timeout_seconds=1.0) != base
+    assert lift_key(binary, schedule="address") != base
+
+
+def test_corrupt_or_truncated_entry_is_a_silent_miss(store):
+    binary = build_target("arith")
+    key = lift_key(binary)
+    lift(binary, cache=store)
+    path = store.entry_path(key)
+
+    path.write_bytes(b"not a pickle")
+    assert store.get(key) is None
+    assert not path.exists()  # dropped, not retried forever
+
+    lift(binary, cache=store)  # repopulate
+    blob = path.read_bytes()
+    path.write_bytes(blob[: len(blob) // 2])
+    assert store.get(key) is None
+
+    # A pickle of the wrong shape is also a miss.
+    lift(binary, cache=store)
+    path.write_bytes(pickle.dumps({"schema": -1}))
+    assert store.get(key) is None
+
+    counters.reset()
+    warm = lift(binary, cache=store)  # store works again after the damage
+    assert warm.verified
+    assert counters.cache_lift_misses == 1
+    assert counters.cache_lift_stores == 1
+
+
+def test_lru_eviction_respects_the_byte_cap(tmp_path):
+    binary_a = build_target("arith")
+    binary_b = build_target("branch")
+    probe = LiftStore(root=tmp_path / "probe")
+    result = cached_lift(binary_a, store=probe)
+    entry_size = probe.stats()["bytes"]
+    assert result.verified and entry_size > 0
+
+    small = LiftStore(root=tmp_path / "small",
+                      max_bytes=int(entry_size * 1.5))
+    cached_lift(binary_a, store=small)
+    cached_lift(binary_b, store=small)  # over the cap: a must be evicted
+    assert small.stats()["entries"] == 1
+    assert small.get(lift_key(binary_a)) is None
+    assert small.get(lift_key(binary_b)) is not None
+
+
+def test_rebuilds_a_lost_index(store):
+    binary = build_target("arith")
+    lift(binary, cache=store)
+    store.index_path.unlink()
+    counters.reset()
+    lift(binary, cache=store)
+    assert counters.cache_lift_hits == 1
+
+
+# -- resolution -------------------------------------------------------------
+
+def test_resolve_store_env_and_overrides(tmp_path, monkeypatch):
+    monkeypatch.delenv(store_mod.ENV_ENABLE, raising=False)
+    assert resolve_store(None) is None
+    assert resolve_store(False) is None
+    monkeypatch.setenv(store_mod.ENV_ENABLE, "1")
+    monkeypatch.setenv(store_mod.ENV_DIR, str(tmp_path / "ambient"))
+    ambient = resolve_store(None)
+    assert isinstance(ambient, LiftStore)
+    assert ambient.root == tmp_path / "ambient"
+    assert resolve_store(False) is None  # explicit off beats the env
+    explicit = resolve_store(True, cache_dir=str(tmp_path / "explicit"))
+    assert explicit.root == tmp_path / "explicit"
+    passthrough = LiftStore(root=tmp_path / "given")
+    assert resolve_store(passthrough) is passthrough
+
+
+def test_unknown_schedule_mode_is_rejected():
+    with pytest.raises(ValueError):
+        lift(build_target("arith"), schedule="mystery")

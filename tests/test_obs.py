@@ -294,7 +294,11 @@ def test_provenance_for_unresolved_register_jump():
 # -- stats surfacing -------------------------------------------------------
 
 def test_summary_reports_annotation_counts_by_kind():
-    result = lift(buffer_overflow())
+    # A rejected lift's annotation set is partial — exploration aborts on
+    # the first sanity error, so which annotations land first depends on
+    # the bag order.  Pin the address schedule: it reaches the weird
+    # 0x41 return target (lowest address) before the rejecting state.
+    result = lift(buffer_overflow(), schedule="address")
     assert result.stats.annotations_by_kind == {"undecodable": 1}
     assert "annotations: undecodable=1" in result.summary()
 

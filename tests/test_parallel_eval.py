@@ -145,8 +145,8 @@ def test_run_scaling_separates_build_time_from_lift_time(monkeypatch):
                         lambda scale: built.append(scale) or f"corpus-{scale}")
     monkeypatch.setattr(
         scaling, "run_corpus",
-        lambda corpus=None, timeout_seconds=0, max_states=0, jobs=1:
-        _stub_report(),
+        lambda corpus=None, timeout_seconds=0, max_states=0, jobs=1,
+        cache=None, cache_dir=None, schedule="scc": _stub_report(),
     )
     points = scaling.run_scaling(scales=(1, 2), jobs=1)
     assert built == [1, 2]
@@ -173,8 +173,8 @@ def test_bench_report_compares_against_baseline(monkeypatch, tmp_path):
     monkeypatch.setattr(repro.corpus, "build_corpus", lambda scale: "corpus")
     monkeypatch.setattr(
         repro.eval.runner, "run_corpus",
-        lambda corpus=None, timeout_seconds=0, max_states=0, jobs=1:
-        _stub_report(),
+        lambda corpus=None, timeout_seconds=0, max_states=0, jobs=1,
+        cache=None, cache_dir=None, schedule="scc": _stub_report(),
     )
 
     out = tmp_path / "BENCH_test.json"
