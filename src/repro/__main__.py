@@ -12,6 +12,11 @@ Commands:
 * ``diff``  — lift two binaries (original, patched) and compare the HGs;
 * ``lint``  — run the dataflow lint rules; exit 0 = clean, 1 = findings
   (error/warning severity), 2 = could not load or lift at all;
+* ``pointer`` — run the interprocedural pointer analysis and print the
+  per-function call-site summaries, escapes and the access-precision
+  table; ``--gate`` additionally runs the concrete differential
+  soundness gate (exit 1 on any miss), ``--verbose`` lists every
+  classified access site;
 * ``trace`` — lift under full-fidelity tracing (sampling 1) and report
   the event stream: ``--format text`` (summary + provenance chains),
   ``--format jsonl`` (one event per line), ``--format chrome``
@@ -34,13 +39,16 @@ def _load_and_lift(args) -> "LiftResult":
     binary = load_binary(args.binary)
     cache = getattr(args, "cache", None)
     cache_dir = getattr(args, "cache_dir", None)
+    pointer_summaries = getattr(args, "pointer_summaries", False)
     if getattr(args, "function", None):
         return lift_function(binary, args.function, max_states=args.max_states,
                              timeout_seconds=args.timeout,
-                             cache=cache, cache_dir=cache_dir)
+                             cache=cache, cache_dir=cache_dir,
+                             pointer_summaries=pointer_summaries)
     return lift(binary, max_states=args.max_states,
                 timeout_seconds=args.timeout,
-                cache=cache, cache_dir=cache_dir)
+                cache=cache, cache_dir=cache_dir,
+                pointer_summaries=pointer_summaries)
 
 
 def _run_cache(args) -> int:
@@ -127,7 +135,7 @@ def main(argv=None) -> int:
     )
     parser.add_argument("command", choices=["lift", "disasm", "cfg", "decompile",
                                             "export", "check", "diff", "lint",
-                                            "trace", "cache"])
+                                            "pointer", "trace", "cache"])
     parser.add_argument("binary", help="path to an ELF binary "
                                        "(cache command: stats|clear)")
     parser.add_argument("patched", nargs="?",
@@ -160,6 +168,15 @@ def main(argv=None) -> int:
     parser.add_argument("--cache-dir", default=None,
                         help="lift-store directory (default REPRO_CACHE_DIR "
                              "or ~/.cache/repro-lift)")
+    parser.add_argument("--pointer-summaries", action="store_true",
+                        dest="pointer_summaries",
+                        help="two-phase lift: feed pointer call-site "
+                             "summaries back into the call cleaning")
+    parser.add_argument("--gate", action="store_true",
+                        help="pointer: also run the concrete differential "
+                             "soundness gate")
+    parser.add_argument("--verbose", action="store_true",
+                        help="pointer: list every classified access site")
     args = parser.parse_args(argv)
 
     if args.command == "cache":
@@ -182,6 +199,25 @@ def main(argv=None) -> int:
             return 2
         print(render_json(report) if args.json else render_text(report))
         return report.exit_code
+
+    if args.command == "pointer":
+        from repro.analysis.context import AnalysisContext
+        from repro.analysis.pointer import run_gate, render_pointer_report
+
+        try:
+            # The analysis reads the context-free lift; --pointer-summaries
+            # would only change the graph being summarized, not the facts.
+            args.pointer_summaries = False
+            result = _load_and_lift(args)
+        except (OSError, ValueError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        analysis = AnalysisContext(result).pointer
+        gate = None
+        if args.gate:
+            gate = run_gate(result.binary, result=result, analysis=analysis)
+        print(render_pointer_report(analysis, gate=gate, verbose=args.verbose))
+        return 0 if gate is None or gate.ok else 1
 
     if args.command == "diff":
         if not args.patched:

@@ -29,11 +29,23 @@ class AnalysisContext:
     def views(self) -> list[FunctionView]:
         return function_views(self.result, self.cfg)
 
+    @cached_property
+    def _views_by_entry(self) -> dict[int, FunctionView]:
+        return {view.entry: view for view in self.views}
+
     def view_of(self, entry: int) -> FunctionView | None:
-        for view in self.views:
-            if view.entry == entry:
-                return view
-        return None
+        # Memoized: the old linear scan was quadratic for passes that
+        # resolve a view per call site (entries are unique, so the dict
+        # holds exactly the objects the scan would have found).
+        return self._views_by_entry.get(entry)
+
+    @cached_property
+    def pointer(self):
+        """The interprocedural pointer analysis of this lift, run lazily
+        on first use (lint rules share one instance per context)."""
+        from repro.analysis.pointer.summaries import PointerAnalysis
+
+        return PointerAnalysis(self).run()
 
     def def_use(self, instr: Instruction) -> DefUse:
         """τ-derived effect summary; conservative top if τ cannot probe it."""

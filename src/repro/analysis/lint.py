@@ -85,15 +85,23 @@ class LintReport:
 Rule = Callable[[AnalysisContext], Iterable[Diagnostic]]
 
 _REGISTRY: dict[str, Rule] = {}
+_DESCRIPTIONS: dict[str, str] = {}
 
 
-def register_rule(rule_id: str) -> Callable[[Rule], Rule]:
-    """Decorator: register a lint rule under a stable id."""
+def register_rule(rule_id: str,
+                  description: str | None = None) -> Callable[[Rule], Rule]:
+    """Decorator: register a lint rule under a stable id.
+
+    *description* is the one-line SARIF ``shortDescription``; when omitted
+    it is derived from the first line of the rule's docstring, so every
+    builtin rule ships metadata for free."""
 
     def install(fn: Rule) -> Rule:
         if rule_id in _REGISTRY:
             raise ValueError(f"duplicate rule id {rule_id!r}")
         _REGISTRY[rule_id] = fn
+        doc = (fn.__doc__ or "").strip().splitlines()
+        _DESCRIPTIONS[rule_id] = description or (doc[0].strip() if doc else "")
         return fn
 
     return install
@@ -104,6 +112,20 @@ def all_rules() -> dict[str, Rule]:
     import repro.analysis.rules  # noqa: F401  (registers builtin rules)
 
     return dict(_REGISTRY)
+
+
+def rule_description(rule_id: str) -> str:
+    """The one-line description of a rule id (for SARIF metadata).
+
+    Synthesizes descriptions for the lifter's own channels
+    (``verify-*`` / ``lift-*``), which are not registry rules."""
+    if rule_id in _DESCRIPTIONS:
+        return _DESCRIPTIONS[rule_id]
+    if rule_id.startswith("verify-"):
+        return "A lifter sanity property failed over the Hoare graph."
+    if rule_id.startswith("lift-"):
+        return "An explicitly-marked lifter unsoundness annotation."
+    return ""
 
 
 # -- the lifter's own channels, as diagnostics ---------------------------------

@@ -1,0 +1,84 @@
+"""Interprocedural binary-level pointer analysis with call-site summaries.
+
+Layers (each importable on its own):
+
+* :mod:`~repro.analysis.pointer.domain` — regions (``Global`` /
+  ``StackFrame`` / ``Heap`` / ``Unknown``), region-set values, spans and
+  the :class:`~repro.analysis.pointer.domain.Summary` contract;
+* :mod:`~repro.analysis.pointer.transfer` — the flow-sensitive
+  per-function pass over the PR-1 worklist engine;
+* :mod:`~repro.analysis.pointer.summaries` — the bottom-up SCC sweep
+  producing per-function call-site summaries;
+* :mod:`~repro.analysis.pointer.feedback` — the two-phase
+  ``lift(..., pointer_summaries=True)`` protocol feeding summaries back
+  into the lifter's call cleaning;
+* :mod:`~repro.analysis.pointer.soundness` — the differential gate
+  checking concrete emulator runs against predicted region sets;
+* :mod:`~repro.analysis.pointer.report` — precision statistics and CLI
+  rendering.
+
+Note: :mod:`repro.hoare.calls` deliberately does *not* import this
+package — the refinement hook is duck-typed (``is_top`` /
+``writes_nothing`` / ``keeps``) so the lifter stays import-independent of
+the analysis layer that refines it.
+"""
+
+from repro.analysis.pointer.domain import (
+    Global,
+    Heap,
+    PtrVal,
+    Region,
+    Span,
+    StackFrame,
+    Summary,
+    TOP_SUMMARY,
+    UNKNOWN,
+    UNKNOWN_VAL,
+    Unknown,
+    classify_const,
+    join_vals,
+    widen_vals,
+)
+from repro.analysis.pointer.transfer import (
+    Access,
+    Env,
+    Escape,
+    FunctionFacts,
+    call_target,
+    collect_facts,
+    eval_value,
+    pointer_problem,
+)
+from repro.analysis.pointer.summaries import (
+    PURE_EXTERNALS,
+    PointerAnalysis,
+    external_summary,
+)
+from repro.analysis.pointer.feedback import (
+    SummaryOracle,
+    build_oracle,
+    lift_with_summaries,
+)
+from repro.analysis.pointer.soundness import (
+    GateMiss,
+    GateReport,
+    gate_qa_targets,
+    run_gate,
+)
+from repro.analysis.pointer.report import (
+    PrecisionStats,
+    precision_stats,
+    render_pointer_report,
+)
+
+__all__ = [
+    "Global", "Heap", "PtrVal", "Region", "Span", "StackFrame", "Summary",
+    "TOP_SUMMARY", "UNKNOWN", "UNKNOWN_VAL", "Unknown", "classify_const",
+    "join_vals", "widen_vals",
+    "Access", "Env", "Escape", "FunctionFacts", "call_target",
+    "collect_facts", "eval_value", "pointer_problem",
+    "PURE_EXTERNALS", "PointerAnalysis", "external_summary",
+    "SummaryOracle", "build_oracle", "lift_with_summaries",
+    "GateMiss", "GateReport", "gate_qa_targets", "run_gate",
+    "PrecisionStats", "precision_stats", "render_pointer_report",
+]

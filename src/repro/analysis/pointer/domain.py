@@ -1,0 +1,325 @@
+"""The abstract pointer domain: symbolic regions and region sets.
+
+A pointer value is abstracted to a finite set of *regions* in the style of
+Verbeek et al.'s binary-level pointer analysis (arXiv 2501.17766): every
+concrete address either lies in a named global section, in the stack frame
+of some activation (offsets relative to that function's entry ``RSP0``),
+in a heap block identified by its allocation site, or is unknown.  The
+regions are *designated*: distinct kinds are separate by construction
+(the same separation axioms the SMT layer assumes — stack/global and
+heap/global separation), which is what lets a call-site summary justify
+keeping a caller's global clauses across a call.
+
+Intervals on :class:`Global` and :class:`StackFrame` are inclusive
+*pointer-value* ranges; a :class:`Span` pairs a region with an access size
+to describe a byte footprint ``[lo, hi + size)``.
+
+``frozenset`` region sets join by union; :data:`UNKNOWN` is absorbing.
+Everything here is immutable and hashable so the worklist engine's
+``==``-based convergence test works structurally.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.elf import Binary
+from repro.smt.linear import linearize
+
+#: Interval hulls wider than this collapse to :data:`UNKNOWN` (a pointer
+#: "somewhere in a 64 KiB window" predicts nothing useful).
+MAX_INTERVAL = 1 << 16
+
+#: Region sets larger than this collapse to :data:`UNKNOWN_VAL`.
+MAX_REGIONS = 8
+
+_MASK64 = (1 << 64) - 1
+
+
+def _signed(value: int) -> int:
+    value &= _MASK64
+    return value - (1 << 64) if value >> 63 else value
+
+
+@dataclass(frozen=True)
+class Global:
+    """A pointer into section *section*, value within ``[lo, hi]``."""
+
+    section: str
+    lo: int
+    hi: int
+
+    def __str__(self) -> str:
+        if self.lo == self.hi:
+            return f"Global({self.section}@{self.lo:#x})"
+        return f"Global({self.section}@[{self.lo:#x},{self.hi:#x}])"
+
+
+@dataclass(frozen=True)
+class StackFrame:
+    """A pointer into the frame of function *fn*: ``RSP0 + [lo, hi]``."""
+
+    fn: int
+    lo: int
+    hi: int
+
+    def __str__(self) -> str:
+        if self.lo == self.hi:
+            return f"Stack(sub_{self.fn:x}{self.lo:+#x})"
+        return f"Stack(sub_{self.fn:x}[{self.lo:+#x},{self.hi:+#x}])"
+
+
+@dataclass(frozen=True)
+class Heap:
+    """A pointer into a block allocated at call site *site* (None: any)."""
+
+    site: int | None = None
+
+    def __str__(self) -> str:
+        return "Heap(*)" if self.site is None else f"Heap(@{self.site:#x})"
+
+
+@dataclass(frozen=True)
+class Unknown:
+    """The top region: may point anywhere."""
+
+    def __str__(self) -> str:
+        return "Unknown"
+
+
+Region = Global | StackFrame | Heap | Unknown
+
+UNKNOWN = Unknown()
+
+#: A pointer value: a set of regions the pointer may lie in.
+PtrVal = frozenset
+
+UNKNOWN_VAL: PtrVal = frozenset({UNKNOWN})
+
+
+def is_unknown_val(val: PtrVal) -> bool:
+    return UNKNOWN in val
+
+
+def shift_val(val: PtrVal, offset: int) -> PtrVal:
+    """The value of ``p + offset`` given the value of ``p``."""
+    if offset == 0:
+        return val
+    offset = _signed(offset)
+    out = set()
+    for region in val:
+        if isinstance(region, Global):
+            out.add(Global(region.section, region.lo + offset,
+                           region.hi + offset))
+        elif isinstance(region, StackFrame):
+            out.add(StackFrame(region.fn, region.lo + offset,
+                               region.hi + offset))
+        else:
+            # Heap offsets stay within the (site-identified) block as far
+            # as the domain can tell; Unknown absorbs everything.
+            out.add(region)
+    return frozenset(out)
+
+
+def _region_key(region: Region):
+    if isinstance(region, Global):
+        return ("global", region.section)
+    if isinstance(region, StackFrame):
+        return ("stack", region.fn)
+    if isinstance(region, Heap):
+        return ("heap", region.site)
+    return ("unknown",)
+
+
+def _hull(a: Region, b: Region) -> Region:
+    """Interval hull of two same-key regions."""
+    if isinstance(a, (Global, StackFrame)):
+        lo, hi = min(a.lo, b.lo), max(a.hi, b.hi)
+        if hi - lo > MAX_INTERVAL:
+            return UNKNOWN
+        if isinstance(a, Global):
+            return Global(a.section, lo, hi)
+        return StackFrame(a.fn, lo, hi)
+    return a
+
+
+def join_vals(a: PtrVal, b: PtrVal) -> PtrVal:
+    """Union, merging same-key intervals by hull; Unknown is absorbing."""
+    if a == b:
+        return a
+    if is_unknown_val(a) or is_unknown_val(b):
+        return UNKNOWN_VAL
+    merged: dict = {}
+    for region in (*a, *b):
+        key = _region_key(region)
+        prior = merged.get(key)
+        merged[key] = region if prior is None else _hull(prior, region)
+    if any(isinstance(r, Unknown) for r in merged.values()):
+        return UNKNOWN_VAL
+    if len(merged) > MAX_REGIONS:
+        return UNKNOWN_VAL
+    return frozenset(merged.values())
+
+
+def _covered(region: Region, by: PtrVal) -> bool:
+    """Is every concretization of *region* admitted by *by*?"""
+    if is_unknown_val(by):
+        return True
+    for other in by:
+        if _region_key(other) != _region_key(region):
+            continue
+        if isinstance(region, (Global, StackFrame)):
+            if other.lo <= region.lo and region.hi <= other.hi:
+                return True
+        else:
+            return True
+    return False
+
+
+def covers_val(old: PtrVal, new: PtrVal) -> bool:
+    """``new ⊑ old``: every region of *new* is covered by *old*."""
+    return all(_covered(region, old) for region in new)
+
+
+def widen_vals(old: PtrVal, new: PtrVal) -> PtrVal:
+    """Widening: any region still growing after the join threshold is
+    pushed straight to :data:`UNKNOWN` (finite-height tail)."""
+    joined = join_vals(old, new)
+    if covers_val(old, joined):
+        return old
+    return UNKNOWN_VAL
+
+
+#: Pseudo-section of :class:`Global` regions holding *absolute* constants
+#: that lie in no binary section — scalars (loop indices, sizes) and raw
+#: addresses alike.  Keeping the exact value lets the transfer fold scaled
+#: constant index terms (``lea rcx, [rcx + rdx*8]`` with a known ``rdx``)
+#: instead of degrading to Unknown.  Treating the value as an absolute
+#: address when one is *used* as an address is exactly the solver's
+#: stack/global separation axiom (a constant is never a stack pointer).
+ABS_SECTION = "<abs>"
+
+
+def classify_const(binary: Binary, value: int) -> PtrVal:
+    """The region of a constant: a section pointer or an absolute value."""
+    section = binary.section_at(value)
+    if section is not None:
+        return frozenset({Global(section.name, value, value)})
+    return frozenset({Global(ABS_SECTION, value, value)})
+
+
+def exact_const(val: PtrVal) -> int | None:
+    """The single absolute value *val* denotes, if that is all it is."""
+    if len(val) != 1:
+        return None
+    (region,) = val
+    if isinstance(region, Global) and region.lo == region.hi:
+        return region.lo
+    return None
+
+
+# -- byte footprints and call-site summaries ------------------------------------------
+
+
+@dataclass(frozen=True)
+class Span:
+    """A byte footprint: every pointer value of *region*, *size* bytes."""
+
+    region: Region
+    size: int
+
+    def __str__(self) -> str:
+        return f"{self.region}×{self.size}"
+
+
+def _const_clause_disjoint(addr: int, size: int, span: Span) -> bool:
+    """Is the constant-address clause ``[addr, size]`` provably disjoint
+    from *span*?  Relies on the designated-region separation axioms."""
+    region = span.region
+    if isinstance(region, Unknown):
+        return False
+    if isinstance(region, (StackFrame, Heap)):
+        # Stack/global and heap/global separation: a constant address is a
+        # binary-section pointer, never stack or heap.
+        return True
+    return addr + size <= region.lo or addr >= region.hi + span.size
+
+
+@dataclass(frozen=True)
+class Summary:
+    """What one callee MAY do to memory its caller can observe.
+
+    ``writes``/``reads`` hold *non-local* footprints — accesses to the
+    callee's own frame are excluded (the calling convention, separately
+    verified by the lifter's sanity properties, makes them invisible).
+    :class:`StackFrame` spans are in *callee* ``RSP0`` coordinates and are
+    translated by the caller's stack height at the call site.  ``escaped``
+    are regions whose addresses flowed out of the callee's control
+    (stored non-locally or passed onward).
+    """
+
+    writes: frozenset = frozenset()
+    reads: frozenset = frozenset()
+    escaped: frozenset = frozenset()
+    top: bool = False
+
+    @property
+    def is_top(self) -> bool:
+        return self.top
+
+    @property
+    def writes_nothing(self) -> bool:
+        return not self.top and not self.writes
+
+    @property
+    def writes_unknown(self) -> bool:
+        return self.top or any(
+            isinstance(span.region, Unknown) for span in self.writes
+        )
+
+    def keeps(self, key) -> bool:
+        """May the caller keep its clause for *key* (an SMT region with
+        ``.addr``/``.size``) across this call?
+
+        Used by :func:`repro.hoare.calls.after_call_state` to refine the
+        cleaning havoc: a clause survives iff it is provably disjoint from
+        every non-local write.  Stack clauses are handled by the caller
+        (they are always kept, backed by the MUST-PRESERVE obligation).
+        """
+        if self.top:
+            return False
+        if not self.writes:
+            return True
+        linear = linearize(key.addr)
+        if not linear.is_const:
+            # A symbolic non-stack address (heap, argument pointer): we
+            # cannot separate it from the callee's writes structurally.
+            return False
+        addr = linear.const
+        return all(
+            _const_clause_disjoint(addr, key.size, span)
+            for span in self.writes
+        )
+
+    def __str__(self) -> str:
+        if self.top:
+            return "Summary(⊤)"
+        parts = []
+        if self.writes:
+            parts.append("writes {" + ", ".join(
+                sorted(str(s) for s in self.writes)) + "}")
+        if self.reads:
+            parts.append("reads {" + ", ".join(
+                sorted(str(s) for s in self.reads)) + "}")
+        if self.escaped:
+            parts.append("escapes {" + ", ".join(
+                sorted(str(r) for r in self.escaped)) + "}")
+        return "Summary(" + ("; ".join(parts) if parts else "pure") + ")"
+
+
+TOP_SUMMARY = Summary(
+    writes=frozenset({Span(UNKNOWN, 0)}),
+    reads=frozenset({Span(UNKNOWN, 0)}),
+    escaped=frozenset({UNKNOWN}),
+    top=True,
+)

@@ -1,0 +1,108 @@
+"""Rendering and precision statistics for the pointer analysis.
+
+The ``python -m repro pointer <binary>`` verb and the eval harness both
+want the same things: per-function summaries, an access-classification
+precision table, and the escape list.  Everything here is pure
+formatting over :class:`~repro.analysis.pointer.summaries.PointerAnalysis`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.pointer.domain import StackFrame, Unknown
+from repro.analysis.pointer.summaries import PointerAnalysis
+
+
+@dataclass(frozen=True)
+class PrecisionStats:
+    """Counted over every classified access site of one binary."""
+
+    functions: int = 0
+    accesses: int = 0
+    precise: int = 0          # MAY-set without Unknown
+    stack: int = 0            # at least one own-frame region
+    global_: int = 0
+    heap: int = 0
+    escapes: int = 0
+    top_summaries: int = 0
+    converged: int = 0
+
+    @property
+    def precision(self) -> float:
+        return self.precise / self.accesses if self.accesses else 1.0
+
+    def as_dict(self) -> dict:
+        return {
+            "functions": self.functions,
+            "accesses": self.accesses,
+            "precise": self.precise,
+            "precision": round(self.precision, 4),
+            "stack": self.stack,
+            "global": self.global_,
+            "heap": self.heap,
+            "escapes": self.escapes,
+            "top_summaries": self.top_summaries,
+            "converged": self.converged,
+        }
+
+
+def precision_stats(analysis: PointerAnalysis) -> PrecisionStats:
+    from repro.analysis.pointer.domain import Global, Heap
+
+    functions = len(analysis.functions)
+    accesses = precise = stack = global_ = heap = escapes = 0
+    converged = 0
+    for entry, facts in analysis.functions.items():
+        converged += int(facts.converged)
+        escapes += len(facts.escapes)
+        for access in facts.accesses.values():
+            accesses += 1
+            kinds = {type(r) for r in access.regions}
+            if Unknown not in kinds:
+                precise += 1
+            if StackFrame in kinds:
+                stack += 1
+            if Global in kinds:
+                global_ += 1
+            if Heap in kinds:
+                heap += 1
+    top = sum(1 for s in analysis.summaries.values() if s.is_top)
+    return PrecisionStats(
+        functions=functions, accesses=accesses, precise=precise,
+        stack=stack, global_=global_, heap=heap, escapes=escapes,
+        top_summaries=top, converged=converged,
+    )
+
+
+def render_pointer_report(analysis: PointerAnalysis,
+                          gate=None, verbose: bool = False) -> str:
+    """The human-readable ``pointer`` verb output."""
+    stats = precision_stats(analysis)
+    lines = [
+        f"pointer analysis: {stats.functions} functions, "
+        f"{stats.accesses} access sites, "
+        f"{stats.precise} precise ({stats.precision:.1%})",
+        f"  region mix: stack={stats.stack} global={stats.global_} "
+        f"heap={stats.heap}; escapes={stats.escapes}; "
+        f"top summaries={stats.top_summaries}",
+    ]
+    for entry in sorted(analysis.summaries):
+        summary = analysis.summaries[entry]
+        lines.append(f"  sub_{entry:x}: {summary}")
+        facts = analysis.functions.get(entry)
+        if facts is None:
+            continue
+        for escape in facts.escapes:
+            lines.append(f"    escape @{escape.addr:#x}: "
+                         f"{escape.region} ({escape.how})")
+        if verbose:
+            for (addr, kind), access in sorted(facts.accesses.items()):
+                regions = ", ".join(sorted(str(r) for r in access.regions))
+                lines.append(f"    {addr:#x} {kind:<5} x{access.size} "
+                             f"-> {{{regions}}}")
+    if gate is not None:
+        lines.append(gate.summary())
+        for miss in gate.misses:
+            lines.append(f"  MISS {miss}")
+    return "\n".join(lines)

@@ -1,0 +1,287 @@
+"""The differential soundness gate: concrete runs vs predicted regions.
+
+The pointer analysis claims, for every classified access site, a MAY-set
+of regions the accessed address lies in.  This gate runs the concrete
+emulator (:mod:`repro.machine.cpu`) over the qa targets, records every
+memory access the machine actually performs, attributes it to the
+instruction that performed it, and asserts the concrete address falls
+inside the predicted region set.  A miss is a soundness bug in the
+analysis — exactly the class of bug the call-cleaning refinement would
+silently convert into a wrong lift.
+
+Attribution mechanics: the CPU is single-stepped with a recording
+:class:`~repro.machine.cpu.Memory`, so the log slice of one step belongs
+to the instruction at the pre-step ``rip``.  A shadow call stack maps
+``StackFrame`` regions to concrete frame bases (``RSP0`` = the value of
+``rsp`` on function entry); a bump allocator behind ``malloc``/``calloc``
+maps ``Heap`` allocation sites to concrete block ranges.  Steps taken
+inside external stubs are the handlers' own effects — modelled by the
+external summaries, not per-instruction predictions — and are skipped.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.elf import Binary
+from repro.machine.cpu import CPU, MASK64, MachineError, Memory, STACK_TOP
+from repro.semantics import DefUse
+from repro.analysis.context import AnalysisContext
+from repro.analysis.pointer.domain import (
+    Global,
+    Heap,
+    StackFrame,
+    Unknown,
+)
+from repro.analysis.pointer.summaries import PointerAnalysis
+from repro.analysis.pointer.transfer import ALLOCATORS
+
+#: Argument vectors the gate drives each target with (one value per run,
+#: SysV: rdi).  Chosen to hit both arms of the qa clamps and guards.
+DEFAULT_ARGS = (0, 1, 5, 300)
+
+_HEAP_BASE = 0x6000_0000_0000
+_DU_TOP = DefUse.unknown()
+
+
+class _RecordingMemory(Memory):
+    """Memory that logs every (kind, addr, size) access."""
+
+    def __init__(self, binary: Binary) -> None:
+        super().__init__(binary)
+        self.log: list[tuple[str, int, int]] = []
+
+    def read(self, addr: int, size: int) -> int:
+        self.log.append(("load", addr & MASK64, size))
+        return super().read(addr, size)
+
+    def write(self, addr: int, value: int, size: int) -> None:
+        self.log.append(("store", addr & MASK64, size))
+        super().write(addr, value, size)
+
+
+@dataclass(frozen=True)
+class GateMiss:
+    """One concrete access the analysis failed to predict."""
+
+    instr_addr: int
+    kind: str
+    concrete_addr: int
+    size: int
+    detail: str
+
+    def __str__(self) -> str:
+        return (f"{self.instr_addr:#x} {self.kind} of "
+                f"[{self.concrete_addr:#x}, {self.size}]: {self.detail}")
+
+
+@dataclass
+class GateReport:
+    """Outcome of gating one binary."""
+
+    name: str
+    runs: int = 0
+    checked: int = 0
+    skipped: int = 0          # stub / out-of-view / τ-opaque accesses
+    misses: list[GateMiss] = field(default_factory=list)
+    machine_errors: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.misses
+
+    def summary(self) -> str:
+        flag = "OK" if self.ok else f"{len(self.misses)} MISSES"
+        return (f"{self.name}: {flag}, {self.checked} accesses checked "
+                f"over {self.runs} runs ({self.skipped} skipped)")
+
+
+def _heap_handlers(binary: Binary, call_sites: dict[int, int],
+                   allocs: list[tuple[int | None, int, int]]):
+    """Extern handlers for the allocator family, recording each block's
+    (site, base, size) so ``Heap`` predictions can be checked."""
+    cursor = [_HEAP_BASE]
+
+    def allocate(cpu: CPU, size: int) -> None:
+        ret = cpu.memory.read(cpu.regs["rsp"], 8)
+        site = call_sites.get(ret)
+        base = cursor[0]
+        cursor[0] += max(16, (size + 15) & ~15)
+        allocs.append((site, base, size))
+        cpu.regs["rax"] = base
+
+    handlers = {
+        "malloc": lambda cpu: allocate(cpu, cpu.regs["rdi"]),
+        "calloc": lambda cpu: allocate(
+            cpu, (cpu.regs["rdi"] * cpu.regs["rsi"]) & MASK64),
+        "aligned_alloc": lambda cpu: allocate(cpu, cpu.regs["rsi"]),
+        "realloc": lambda cpu: allocate(cpu, cpu.regs["rsi"]),
+        "free": lambda cpu: None,
+    }
+    assert set(handlers) >= ALLOCATORS
+    return handlers
+
+
+def _frame_base(shadow: list[tuple[int, int]], fn: int) -> int | None:
+    """The concrete RSP0 of the innermost live activation of *fn*."""
+    for entry, rsp0 in reversed(shadow):
+        if entry == fn:
+            return rsp0
+    return None
+
+
+def _covers(region, addr: int, shadow, allocs) -> bool:
+    if isinstance(region, Unknown):
+        return True
+    if isinstance(region, Global):
+        return region.lo <= addr <= region.hi
+    if isinstance(region, StackFrame):
+        rsp0 = _frame_base(shadow, region.fn)
+        if rsp0 is None:
+            return False
+        offset = addr - rsp0
+        if offset >= 1 << 63:
+            offset -= 1 << 64
+        return region.lo <= offset <= region.hi
+    if isinstance(region, Heap):
+        return any(
+            (region.site is None or site == region.site)
+            and base <= addr < base + size
+            for site, base, size in allocs
+        )
+    return False
+
+
+def run_gate(binary: Binary, result=None, analysis: PointerAnalysis | None = None,
+             args=DEFAULT_ARGS, max_steps: int = 200_000) -> GateReport:
+    """Gate one binary: every concrete access must fall in its MAY-set."""
+    if result is None:
+        from repro.hoare.lifter import lift
+
+        result = lift(binary, cache=False)
+    if analysis is None:
+        analysis = PointerAnalysis(AnalysisContext(result)).run()
+    ctx = analysis.ctx
+
+    predictions: dict[tuple[int, str], object] = {}
+    view_addrs: set[int] = set()
+    for entry, facts in analysis.functions.items():
+        predictions.update(facts.accesses)
+        view = ctx.view_of(entry)
+        if view is not None:
+            for instrs in view.instrs.values():
+                view_addrs.update(
+                    i.addr for i in instrs if i.addr is not None)
+
+    call_sites = {
+        instr.end: addr
+        for addr, instr in result.instructions.items()
+        if instr.mnemonic == "call"
+    }
+
+    report = GateReport(name=binary.name)
+    for arg in args:
+        _run_once(binary, result, ctx, predictions, view_addrs, call_sites,
+                  arg, max_steps, report)
+        report.runs += 1
+    return report
+
+
+def _run_once(binary, result, ctx, predictions, view_addrs, call_sites,
+              arg: int, max_steps: int, report: GateReport) -> None:
+    allocs: list[tuple[int | None, int, int]] = []
+    memory = _RecordingMemory(binary)
+    cpu = CPU(binary, memory=memory, rip=result.entry, max_steps=max_steps)
+    cpu.extern_handlers.update(_heap_handlers(binary, call_sites, allocs))
+    cpu.regs["rdi"] = arg & MASK64
+
+    shadow: list[tuple[int, int]] = [(result.entry, cpu.regs["rsp"])]
+    tail_to_stub = False
+    for _ in range(max_steps):
+        if cpu.halted:
+            break
+        rip = cpu.rip
+        in_stub = binary.external_name(rip) is not None
+        instr = result.instructions.get(rip) if not in_stub else None
+        rsp_before = cpu.regs["rsp"]
+        mark = len(memory.log)
+        try:
+            cpu.step()
+        except MachineError as exc:
+            report.machine_errors.append(f"{binary.name}@{rip:#x}: {exc}")
+            break
+        accesses = memory.log[mark:]
+
+        if in_stub:
+            # Handler effects are the external summary's business.
+            report.skipped += len(accesses)
+            if tail_to_stub and len(shadow) > 1:
+                # The stub popped the *caller's* return address.
+                shadow.pop()
+            tail_to_stub = False
+            continue
+
+        _check_step(rip, instr, accesses, predictions, view_addrs,
+                    shadow, allocs, ctx, report)
+
+        # Shadow call-stack maintenance, driven by the observed transfer.
+        new_rip = cpu.rip
+        mnemonic = instr.mnemonic if instr is not None else None
+        if mnemonic == "call":
+            if binary.external_name(new_rip) is None:
+                shadow.append((new_rip, (rsp_before - 8) & MASK64))
+        elif mnemonic == "ret":
+            if len(shadow) > 1:
+                shadow.pop()
+        elif binary.external_name(new_rip) is not None:
+            tail_to_stub = True
+        elif (new_rip != shadow[-1][0]
+              and ctx.view_of(new_rip) is not None
+              and new_rip not in _view_blocks(ctx, shadow[-1][0])):
+            # A direct transfer into another function's entry that is not
+            # a call: a tail call — the callee reuses this activation.
+            shadow[-1] = (new_rip, rsp_before)
+
+
+def _view_blocks(ctx, entry: int) -> tuple[int, ...]:
+    view = ctx.view_of(entry)
+    return view.blocks if view is not None else ()
+
+
+def _check_step(rip, instr, accesses, predictions, view_addrs, shadow,
+                allocs, ctx, report: GateReport) -> None:
+    for kind, addr, size in accesses:
+        if rip not in view_addrs:
+            # The analysis never claimed this instruction (partial lift).
+            report.skipped += 1
+            continue
+        access = predictions.get((rip, kind))
+        if access is None:
+            if instr is not None and ctx.def_use(instr) == _DU_TOP:
+                # τ-opaque: the analysis degraded to top and recorded no
+                # site; the transfer dropped all facts, which is sound.
+                report.skipped += 1
+                continue
+            report.misses.append(GateMiss(
+                rip, kind, addr, size,
+                "no predicted access at a classified instruction",
+            ))
+            continue
+        report.checked += 1
+        if not any(_covers(region, addr, shadow, allocs)
+                   for region in access.regions):
+            predicted = ", ".join(sorted(str(r) for r in access.regions))
+            report.misses.append(GateMiss(
+                rip, kind, addr, size,
+                f"outside predicted {{{predicted}}}",
+            ))
+
+
+def gate_qa_targets(args=DEFAULT_ARGS) -> list[GateReport]:
+    """Run the gate over every qa target (the CI smoke entry point)."""
+    from repro.qa.targets import build_target, target_names
+
+    reports = []
+    for name in target_names():
+        reports.append(run_gate(build_target(name), args=args))
+    return reports

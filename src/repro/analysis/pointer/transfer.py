@@ -1,0 +1,500 @@
+"""The flow-sensitive per-function pointer transfer pass.
+
+The abstract state (:class:`Env`) maps register families to region sets
+and tracked 8-byte stack slots (``RSP0``-relative offsets) to the region
+sets of their *contents*.  ``rsp`` itself is just another tracked value —
+``StackFrame(fn, 0, 0)`` at entry — so stack-height tracking falls out of
+the domain instead of needing a separate lattice.
+
+Instruction effects come from the τ-probed def/use summaries
+(:mod:`repro.semantics.defuse`): result expressions over probe markers are
+evaluated by :func:`repro.smt.linear.linearize` — a single unit-coefficient
+marker term plus a constant shifts the marker's region set, a constant
+classifies against the binary's sections, anything else is Unknown.  The
+one instruction τ defers entirely to the lifter is ``call``; its ABI
+effects (caller-saved havoc, the return-address push, the callee summary)
+are modelled here explicitly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.elf import Binary
+from repro.expr import Const, Deref, Expr, Var
+from repro.isa import Imm, Instruction
+from repro.isa.registers import ARG_REGISTERS, CALLER_SAVED
+from repro.semantics import DefUse
+from repro.semantics.defuse import marker_family
+from repro.smt.linear import linearize
+from repro.analysis.cfgview import FunctionView
+from repro.analysis.context import AnalysisContext
+from repro.analysis.engine import Dataflow, Solution, solve
+from repro.analysis.pointer.domain import (
+    Heap,
+    PtrVal,
+    StackFrame,
+    UNKNOWN_VAL,
+    Unknown,
+    classify_const,
+    covers_val,
+    exact_const,
+    is_unknown_val,
+    join_vals,
+    shift_val,
+    Summary,
+    TOP_SUMMARY,
+    widen_vals,
+)
+
+_MASK64 = (1 << 64) - 1
+_DU_TOP = DefUse.unknown()
+
+#: Externals that return a fresh heap block (the ``Heap`` site is the
+#: call-site address, giving allocation-site sensitivity for free).
+ALLOCATORS = frozenset({"malloc", "calloc", "realloc", "aligned_alloc"})
+
+
+def _signed(value: int) -> int:
+    value &= _MASK64
+    return value - (1 << 64) if value >> 63 else value
+
+
+@dataclass(frozen=True)
+class Env:
+    """Abstract state at one program point (immutable, ``==``-comparable).
+
+    Register families absent from ``regs`` hold :data:`UNKNOWN_VAL`;
+    ``slots`` only tracks 8-byte frame slots whose contents are known
+    better than Unknown."""
+
+    regs: tuple = ()
+    slots: tuple = ()
+    reached: bool = True
+
+    def reg(self, family: str) -> PtrVal:
+        for name, val in self.regs:
+            if name == family:
+                return val
+        return UNKNOWN_VAL
+
+    def slot(self, offset: int) -> PtrVal:
+        for off, val in self.slots:
+            if off == offset:
+                return val
+        return UNKNOWN_VAL
+
+    def reg_dict(self) -> dict:
+        return dict(self.regs)
+
+    def slot_dict(self) -> dict:
+        return dict(self.slots)
+
+    @staticmethod
+    def make(regs: dict, slots: dict, reached: bool = True) -> "Env":
+        return Env(
+            regs=tuple(sorted(
+                (name, val) for name, val in regs.items()
+                if not is_unknown_val(val)
+            )),
+            slots=tuple(sorted(
+                (off, val) for off, val in slots.items()
+                if not is_unknown_val(val)
+            )),
+            reached=reached,
+        )
+
+    def __str__(self) -> str:
+        if not self.reached:
+            return "⊥"
+        parts = [f"{name}={{{','.join(sorted(str(r) for r in val))}}}"
+                 for name, val in self.regs]
+        parts += [f"[RSP0{off:+#x}]={{{','.join(sorted(str(r) for r in val))}}}"
+                  for off, val in self.slots]
+        return "{" + ", ".join(parts) + "}"
+
+
+BOTTOM = Env(reached=False)
+
+
+def entry_env(fn: int) -> Env:
+    """The boundary fact: rsp points at the frame base, all else unknown."""
+    return Env.make({"rsp": frozenset({StackFrame(fn, 0, 0)})}, {})
+
+
+def join_envs(a: Env, b: Env) -> Env:
+    if not a.reached:
+        return b
+    if not b.reached:
+        return a
+    if a == b:
+        return a
+    a_regs, b_regs = a.reg_dict(), b.reg_dict()
+    regs = {
+        name: join_vals(a_regs[name], b_regs[name])
+        for name in a_regs.keys() & b_regs.keys()
+    }
+    a_slots, b_slots = a.slot_dict(), b.slot_dict()
+    slots = {
+        off: join_vals(a_slots[off], b_slots[off])
+        for off in a_slots.keys() & b_slots.keys()
+    }
+    return Env.make(regs, slots)
+
+
+def widen_envs(old: Env, new: Env) -> Env:
+    if not old.reached or not new.reached:
+        return new
+    old_regs, new_regs = old.reg_dict(), new.reg_dict()
+    regs = {
+        name: widen_vals(old_regs[name], new_regs[name])
+        for name in old_regs.keys() & new_regs.keys()
+    }
+    old_slots, new_slots = old.slot_dict(), new.slot_dict()
+    slots = {
+        off: widen_vals(old_slots[off], new_slots[off])
+        for off in old_slots.keys() & new_slots.keys()
+    }
+    return Env.make(regs, slots)
+
+
+# -- expression evaluation --------------------------------------------------------------
+
+
+def eval_value(expr: Expr, env: Env, fn: int, binary: Binary) -> PtrVal:
+    """The region set of a probe-marker expression under *env*.
+
+    The linear form is evaluated term by term: scaled terms whose base
+    resolves to an exact absolute constant (``index*8`` with a known
+    index) fold into the offset, leaving at most one unit-coefficient
+    region-valued base to shift.  Anything else — two symbolic terms, a
+    scaled symbolic index — is Unknown."""
+    linear = linearize(expr)
+    if linear.is_const:
+        return classify_const(binary, linear.const)
+    offset = _signed(linear.const)
+    base = None
+    for term, coeff in linear.terms:
+        val = _eval_term(term, env, fn, binary)
+        const = exact_const(val)
+        if const is not None:
+            offset += coeff * _signed(const)
+            continue
+        if coeff != 1 or base is not None:
+            return UNKNOWN_VAL
+        base = val
+    if base is None:
+        return classify_const(binary, offset & _MASK64)
+    return shift_val(base, offset & _MASK64)
+
+
+def _eval_term(term: Expr, env: Env, fn: int, binary: Binary) -> PtrVal:
+    if isinstance(term, Var):
+        family = marker_family(term)
+        if family is not None:
+            return env.reg(family)
+        return UNKNOWN_VAL
+    if isinstance(term, Deref):
+        addr_val = eval_value(term.addr, env, fn, binary)
+        offset = _exact_stack_offset(addr_val, fn)
+        if offset is not None and term.size == 8:
+            return env.slot(offset)
+        addr = exact_const(addr_val)
+        if addr is not None:
+            section = binary.section_at(addr)
+            if (section is not None and not section.writable
+                    and addr + term.size <= section.end):
+                value = int.from_bytes(binary.read(addr, term.size), "little")
+                return classify_const(binary, value)
+        return UNKNOWN_VAL
+    return UNKNOWN_VAL
+
+
+def _exact_stack_offset(val: PtrVal, fn: int) -> int | None:
+    """The singleton ``RSP0 + o`` offset of *val*, if that is all it is."""
+    if len(val) != 1:
+        return None
+    (region,) = val
+    if isinstance(region, StackFrame) and region.fn == fn \
+            and region.lo == region.hi:
+        return region.lo
+    return None
+
+
+def rsp_height(env: Env, fn: int) -> int | None:
+    """The exact ``rsp = RSP0 + h`` offset, when the analysis knows it."""
+    return _exact_stack_offset(env.reg("rsp"), fn)
+
+
+# -- call-site classification -----------------------------------------------------------
+
+
+def call_target(binary: Binary, instr: Instruction):
+    """``("internal", entry)`` / ``("external", name)`` / ``("indirect", None)``."""
+    (operand,) = instr.operands
+    if isinstance(operand, Imm):
+        callee = (instr.end + operand.signed) & _MASK64
+        extern = binary.external_name(callee)
+        if extern is not None:
+            return ("external", extern)
+        return ("internal", callee)
+    return ("indirect", None)
+
+
+#: Resolves the summary governing one ``call`` instruction.
+SummaryForCall = Callable[[Instruction], Summary]
+
+
+# -- the transfer function --------------------------------------------------------------
+
+
+def _stack_span_clobbers(span, height: int, fn: int):
+    """The caller-coordinate byte footprint of a callee StackFrame span
+    (callee ``RSP0`` = caller ``RSP0 + height - 8``), or None for spans
+    that cannot be translated."""
+    region = span.region
+    if not isinstance(region, StackFrame):
+        return None
+    base = height - 8
+    return (base + region.lo, base + region.hi + span.size)
+
+
+def _drop_slots(slots: dict, lo: int, hi: int) -> None:
+    """Remove tracked slots overlapping the byte range ``[lo, hi)``."""
+    for off in [off for off in slots if off < hi and off + 8 > lo]:
+        del slots[off]
+
+
+def _transfer_call(instr: Instruction, env: Env, fn: int, binary: Binary,
+                   summary_for_call: SummaryForCall) -> Env:
+    kind, target = call_target(binary, instr)
+    summary = summary_for_call(instr)
+    height = rsp_height(env, fn)
+
+    regs = env.reg_dict()
+    for family in CALLER_SAVED:
+        regs.pop(family, None)
+    if kind == "external" and target in ALLOCATORS and instr.addr is not None:
+        regs["rax"] = frozenset({Heap(instr.addr)})
+
+    slots = env.slot_dict()
+    if height is None or summary.writes_unknown:
+        # Unknown frame base, or an escaped pointer the callee may write
+        # through: nothing below *or* above rsp is reliably preserved.
+        slots = {}
+    else:
+        # The callee owns everything below the caller's rsp (its frame and
+        # the red zone die at the call); translated non-local stack writes
+        # clobber tracked slots above it.
+        for off in [off for off in slots if off < height]:
+            del slots[off]
+        for span in summary.writes:
+            clobber = _stack_span_clobbers(span, height, fn)
+            if clobber is not None:
+                _drop_slots(slots, *clobber)
+    return Env.make(regs, slots)
+
+
+def pointer_problem(
+    ctx: AnalysisContext, view: FunctionView,
+    summary_for_call: SummaryForCall,
+) -> Dataflow:
+    """The dataflow problem for one function view."""
+    fn = view.entry
+    binary = ctx.result.binary
+
+    def transfer(instr: Instruction, env: Env) -> Env:
+        if not env.reached:
+            return env
+        if instr.mnemonic == "call":
+            return _transfer_call(instr, env, fn, binary, summary_for_call)
+        du = ctx.def_use(instr)
+        if du == _DU_TOP:
+            # τ cannot probe it: everything it might have touched is gone.
+            return Env.make({}, {})
+
+        regs = env.reg_dict()
+        slots = env.slot_dict()
+        # Evaluate every effect against the *pre* state, then apply.
+        updates = {}
+        for family in du.defs:
+            result = du.result_of(family)
+            updates[family] = (
+                eval_value(result, env, fn, binary)
+                if result is not None else UNKNOWN_VAL
+            )
+        # Precise slot writes first, clobbers last: the order of multiple
+        # stores within one instruction is unknown, so an imprecise store
+        # must win over any slot it may overlap.
+        clobbers = []
+        for store in du.stores:
+            addr_val = eval_value(store.addr, env, fn, binary)
+            offset = _exact_stack_offset(addr_val, fn)
+            if offset is not None and store.size == 8:
+                if store.value is not None:
+                    slots[offset] = eval_value(store.value, env, fn, binary)
+                else:
+                    slots.pop(offset, None)
+                continue
+            clobbers.append((addr_val, store.size))
+        for addr_val, size in clobbers:
+            if is_unknown_val(addr_val):
+                slots = {}
+                break
+            for region in addr_val:
+                if isinstance(region, StackFrame) and region.fn == fn:
+                    _drop_slots(slots, region.lo, region.hi + size)
+                elif isinstance(region, StackFrame):
+                    slots = {}
+                    break
+        for family, val in updates.items():
+            if is_unknown_val(val):
+                regs.pop(family, None)
+            else:
+                regs[family] = val
+        return Env.make(regs, slots)
+
+    return Dataflow(
+        direction="forward",
+        boundary=entry_env(fn),
+        bottom=BOTTOM,
+        join=join_envs,
+        transfer=transfer,
+        widen=widen_envs,
+    )
+
+
+# -- fact extraction (post-fixpoint replay) ---------------------------------------------
+
+
+@dataclass(frozen=True)
+class Access:
+    """One classified memory access site."""
+
+    addr: int
+    kind: str                  # "load" | "store"
+    regions: PtrVal
+    size: int
+
+    @property
+    def precise(self) -> bool:
+        return not is_unknown_val(self.regions)
+
+
+@dataclass(frozen=True)
+class Escape:
+    """A stack-frame address observed leaving the function's control."""
+
+    addr: int
+    region: StackFrame
+    how: str
+
+
+@dataclass
+class FunctionFacts:
+    """Everything the pointer pass derives for one function."""
+
+    entry: int
+    accesses: dict         # (addr, kind) -> Access
+    escapes: list          # [Escape]
+    call_heights: dict     # call addr -> rsp offset (None when unknown)
+    tail_calls: dict       # jmp addr -> (target | extern name, rsp offset)
+    converged: bool
+    solution: Solution
+
+
+def _record(accesses: dict, addr: int, kind: str, regions: PtrVal,
+            size: int) -> None:
+    key = (addr, kind)
+    prior = accesses.get(key)
+    if prior is not None:
+        regions = join_vals(prior.regions, regions)
+        size = max(size, prior.size)
+    accesses[key] = Access(addr, kind, regions, size)
+
+
+def _stack_regions(val: PtrVal, fn: int):
+    return [r for r in val if isinstance(r, StackFrame) and r.fn == fn]
+
+
+def collect_facts(
+    ctx: AnalysisContext, view: FunctionView,
+    summary_for_call: SummaryForCall,
+) -> FunctionFacts:
+    """Solve one view and replay the fixpoint to classify every access."""
+    fn = view.entry
+    binary = ctx.result.binary
+    problem = pointer_problem(ctx, view, summary_for_call)
+    solution = solve(view, problem)
+    accesses: dict = {}
+    escapes: list = []
+    call_heights: dict = {}
+    tail_calls: dict = {}
+    blocks = set(view.blocks)
+
+    for leader in view.blocks:
+        for instr, env in solution.before_each(view, problem, leader):
+            if instr.addr is None or not env.reached:
+                continue
+            if (instr.mnemonic == "jmp"
+                    and len(instr.operands) == 1
+                    and isinstance(instr.operands[0], Imm)):
+                target = (instr.end + instr.operands[0].signed) & _MASK64
+                if target not in blocks:
+                    # A direct jump out of the function: a tail call whose
+                    # effects belong to this function's summary.
+                    extern = binary.external_name(target)
+                    tail_calls[instr.addr] = (
+                        extern if extern is not None else target,
+                        rsp_height(env, fn),
+                    )
+                continue
+            if instr.mnemonic == "call":
+                height = rsp_height(env, fn)
+                call_heights[instr.addr] = height
+                push_to = (
+                    frozenset({StackFrame(fn, height - 8, height - 8)})
+                    if height is not None else UNKNOWN_VAL
+                )
+                _record(accesses, instr.addr, "store", push_to, 8)
+                kind, target = call_target(binary, instr)
+                if kind != "internal":
+                    callee = target if kind == "external" else "<indirect>"
+                    for reg in ARG_REGISTERS:
+                        for region in _stack_regions(env.reg(reg), fn):
+                            escapes.append(Escape(
+                                instr.addr, region,
+                                f"&frame in {reg} passed to {callee}",
+                            ))
+                continue
+            du = ctx.def_use(instr)
+            if du == _DU_TOP:
+                continue
+            for load in du.loads:
+                _record(accesses, instr.addr, "load",
+                        eval_value(load.addr, env, fn, binary), load.size)
+            for store in du.stores:
+                addr_val = eval_value(store.addr, env, fn, binary)
+                _record(accesses, instr.addr, "store", addr_val, store.size)
+                if store.value is None:
+                    continue
+                # A frame address written somewhere that is not this frame
+                # escapes the function's control.
+                value_val = eval_value(store.value, env, fn, binary)
+                stack_parts = _stack_regions(value_val, fn)
+                if stack_parts and not _stack_regions(addr_val, fn):
+                    for region in stack_parts:
+                        escapes.append(Escape(
+                            instr.addr, region,
+                            "&frame stored outside the frame",
+                        ))
+    return FunctionFacts(
+        entry=fn,
+        accesses=accesses,
+        escapes=escapes,
+        call_heights=call_heights,
+        tail_calls=tail_calls,
+        converged=solution.converged,
+        solution=solution,
+    )

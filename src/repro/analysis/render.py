@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import json
 
-from repro.analysis.lint import SEVERITIES, LintReport
+from repro.analysis.lint import SEVERITIES, LintReport, all_rules, rule_description
 
 #: Diagnostic severity -> SARIF result level.
 _SARIF_LEVEL = {"error": "error", "warning": "warning", "info": "note"}
@@ -28,8 +28,17 @@ def render_text(report: LintReport) -> str:
     return "\n".join(lines)
 
 
+def _sarif_rule(rule_id: str) -> dict:
+    rule: dict = {"id": rule_id}
+    description = rule_description(rule_id)
+    if description:
+        rule["shortDescription"] = {"text": description}
+    return rule
+
+
 def to_sarif(report: LintReport) -> dict:
     """The report as a SARIF-lite dictionary (deterministic ordering)."""
+    all_rules()                 # ensure builtin descriptions are registered
     rule_ids = sorted({diag.rule for diag in report.diagnostics})
     results = []
     for diag in report.diagnostics:
@@ -53,7 +62,7 @@ def to_sarif(report: LintReport) -> dict:
             "tool": {
                 "driver": {
                     "name": "repro-lint",
-                    "rules": [{"id": rule_id} for rule_id in rule_ids],
+                    "rules": [_sarif_rule(rule_id) for rule_id in rule_ids],
                 },
             },
             "artifacts": [{"description": {"text": report.name}}],

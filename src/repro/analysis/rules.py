@@ -14,6 +14,7 @@ from repro.isa.registers import ARG_REGISTERS, CALLEE_SAVED, CALLER_SAVED
 from repro.analysis.context import AnalysisContext
 from repro.analysis.lint import Diagnostic, register_rule
 from repro.analysis.liveness import FLAGS, live_after
+from repro.analysis.pointer.domain import StackFrame
 from repro.analysis.reaching import ENTRY, reaching_before
 from repro.analysis.stack import resolve_offset, solve_stack, stack_problem
 
@@ -113,13 +114,32 @@ def unreachable_block(ctx: AnalysisContext):
             )
 
 
+def _proven_own_frame(ctx: AnalysisContext, entry: int, addr: int) -> bool:
+    """Does the pointer analysis prove the store at *addr* targets only the
+    current function's own frame?  (No Unknown, no foreign frame, no
+    global/heap region in the MAY-set.)"""
+    facts = ctx.pointer.functions.get(entry)
+    if facts is None:
+        return False
+    access = facts.accesses.get((addr, "store"))
+    if access is None or not access.regions:
+        return False
+    return all(
+        isinstance(region, StackFrame) and region.fn == entry
+        for region in access.regions
+    )
+
+
 @register_rule("write-below-rsp")
 def write_below_rsp(ctx: AnalysisContext):
     """An explicit store below the stack pointer.
 
     Legal only in the 128-byte red zone of a *leaf* function: any call (or
     signal) is free to clobber that memory, so in a function that calls out
-    this is flagged as a warning; in a leaf it is an informational note.
+    this is flagged as a warning.  In a leaf, a red-zone store the pointer
+    analysis proves to target the function's *own* frame is the legal SysV
+    idiom and is suppressed outright; a leaf store the analysis cannot pin
+    down (or one beyond the red zone) remains an informational note.
     ``push`` never fires — its store lands exactly at the new rsp."""
     problem = stack_problem(ctx)
     for view in ctx.views:
@@ -144,7 +164,11 @@ def write_below_rsp(ctx: AnalysisContext):
                     if offset is None or offset >= after.height:
                         continue
                     depth = after.height - offset
-                    zone = "red zone" if depth <= RED_ZONE else "beyond the red zone"
+                    in_red_zone = depth <= RED_ZONE
+                    if (not has_call and in_red_zone
+                            and _proven_own_frame(ctx, view.entry, instr.addr)):
+                        continue
+                    zone = "red zone" if in_red_zone else "beyond the red zone"
                     yield Diagnostic(
                         rule="write-below-rsp",
                         severity="warning" if has_call else "info",
@@ -236,5 +260,36 @@ def rop_gadget_surface(ctx: AnalysisContext):
                     f"{inner.mnemonic} at {inner_addr:#x} decodes inside "
                     f"the bytes of {outer.mnemonic} at {addr:#x}"
                     + (" (hidden control flow: ROP gadget)" if gadget else "")
+                ),
+            )
+
+
+@register_rule("escaping-stack-pointer")
+def escaping_stack_pointer(ctx: AnalysisContext):
+    """A stack-frame address observed leaving the function's control.
+
+    The pointer analysis tracks every value holding ``&frame``; if one is
+    stored outside the frame or passed to a callee, the address outlives
+    the activation it points into — after ``ret`` it dangles.  Escapes are
+    also exactly the cases where the lifter's call-site summary for the
+    function must stay conservative, so each finding doubles as a
+    precision report on the feedback loop."""
+    for entry in sorted(ctx.pointer.functions):
+        facts = ctx.pointer.functions[entry]
+        for escape in facts.escapes:
+            # Storing &frame outside the frame outlives the activation for
+            # sure; handing it to a callee is ordinary C (`f(&local)`) and
+            # only *may* be retained — note it, don't fail the run.
+            stored = "stored" in escape.how
+            yield Diagnostic(
+                rule="escaping-stack-pointer",
+                severity="warning" if stored else "info",
+                addr=escape.addr,
+                function=entry,
+                message=(
+                    f"address of {escape.region} escapes "
+                    f"({escape.how})"
+                    + (": it dangles once the frame is torn down"
+                       if stored else "")
                 ),
             )

@@ -11,7 +11,7 @@ exactly one deterministic lint finding.  They are the ground truth for
 from __future__ import annotations
 
 from repro.elf import Binary, BinaryBuilder
-from repro.isa import Imm, Mem
+from repro.isa import Imm, Mem, abs64
 
 
 def uninit_read() -> Binary:
@@ -65,10 +65,29 @@ def dead_store() -> Binary:
     return builder.build(entry="main")
 
 
+def escaping_stack_pointer() -> Binary:
+    """Stores the address of a red-zone local into a global: the pointer
+    analysis sees ``&frame`` leave the frame, and the saved address
+    dangles the moment ``main`` returns."""
+    builder = BinaryBuilder("escape")
+    t = builder.text
+    t.label("main")
+    t.emit("lea", "rax", Mem(64, base="rsp", disp=-8))
+    t.emit("movabs", "rcx", abs64("slot"))
+    t.emit("mov", Mem(64, base="rcx"), "rax")
+    t.emit("xor", "rax", "rax")
+    t.emit("ret")
+    d = builder.data
+    d.label("slot")
+    d.quad(0)
+    return builder.build(entry="main")
+
+
 #: name -> (builder, the rule id the binary must trigger).
 ALL_LINTBUGS = {
     "uninit_read": (uninit_read, "uninit-read"),
     "red_zone_write": (red_zone_write, "write-below-rsp"),
     "callee_saved_clobber": (callee_saved_clobber, "callee-saved-clobber"),
     "dead_store": (dead_store, "dead-store"),
+    "escaping_stack_pointer": (escaping_stack_pointer, "escaping-stack-pointer"),
 }

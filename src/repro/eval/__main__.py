@@ -14,7 +14,8 @@ def main(argv=None) -> int:
     )
     parser.add_argument("what", choices=["table1", "table2", "figure3",
                                          "failures", "scaling", "lint",
-                                         "bench", "obs", "qa", "all"])
+                                         "pointer", "bench", "obs", "qa",
+                                         "all"])
     parser.add_argument("--scale", type=int, default=1,
                         help="corpus scale factor (default 1)")
     parser.add_argument("--timeout", type=float, default=10.0,
@@ -42,12 +43,15 @@ def main(argv=None) -> int:
     parser.add_argument("--schedule-ab", action="store_true",
                         help="bench: also run the address-vs-SCC schedule "
                              "A/B (scale-1 corpus)")
+    parser.add_argument("--summaries-ab", action="store_true",
+                        help="bench: also run the pointer-summaries "
+                             "feedback A/B (off vs --pointer-summaries)")
     parser.add_argument("--sampling", type=int, default=None,
                         help="obs: record 1 in N high-frequency events "
                              "(default: the obs layer's default)")
-    parser.add_argument("--out", default="BENCH_pr5.json",
+    parser.add_argument("--out", default="BENCH_pr6.json",
                         help="bench: output JSON path "
-                             "(default BENCH_pr5.json)")
+                             "(default BENCH_pr6.json)")
     parser.add_argument("--campaign", choices=["quick", "full"],
                         default="quick",
                         help="qa: campaign size (default quick)")
@@ -90,6 +94,12 @@ def main(argv=None) -> int:
 
         print(generate_lint_report(scale=args.scale,
                                    timeout_seconds=args.timeout))
+    if args.what == "pointer":
+        from repro.eval.pointer_report import generate_pointer_report
+
+        _, text = generate_pointer_report(scale=args.scale,
+                                          timeout_seconds=args.timeout)
+        print(text)
     if args.what == "bench":
         from repro.perf.bench import bench_report
 
@@ -105,6 +115,7 @@ def main(argv=None) -> int:
             check_trace_overhead=args.trace_overhead,
             check_cache=args.cold or args.warm,
             check_schedule=args.schedule_ab,
+            check_summaries=args.summaries_ab,
             out_path=args.out,
         )
         print(text)
@@ -128,6 +139,12 @@ def main(argv=None) -> int:
         if schedule is not None and not schedule["verdicts_identical"]:
             print("bench: address and scc schedules reached different "
                   "verdicts", file=sys.stderr)
+            return 1
+        summaries = payload.get("summaries")
+        if summaries is not None and not (summaries["verdicts_identical"]
+                                          and summaries["annotations_bounded"]):
+            print("bench: pointer-summaries refinement changed a verdict "
+                  "or grew annotations", file=sys.stderr)
             return 1
     if args.what == "obs":
         from repro.eval.obs_report import generate_obs_report

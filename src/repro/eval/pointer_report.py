@@ -1,0 +1,65 @@
+"""The pointer-precision table: ``python -m repro.eval pointer``.
+
+One row per corpus binary: access sites classified, how many are precise
+(MAY-set free of ``Unknown``), the region mix, escapes, and how many
+call-site summaries degraded to TOP.  The totals row is the headline
+precision number quoted in the PR notes; the differential soundness gate
+(:mod:`repro.analysis.pointer.soundness`) guards the other direction —
+that the precise sets are not *wrongly* precise.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.context import AnalysisContext
+from repro.analysis.pointer.report import PrecisionStats, precision_stats
+from repro.corpus import build_corpus
+from repro.hoare import lift
+
+
+def corpus_precision(scale: int = 1,
+                     timeout_seconds: float = 10.0) -> dict[str, PrecisionStats]:
+    """name -> precision stats, over every corpus binary (sorted)."""
+    corpus = build_corpus(scale)
+    out: dict[str, PrecisionStats] = {}
+    for corpus_binary in sorted(corpus.binaries, key=lambda b: b.name):
+        result = lift(corpus_binary.binary, timeout_seconds=timeout_seconds,
+                      cache=False)
+        out[corpus_binary.name] = precision_stats(
+            AnalysisContext(result).pointer)
+    return out
+
+
+def _totals(stats: dict[str, PrecisionStats]) -> PrecisionStats:
+    fields = ("functions", "accesses", "precise", "stack", "global_",
+              "heap", "escapes", "top_summaries", "converged")
+    summed = {f: sum(getattr(s, f) for s in stats.values()) for f in fields}
+    return PrecisionStats(**summed)
+
+
+def generate_pointer_report(scale: int = 1,
+                            timeout_seconds: float = 10.0) -> tuple[dict, str]:
+    """Returns ``(payload, text)`` like the other eval generators."""
+    stats = corpus_precision(scale=scale, timeout_seconds=timeout_seconds)
+    total = _totals(stats)
+    header = (f"{'binary':<16} {'fns':>4} {'sites':>6} {'precise':>8} "
+              f"{'prec%':>7} {'stack':>6} {'glob':>5} {'heap':>5} "
+              f"{'esc':>4} {'top':>4}")
+    lines = [f"Pointer precision (scale-{scale} corpus)", header,
+             "-" * len(header)]
+    for name, s in stats.items():
+        lines.append(
+            f"{name:<16} {s.functions:>4} {s.accesses:>6} {s.precise:>8} "
+            f"{s.precision:>7.1%} {s.stack:>6} {s.global_:>5} {s.heap:>5} "
+            f"{s.escapes:>4} {s.top_summaries:>4}")
+    lines.append("-" * len(header))
+    s = total
+    lines.append(
+        f"{'Total':<16} {s.functions:>4} {s.accesses:>6} {s.precise:>8} "
+        f"{s.precision:>7.1%} {s.stack:>6} {s.global_:>5} {s.heap:>5} "
+        f"{s.escapes:>4} {s.top_summaries:>4}")
+    payload = {
+        "scale": scale,
+        "binaries": {name: s.as_dict() for name, s in stats.items()},
+        "total": total.as_dict(),
+    }
+    return payload, "\n".join(lines)

@@ -175,6 +175,9 @@ class _LiftTask:
     cache: bool = False
     cache_dir: str | None = None
     schedule: str = "scc"
+    #: Two-phase lift: feed pointer call-site summaries back into the
+    #: call cleaning (the feedback A/B bench sets this on one side).
+    pointer_summaries: bool = False
 
 
 def _run_task(
@@ -196,13 +199,15 @@ def _run_task(
         result = lift(task.binary, max_states=task.max_states,
                       timeout_seconds=task.timeout_seconds,
                       schedule=task.schedule,
-                      cache=use_cache, cache_dir=task.cache_dir)
+                      cache=use_cache, cache_dir=task.cache_dir,
+                      pointer_summaries=task.pointer_summaries)
     else:
         result = lift_function(task.binary, task.function,
                                max_states=task.max_states,
                                timeout_seconds=task.timeout_seconds,
                                schedule=task.schedule,
-                               cache=use_cache, cache_dir=task.cache_dir)
+                               cache=use_cache, cache_dir=task.cache_dir,
+                               pointer_summaries=task.pointer_summaries)
     delta = counters.delta(before, counters.snapshot())
     obs_data = None
     if task.obs:
@@ -226,13 +231,15 @@ def _run_task(
 def _corpus_tasks(corpus: Corpus, timeout_seconds: float,
                   max_states: int, obs: bool,
                   obs_sampling: int, cache: bool,
-                  cache_dir: str | None, schedule: str) -> list[_LiftTask]:
+                  cache_dir: str | None, schedule: str,
+                  pointer_summaries: bool = False) -> list[_LiftTask]:
     tasks = [
         _LiftTask(name=corpus_binary.name, directory=corpus_binary.directory,
                   kind="binary", binary=corpus_binary.binary, function=None,
                   timeout_seconds=timeout_seconds, max_states=max_states,
                   obs=obs, obs_sampling=obs_sampling,
-                  cache=cache, cache_dir=cache_dir, schedule=schedule)
+                  cache=cache, cache_dir=cache_dir, schedule=schedule,
+                  pointer_summaries=pointer_summaries)
         for corpus_binary in corpus.binaries
     ]
     for library in corpus.libraries:
@@ -244,6 +251,7 @@ def _corpus_tasks(corpus: Corpus, timeout_seconds: float,
                 timeout_seconds=timeout_seconds, max_states=max_states,
                 obs=obs, obs_sampling=obs_sampling,
                 cache=cache, cache_dir=cache_dir, schedule=schedule,
+                pointer_summaries=pointer_summaries,
             ))
     return tasks
 
@@ -264,6 +272,7 @@ def run_corpus(
     cache: "bool | None" = None,
     cache_dir: str | None = None,
     schedule: str = "scc",
+    pointer_summaries: bool = False,
 ) -> CorpusReport:
     """Lift every binary and library function; aggregate per directory.
 
@@ -289,7 +298,8 @@ def run_corpus(
 
     use_cache = bool(cache) if cache is not None else ambient_enabled()
     tasks = _corpus_tasks(corpus, timeout_seconds, max_states,
-                          obs, obs_sampling, use_cache, cache_dir, schedule)
+                          obs, obs_sampling, use_cache, cache_dir, schedule,
+                          pointer_summaries)
 
     prior = (_obs_tracer.enabled, _obs_tracer.sampling)
     try:

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 from repro.expr import Const, Expr, Var
 from repro.isa.registers import ARG_REGISTERS, CALLEE_SAVED
+from repro.perf.counters import gated as _gated
 from repro.pred import Predicate
 from repro.semantics import LiftContext, SymState, havoc_non_stack, initial_state
 from repro.smt.linear import linearize
@@ -51,11 +52,23 @@ def callee_initial_state(entry: int) -> SymState:
 
 
 def after_call_state(
-    state: SymState, return_addr: int, ctx: LiftContext
+    state: SymState, return_addr: int, ctx: LiftContext, summary=None
 ) -> SymState:
     """The caller's continuation after an opaque (external or context-free
-    internal) call: System V cleaning."""
-    cleaned = havoc_non_stack(state, ctx)
+    internal) call: System V cleaning.
+
+    With a pointer-analysis *summary* of the callee (duck-typed: ``is_top``,
+    ``writes_nothing``, ``keeps(region)``), the memory cleaning is refined:
+    clauses provably disjoint from everything the callee MAY write survive,
+    and the epoch taint is left alone when the callee writes no non-local
+    memory at all.  Registers are cleaned exactly as without a summary —
+    the refinement only touches what :func:`havoc_non_stack` keeps."""
+    if summary is not None and not summary.is_top:
+        _gated("pointer_refined_havocs")
+        epoch = state.epoch if summary.writes_nothing else 1
+        cleaned = havoc_non_stack(state, ctx, keep=summary.keeps, epoch=epoch)
+    else:
+        cleaned = havoc_non_stack(state, ctx)
     regs: dict[str, Expr] = {}
     old = cleaned.pred.reg_dict()
     for reg in CALLEE_SAVED + ("rsp",):

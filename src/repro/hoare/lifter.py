@@ -129,9 +129,13 @@ class _Lifter:
     def __init__(self, binary: Binary, entry: int, trust_data: bool,
                  max_states: int, max_targets: int,
                  timeout_seconds: float | None = None,
-                 schedule: Schedule | None = None):
+                 schedule: Schedule | None = None,
+                 summaries=None):
         self.binary = binary
         self.entry = entry
+        #: Optional pointer-summary oracle (duck-typed ``for_internal``/
+        #: ``for_external``) refining the call-cleaning havoc.
+        self.summaries = summaries
         self.ctx = LiftContext(binary, trust_data=trust_data)
         self.graph = HoareGraph()
         self.text_range = binary.text_range()
@@ -391,6 +395,21 @@ class _Lifter:
         self.add_edge(src_key, rip, code_key(continuation, self.text_range))
         self.enqueue(continuation)
 
+    def call_summary(self, rip: int, callee: str, lookup) -> "object | None":
+        """Resolve a pointer summary for one call site (None = no oracle or
+        no refinement) and record the assumption the refinement rests on."""
+        if self.summaries is None:
+            return None
+        summary = lookup()
+        if summary is None:
+            return None
+        _gated("pointer_summary_hits")
+        self.assumptions.add(Assumption(
+            "pointer-summary",
+            f"call to {callee} at {rip:#x} cleaned per {summary}",
+        ))
+        return summary
+
     def dispatch_call(self, state: SymState, src_key, rip: int,
                       target: int, return_addr: int) -> None:
         extern = self.binary.external_name(target)
@@ -401,8 +420,11 @@ class _Lifter:
             if is_terminating_external(extern):
                 self.add_edge(src_key, rip, exit_key(extern))
                 return
+            summary = self.call_summary(
+                rip, extern, lambda: self.summaries.for_external(extern))
             self.obligations.append(call_obligation(state, rip, extern))
-            continuation = after_call_state(state, return_addr, self.ctx)
+            continuation = after_call_state(state, return_addr, self.ctx,
+                                            summary=summary)
             continuation = continuation.mark_reachable(True)
             self.add_edge(src_key, rip, code_key(continuation, self.text_range))
             self.enqueue(continuation)
@@ -419,7 +441,11 @@ class _Lifter:
         obligation = call_obligation(state, rip, f"sub_{target:x}")
         if obligation.pointer_args:
             self.obligations.append(obligation)
-        continuation = after_call_state(state, return_addr, self.ctx)
+        summary = self.call_summary(
+            rip, f"sub_{target:x}",
+            lambda: self.summaries.for_internal(target))
+        continuation = after_call_state(state, return_addr, self.ctx,
+                                        summary=summary)
         self.add_edge(src_key, rip, code_key(continuation, self.text_range))
         self.park_continuation(target, continuation)
 
@@ -551,6 +577,7 @@ def lift(
     schedule: str = SCC_ORDER,
     cache: "bool | object | None" = None,
     cache_dir: str | None = None,
+    pointer_summaries: bool = False,
 ) -> LiftResult:
     """Lift *binary* starting at *entry* (default: the ELF entry point).
 
@@ -572,6 +599,11 @@ def lift(
     :class:`~repro.perf.store.LiftStore` instance is used directly.  A
     cache hit returns the exact pickled :class:`LiftResult` the cold path
     produced — same graph, annotations, verdicts and stats.
+
+    *pointer_summaries* enables the two-phase feedback lift
+    (:mod:`repro.analysis.pointer.feedback`): a context-free phase-1 lift
+    is summarized by the interprocedural pointer analysis, then the binary
+    is re-lifted with call-site summaries refining the cleaning havoc.
     """
     if schedule not in SCHEDULE_MODES:
         raise ValueError(f"unknown schedule mode {schedule!r}")
@@ -583,11 +615,12 @@ def lift(
             binary, entry=entry, store=lift_store, trust_data=trust_data,
             max_states=max_states, max_targets=max_targets,
             timeout_seconds=timeout_seconds, schedule=schedule,
+            pointer_summaries=pointer_summaries,
         )
     return lift_uncached(
         binary, entry=entry, trust_data=trust_data, max_states=max_states,
         max_targets=max_targets, timeout_seconds=timeout_seconds,
-        schedule=schedule,
+        schedule=schedule, pointer_summaries=pointer_summaries,
     )
 
 
@@ -599,12 +632,25 @@ def lift_uncached(
     max_targets: int = 1024,
     timeout_seconds: float | None = None,
     schedule: str = SCC_ORDER,
+    pointer_summaries: bool = False,
+    summaries=None,
 ) -> LiftResult:
     """The cold path of :func:`lift`: always runs the fixpoint engine.
 
     :func:`repro.perf.store.cached_lift` calls this on a miss; everything
-    else should go through :func:`lift`.
+    else should go through :func:`lift`.  *summaries* is the resolved
+    pointer-summary oracle of an ongoing two-phase lift;
+    *pointer_summaries* asks for the full two-phase protocol (the two are
+    mutually exclusive — the feedback module passes *summaries*).
     """
+    if pointer_summaries:
+        from repro.analysis.pointer.feedback import lift_with_summaries
+
+        return lift_with_summaries(
+            binary, entry=entry, trust_data=trust_data,
+            max_states=max_states, max_targets=max_targets,
+            timeout_seconds=timeout_seconds, schedule=schedule,
+        )
     start = time.perf_counter()
     resolved_entry = entry if entry is not None else binary.entry
     sched = (build_schedule(binary, resolved_entry)
@@ -617,6 +663,7 @@ def lift_uncached(
         max_targets=max_targets,
         timeout_seconds=timeout_seconds,
         schedule=sched,
+        summaries=summaries,
     )
     with _T.span("lift", binary=binary.name, entry=lifter.entry):
         lifter.run()

@@ -200,6 +200,17 @@ def _tarjan_sccs(nodes: list[int],
     return sccs
 
 
+def condense(nodes: list[int],
+             flow: dict[int, tuple[int, ...]]) -> list[list[int]]:
+    """SCC condensation of an arbitrary graph, in completion order.
+
+    Completion order is a reverse topological order of the condensation:
+    an SCC appears only after every SCC it reaches.  Shared by the bag
+    scheduler (instruction flow) and the pointer analysis (call graph,
+    which wants callees summarized before their callers)."""
+    return _tarjan_sccs(nodes, flow)
+
+
 def build_schedule(binary: Binary, entry: int) -> Schedule:
     """Scan, condense, and rank the function graph rooted at *entry*.
 

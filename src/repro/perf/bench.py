@@ -29,6 +29,10 @@ BASELINE_PATH = Path(__file__).resolve().parents[3] / "benchmarks" / \
 BASELINE_PR5_PATH = Path(__file__).resolve().parents[3] / "benchmarks" / \
     "baseline_pr5.json"
 
+#: Pre-pointer-summaries measurements (the PR6 comparison point).
+BASELINE_PR6_PATH = Path(__file__).resolve().parents[3] / "benchmarks" / \
+    "baseline_pr6.json"
+
 
 def _instruction_totals(report) -> int:
     totals_fn = report.totals("function")
@@ -258,6 +262,131 @@ def run_schedule_bench(scale: int = 1, timeout_seconds: float = 10.0,
     }
 
 
+def run_summaries_bench(scale: int = 3, timeout_seconds: float = 10.0,
+                        max_states: int = 10_000) -> dict:
+    """Pointer call-site summaries off vs on: the feedback A/B.
+
+    The "off" side is one cold context-free corpus lift.  The "on" side is
+    the two-phase ``pointer_summaries=True`` lift of the same corpus; its
+    per-phase accounting comes from :func:`phase2_counters`, because the
+    two-phase total would double-count the context-free phase the refined
+    lift is derived from (the phase-2 numbers are therefore the *marginal*
+    cost/benefit of re-lifting with summaries — the honest comparison
+    against the off side, which is exactly such a lift without them).
+    Caches are reset between sides so neither inherits the other's SMT
+    verdicts or interning tables.
+
+    The corpus A/B proves the refinement is *safe* at scale; the crafted
+    :mod:`repro.corpus.feedback` workloads (lifted off/on alongside it)
+    concentrate the global-state-across-calls pattern the refinement
+    *targets*, which minicc codegen rarely emits — the headline join/query
+    reductions are computed over the combined totals.
+
+    Hard guarantees checked here (and asserted by the CI smoke job):
+
+    * every corpus and workload verdict is identical on both sides;
+    * no record gains unsoundness annotations under the refinement.
+    """
+    from repro.corpus import build_corpus
+    from repro.corpus.feedback import build_feedback_workloads
+    from repro.eval.runner import run_corpus
+    from repro.hoare import lift
+    from repro.analysis.pointer.feedback import (
+        phase2_counters,
+        reset_phase_counters,
+    )
+
+    corpus = build_corpus(scale)
+
+    def smt_queries(cnt: dict) -> int:
+        return cnt.get("solver_hits", 0) + cnt.get("solver_misses", 0)
+
+    def side(pointer_summaries: bool) -> tuple[dict, dict, dict]:
+        reset_caches()
+        reset_phase_counters()
+        start = time.perf_counter()
+        report = run_corpus(corpus=corpus, timeout_seconds=timeout_seconds,
+                            max_states=max_states, jobs=1, cache=False,
+                            pointer_summaries=pointer_summaries)
+        seconds = time.perf_counter() - start
+        instructions = _instruction_totals(report)
+        cnt = phase2_counters() if pointer_summaries else dict(report.counters)
+        measurement = {
+            "lift_seconds": round(seconds, 3),
+            "instructions": instructions,
+            "instrs_per_second": round(instructions / seconds, 1)
+            if seconds else 0.0,
+            "lift_joins": cnt.get("lift_joins", 0),
+            "smt_queries": smt_queries(cnt),
+            "pointer_summary_hits": cnt.get("pointer_summary_hits", 0),
+            "pointer_refined_havocs": cnt.get("pointer_refined_havocs", 0),
+            "pointer_top_summaries": cnt.get("pointer_top_summaries", 0),
+        }
+        verdicts = {
+            (record.kind, record.directory, record.name): record.outcome
+            for record in report.records
+        }
+        annotations = {
+            (record.kind, record.directory, record.name):
+                sum(record.annotations.values())
+            for record in report.records
+        }
+        return measurement, verdicts, annotations
+
+    off, off_verdicts, off_annotations = side(False)
+    on, on_verdicts, on_annotations = side(True)
+
+    workloads: dict[str, dict] = {}
+    workloads_ok = True
+    for name, binary in build_feedback_workloads():
+        rows = {}
+        for enabled in (False, True):
+            reset_caches()
+            reset_phase_counters()
+            before = counters.snapshot()
+            result = lift(binary, timeout_seconds=timeout_seconds,
+                          max_states=max_states, cache=False,
+                          pointer_summaries=enabled)
+            cnt = (phase2_counters() if enabled
+                   else counters.delta(before, counters.snapshot()))
+            rows["on" if enabled else "off"] = {
+                "verified": result.verified,
+                "lift_joins": cnt.get("lift_joins", 0),
+                "smt_queries": smt_queries(cnt),
+                "pointer_refined_havocs": cnt.get("pointer_refined_havocs", 0),
+            }
+        workloads[name] = rows
+        workloads_ok &= rows["off"]["verified"] == rows["on"]["verified"]
+
+    def combined(side_name: str, metric: str, base: dict) -> int:
+        return base[metric] + sum(rows[side_name][metric]
+                                  for rows in workloads.values())
+
+    off_joins = combined("off", "lift_joins", off)
+    on_joins = combined("on", "lift_joins", on)
+    off_smt = combined("off", "smt_queries", off)
+    on_smt = combined("on", "smt_queries", on)
+    return {
+        "scale": scale,
+        "off": off,
+        "on": on,
+        "workloads": workloads,
+        "combined": {
+            "off_lift_joins": off_joins, "on_lift_joins": on_joins,
+            "off_smt_queries": off_smt, "on_smt_queries": on_smt,
+        },
+        "join_reduction": round(1 - on_joins / off_joins, 4)
+        if off_joins else 0.0,
+        "smt_query_reduction": round(1 - on_smt / off_smt, 4)
+        if off_smt else 0.0,
+        "verdicts_identical": off_verdicts == on_verdicts and workloads_ok,
+        "annotations_bounded": all(
+            on_annotations.get(key, 0) <= count
+            for key, count in off_annotations.items()
+        ) and set(on_annotations) == set(off_annotations),
+    }
+
+
 def load_baseline(scale: int) -> dict | None:
     if not BASELINE_PATH.exists():
         return None
@@ -272,12 +401,20 @@ def load_pr5_baseline(scale: int) -> dict | None:
     return data.get(f"scale_{scale}")
 
 
+def load_pr6_baseline(scale: int) -> dict | None:
+    if not BASELINE_PR6_PATH.exists():
+        return None
+    data = json.loads(BASELINE_PR6_PATH.read_text())
+    return data.get(f"scale_{scale}")
+
+
 def bench_report(scale: int = 3, jobs: int = 1,
                  timeout_seconds: float = 10.0, max_states: int = 10_000,
                  check_determinism: bool = False,
                  check_trace_overhead: bool = False,
                  check_cache: bool = False,
                  check_schedule: bool = False,
+                 check_summaries: bool = False,
                  out_path: str | Path | None = None) -> tuple[dict, str]:
     """Run the bench, compare against the checked-in baseline, and render.
 
@@ -286,7 +423,8 @@ def bench_report(scale: int = 3, jobs: int = 1,
     obs-enabled lift-time ratio on the scale-1 corpus.  ``check_cache``
     adds the cold/warm persistent-store split (``run_cache_bench``) at the
     same scale; ``check_schedule`` adds the address-vs-SCC A/B
-    (``run_schedule_bench``, scale 1).
+    (``run_schedule_bench``, scale 1); ``check_summaries`` adds the
+    pointer-summaries feedback A/B (``run_summaries_bench``, same scale).
     """
     current = run_bench(scale=scale, jobs=jobs,
                         timeout_seconds=timeout_seconds,
@@ -314,6 +452,13 @@ def bench_report(scale: int = 3, jobs: int = 1,
     if check_schedule:
         payload["schedule"] = run_schedule_bench(
             scale=1, timeout_seconds=timeout_seconds, max_states=max_states)
+    if check_summaries:
+        payload["summaries"] = run_summaries_bench(
+            scale=scale, timeout_seconds=timeout_seconds,
+            max_states=max_states)
+        pr6_baseline = load_pr6_baseline(scale)
+        if pr6_baseline:
+            payload["pr6_baseline"] = pr6_baseline
 
     lines = [
         f"Bench: scale-{scale} corpus, jobs={jobs}",
@@ -364,6 +509,24 @@ def bench_report(scale: int = 3, jobs: int = 1,
             f"{schedule['scc']['lift_joins']} joins -> "
             f"{schedule['join_reduction']:.1%} fewer; verdicts "
             + ("identical" if schedule["verdicts_identical"] else "DIFFER")
+        )
+    summaries = payload.get("summaries")
+    if summaries is not None:
+        combined = summaries["combined"]
+        lines.append(
+            f"  summaries A/B (scale-{summaries['scale']} corpus + "
+            f"{len(summaries['workloads'])} workloads): "
+            f"off {combined['off_lift_joins']} joins / "
+            f"{combined['off_smt_queries']} SMT queries, "
+            f"on {combined['on_lift_joins']} joins / "
+            f"{combined['on_smt_queries']} SMT queries -> "
+            f"{summaries['join_reduction']:.1%} fewer joins, "
+            f"{summaries['smt_query_reduction']:.1%} fewer queries "
+            f"({summaries['on']['pointer_refined_havocs']} corpus refined "
+            "havocs); verdicts "
+            + ("identical" if summaries["verdicts_identical"] else "DIFFER")
+            + ", annotations "
+            + ("bounded" if summaries["annotations_bounded"] else "GREW")
         )
     text = "\n".join(lines)
 

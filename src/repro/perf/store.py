@@ -193,6 +193,7 @@ def lift_key(
     max_targets: int = 1024,
     timeout_seconds: float | None = None,
     schedule: str = "scc",
+    pointer_summaries: bool = False,
 ) -> str:
     """The content address of one lift (hex SHA-256)."""
     resolved_entry = entry if entry is not None else binary.entry
@@ -203,7 +204,8 @@ def lift_key(
     h.update(
         f"|entry={resolved_entry:#x}|trust={int(trust_data)}"
         f"|max_states={max_states}|max_targets={max_targets}"
-        f"|timeout={timeout_seconds!r}|schedule={schedule}".encode()
+        f"|timeout={timeout_seconds!r}|schedule={schedule}"
+        f"|summaries={int(pointer_summaries)}".encode()
     )
     return h.hexdigest()
 
@@ -428,6 +430,7 @@ def cached_lift(
     max_targets: int = 1024,
     timeout_seconds: float | None = None,
     schedule: str = "scc",
+    pointer_summaries: bool = False,
 ):
     """Serve the lift from *store*, falling back to the cold path on miss.
 
@@ -445,7 +448,7 @@ def cached_lift(
     key = lift_key(
         binary, entry, trust_data=trust_data, max_states=max_states,
         max_targets=max_targets, timeout_seconds=timeout_seconds,
-        schedule=schedule,
+        schedule=schedule, pointer_summaries=pointer_summaries,
     )
     load_start = time.perf_counter()
     result = store.get(key)
@@ -455,7 +458,7 @@ def cached_lift(
     result = lift_uncached(
         binary, entry=entry, trust_data=trust_data, max_states=max_states,
         max_targets=max_targets, timeout_seconds=timeout_seconds,
-        schedule=schedule,
+        schedule=schedule, pointer_summaries=pointer_summaries,
     )
     store.put(key, result)
     return result

@@ -60,10 +60,13 @@ class MemEffect:
 
     ``addr`` mentions :func:`reg_marker` variables for the registers that
     feed the address computation (e.g. a store to ``[rsp - 16]`` has
-    ``addr = probe:rsp - 0x10``)."""
+    ``addr = probe:rsp - 0x10``).  For stores, ``value`` is the stored
+    expression over probe markers when every successor agrees on it (None
+    otherwise, and always None for loads)."""
 
     addr: Expr
     size: int
+    value: Expr | None = None
 
     def __str__(self) -> str:
         return f"[{self.addr}, {self.size}]"
@@ -172,8 +175,14 @@ def _extract(instr: Instruction) -> DefUse:
             # Indirect transfer: the target computation is a use.
             _collect(rip_value, uses, flag_use, loads)
         for region, value in pred.mem:
-            stores.setdefault((str(region.addr), region.size),
-                              MemEffect(region.addr, region.size))
+            key = (str(region.addr), region.size)
+            prior = stores.get(key)
+            if prior is None:
+                stores[key] = MemEffect(region.addr, region.size, value)
+            elif prior.value is not None and prior.value != value:
+                # Successors disagree on the stored value: keep the access,
+                # drop the value.
+                stores[key] = MemEffect(region.addr, region.size)
             _collect(region.addr, uses, flag_use, loads)
             _collect(value, uses, flag_use, loads)
         if pred.flags != probe.pred.flags:

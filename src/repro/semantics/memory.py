@@ -127,23 +127,35 @@ def write_region(
     return state.pred.with_mem(new_mem)
 
 
-def havoc_non_stack(state: SymState, ctx: LiftContext) -> SymState:
+def havoc_non_stack(state: SymState, ctx: LiftContext, keep=None,
+                    epoch: int = 1) -> SymState:
     """External-call cleaning (Section 4.2.1): keep only local-stack-frame
-    clauses and model trees; everything else (heap, globals) is destroyed."""
+    clauses and model trees; everything else (heap, globals) is destroyed.
+
+    *keep* optionally admits additional non-stack regions (``keep(region)
+    -> bool``): the pointer-summary feedback passes the callee's
+    disjointness test here so clauses a callee provably cannot write
+    survive the cleaning.  *epoch* is the post-call taint value — 1 by
+    default; a caller may pass ``state.epoch`` when the callee provably
+    writes no non-local memory at all."""
     kept_mem = {
         key: value
         for key, value in state.pred.mem
-        if is_stack_pointer(key.addr)
+        if is_stack_pointer(key.addr) or (keep is not None and keep(key))
     }
     kept_trees = frozenset(
         tree for tree in state.model.trees
-        if all(is_stack_pointer(r.addr) for r in tree.all_regions())
+        if all(
+            is_stack_pointer(r.addr) or (keep is not None and keep(r))
+            for r in tree.all_regions()
+        )
     )
     pred = state.pred.with_mem(kept_mem)
     model = MemModel(kept_trees, state.model.destroyed)
     # epoch is a taint bit ("globals are no longer initial"), not a counter:
     # a counter would ascend at every call inside a loop and block the
-    # join fixpoint.
+    # join fixpoint.  It must never decrease.
     return SymState(
-        pred=pred, model=model, epoch=1, reachable=state.reachable
+        pred=pred, model=model, epoch=max(epoch, state.epoch),
+        reachable=state.reachable,
     )

@@ -73,6 +73,25 @@ def linearize(expr: Expr, width: int = 64) -> Linear:
 register_lru("smt.linearize", linearize)
 
 
+def base_and_offset(expr: Expr, width: int = 64) -> tuple[Expr, int] | None:
+    """Decompose ``base + c`` (one unit-coefficient term plus a constant)
+    into ``(base, signed c)``; None when *expr* is not of that shape.
+
+    This is the shape every region-relative pointer takes (a register or
+    probe marker plus a displacement); the pointer analysis classifies
+    addresses by resolving the base and shifting by the offset."""
+    linear = linearize(expr, width)
+    if len(linear.terms) != 1:
+        return None
+    term, coeff = linear.terms[0]
+    if coeff != 1:
+        return None
+    const = linear.const
+    if const >= 1 << (width - 1):
+        const -= 1 << width
+    return (term, const)
+
+
 def difference(a: Expr, b: Expr) -> Linear:
     """Linear form of ``a - b`` (useful: constant result decides relations)."""
     left = linearize(a)
