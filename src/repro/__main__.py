@@ -21,9 +21,15 @@ Commands:
   the event stream: ``--format text`` (summary + provenance chains),
   ``--format jsonl`` (one event per line), ``--format chrome``
   (Chrome ``trace_event`` JSON for chrome://tracing / Perfetto);
+* ``profile`` — lift under full-fidelity tracing and fold the capture
+  into the phase/address cost profile: ``--format text`` (self-time
+  table + top-N addresses), ``--format collapsed`` (collapsed-stack
+  flamegraph input for flamegraph.pl / speedscope);
 * ``cache`` — persistent lift-store maintenance: ``cache stats`` prints
-  entry/byte totals, ``cache clear`` empties the store.  Lifting
-  commands take ``--cache`` / ``--no-cache`` / ``--cache-dir``.
+  entry/byte totals plus the lifetime telemetry persisted in the index
+  (hits, misses, stores, evictions, hit-rate, entry ages); ``cache
+  clear`` empties the store.  Lifting commands take ``--cache`` /
+  ``--no-cache`` / ``--cache-dir``.
 """
 
 from __future__ import annotations
@@ -59,10 +65,20 @@ def _run_cache(args) -> int:
     action = args.binary  # positional slot doubles as the cache action
     if action == "stats":
         stats = store.stats()
+        telemetry = stats["telemetry"]
         print(f"lift store at {stats['root']}")
         print(f"  entries   {stats['entries']}")
         print(f"  bytes     {stats['bytes']}")
         print(f"  max bytes {stats['max_bytes']}")
+        print("lifetime telemetry (persisted in the index):")
+        print(f"  hits      {telemetry['hits']}")
+        print(f"  misses    {telemetry['misses']}")
+        print(f"  stores    {telemetry['stores']}")
+        print(f"  evictions {telemetry['evictions']}")
+        print(f"  hit rate  {stats['hit_rate']:.1%}")
+        if stats["oldest_entry_age"] is not None:
+            print(f"  oldest entry {stats['oldest_entry_age']:.0f}s old")
+            print(f"  newest entry {stats['newest_entry_age']:.0f}s old")
         return 0
     if action == "clear":
         removed = store.clear()
@@ -98,12 +114,13 @@ def _run_trace(args) -> int:
     args.cache = False
     prior = obs.save_state()
     obs.reset()
-    obs.enable(sampling=args.sampling)
+    obs.enable(sampling=args.sampling, capacity=args.capacity)
     try:
         result = _load_and_lift(args)
         events = obs.tracer.events()
         counts = dict(obs.tracer.counts)
         capacity = obs.tracer.capacity
+        dropped = obs.tracer.dropped
         metrics_snapshot = obs.metrics.snapshot()
     finally:
         obs.restore_state(prior)
@@ -114,9 +131,62 @@ def _run_trace(args) -> int:
         text = obs.chrome_trace_json(events)
     else:
         summary = obs.render_trace_summary(events, metrics_snapshot,
-                                           counts, capacity)
-        provenance = obs.build_provenance(result, events)
+                                           counts, capacity, dropped=dropped)
+        try:
+            provenance = obs.build_provenance(result, events, dropped=dropped)
+        except obs.TruncatedTraceError as exc:
+            print(summary)
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
         text = summary + "\n" + provenance.render() + "\n"
+
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(text)
+        print(f"wrote {args.output}")
+    else:
+        print(text, end="" if text.endswith("\n") else "\n")
+    return 0
+
+
+def _run_profile(args) -> int:
+    """``python -m repro profile``: lift once, fold into a cost profile."""
+    import repro.obs as obs
+    from repro.obs.profile import (
+        build_profile,
+        collapsed_stacks,
+        phases,
+        render_profile,
+    )
+
+    # Profiling measures a real lift — a store hit would attribute nothing.
+    args.cache = False
+    prior = obs.save_state()
+    obs.reset()
+    obs.enable(sampling=args.sampling, capacity=args.capacity)
+    phases.profile_mode = True
+    try:
+        result = _load_and_lift(args)
+        profile = build_profile(
+            obs.tracer.events(),
+            dict(obs.tracer.counts),
+            phases_snapshot=phases.snapshot(),
+            wall_seconds=result.stats.seconds,
+            sampling=obs.tracer.sampling,
+            stacks=dict(phases.stacks),
+            events_dropped=obs.tracer.dropped,
+        )
+    finally:
+        phases.profile_mode = False
+        obs.restore_state(prior)
+
+    if args.trace_format == "collapsed":
+        text = collapsed_stacks(profile.stacks)
+        text = text + "\n" if text else ""
+    else:
+        title = (f"Profile: {result.binary.name} "
+                 f"(entry {result.entry:#x})")
+        text = render_profile(profile, title=title)
 
     if args.output:
         with open(args.output, "w") as handle:
@@ -135,7 +205,8 @@ def main(argv=None) -> int:
     )
     parser.add_argument("command", choices=["lift", "disasm", "cfg", "decompile",
                                             "export", "check", "diff", "lint",
-                                            "pointer", "trace", "cache"])
+                                            "pointer", "trace", "profile",
+                                            "cache"])
     parser.add_argument("binary", help="path to an ELF binary "
                                        "(cache command: stats|clear)")
     parser.add_argument("patched", nargs="?",
@@ -150,13 +221,19 @@ def main(argv=None) -> int:
                         help="emit the lint report as SARIF-lite JSON")
     parser.add_argument("--rule", action="append", dest="rules", metavar="ID",
                         help="run only this lint rule (repeatable)")
-    parser.add_argument("--format", choices=["text", "jsonl", "chrome"],
+    parser.add_argument("--format", choices=["text", "jsonl", "chrome",
+                                             "collapsed"],
                         default="text", dest="trace_format",
-                        help="trace output format (default text)")
+                        help="trace/profile output format (default text; "
+                             "collapsed = flamegraph input, profile only)")
     parser.add_argument("--sampling", type=int, default=1,
-                        help="trace: record 1 in N high-frequency events "
-                             "(default 1 = everything, so provenance chains "
-                             "are complete)")
+                        help="trace/profile: record 1 in N high-frequency "
+                             "events (default 1 = everything, so provenance "
+                             "chains are complete)")
+    parser.add_argument("--capacity", type=int, default=None,
+                        help="trace/profile: event ring capacity (default "
+                             "the obs layer's; raise it if the trace "
+                             "reports dropped events)")
     parser.add_argument("--cache", action="store_true", default=None,
                         dest="cache",
                         help="serve lifts from the persistent lift store "
@@ -184,6 +261,9 @@ def main(argv=None) -> int:
 
     if args.command == "trace":
         return _run_trace(args)
+
+    if args.command == "profile":
+        return _run_profile(args)
 
     if args.command == "lint":
         from repro.analysis import render_json, render_text, run_lint

@@ -17,6 +17,7 @@ height at each call site when they propagate upward.
 
 from __future__ import annotations
 
+from repro.obs.profile import phase as _phase
 from repro.obs.tracer import tracer as _T
 from repro.perf.counters import gated as _gated
 from repro.hoare.schedule import condense
@@ -165,8 +166,9 @@ class PointerAnalysis:
         with _T.span("pointer.analysis",
                      binary=self.ctx.result.binary.name,
                      functions=len(self._views)):
-            for scc in self._condensation():
-                self._solve_scc(scc)
+            with _phase("pointer"):
+                for scc in self._condensation():
+                    self._solve_scc(scc)
         return self
 
     def _call_edges(self, entry: int) -> set[int]:

@@ -1,4 +1,5 @@
-"""CLI: ``python -m repro.eval <table1|table2|figure3|failures|bench|obs|qa|all>``."""
+"""CLI: ``python -m repro.eval
+<table1|table2|figure3|failures|bench|obs|qa|history|all>``."""
 
 from __future__ import annotations
 
@@ -15,7 +16,7 @@ def main(argv=None) -> int:
     parser.add_argument("what", choices=["table1", "table2", "figure3",
                                          "failures", "scaling", "lint",
                                          "pointer", "bench", "obs", "qa",
-                                         "all"])
+                                         "history", "all"])
     parser.add_argument("--scale", type=int, default=1,
                         help="corpus scale factor (default 1)")
     parser.add_argument("--timeout", type=float, default=10.0,
@@ -49,9 +50,43 @@ def main(argv=None) -> int:
     parser.add_argument("--sampling", type=int, default=None,
                         help="obs: record 1 in N high-frequency events "
                              "(default: the obs layer's default)")
-    parser.add_argument("--out", default="BENCH_pr6.json",
+    parser.add_argument("--profile", action="store_true",
+                        help="bench: also fold an obs-enabled corpus lift "
+                             "into the phase cost profile (gated: >=95%% "
+                             "of lift wall must be attributed)")
+    parser.add_argument("--no-history", action="store_true",
+                        help="bench: do not append this run to "
+                             "benchmarks/history")
+    parser.add_argument("--history-dir", default=None,
+                        help="history/bench: history directory (default "
+                             "benchmarks/history under the repo root)")
+    parser.add_argument("--check", action="store_true",
+                        help="history: gate the newest run of each key "
+                             "against its rolling baseline (exit 1 on "
+                             "regression)")
+    parser.add_argument("--list", action="store_true", dest="list_runs",
+                        help="history: list recorded runs")
+    parser.add_argument("--key", default=None,
+                        help="history: restrict --check/--list to one "
+                             "run key")
+    parser.add_argument("--window", type=int, default=None,
+                        help="history: rolling-baseline window "
+                             "(default 5 runs)")
+    parser.add_argument("--min-throughput-ratio", type=float, default=None,
+                        help="history gate: minimum current/baseline "
+                             "instrs-per-second ratio (default 0.5)")
+    parser.add_argument("--max-smt-ratio", type=float, default=None,
+                        help="history gate: maximum SMT-query ratio "
+                             "(default 1.10)")
+    parser.add_argument("--max-join-ratio", type=float, default=None,
+                        help="history gate: maximum join-count ratio "
+                             "(default 1.10)")
+    parser.add_argument("--max-rss-ratio", type=float, default=None,
+                        help="history gate: maximum peak-RSS ratio "
+                             "(default 1.5)")
+    parser.add_argument("--out", default="BENCH_pr8.json",
                         help="bench: output JSON path "
-                             "(default BENCH_pr6.json)")
+                             "(default BENCH_pr8.json)")
     parser.add_argument("--campaign", choices=["quick", "full"],
                         default="quick",
                         help="qa: campaign size (default quick)")
@@ -101,12 +136,15 @@ def main(argv=None) -> int:
                                           timeout_seconds=args.timeout)
         print(text)
     if args.what == "bench":
-        from repro.perf.bench import bench_report
+        from repro.perf.bench import BENCHMARKS_DIR, bench_report
 
         # Bench defaults to the scale-3 corpus (the acceptance target);
         # --quick drops to scale 1, an explicit --scale wins outright.
         bench_scale = args.scale if args.scale != 1 else (1 if args.quick
                                                           else 3)
+        history_dir = None
+        if not args.no_history:
+            history_dir = args.history_dir or BENCHMARKS_DIR / "history"
         payload, text = bench_report(
             scale=bench_scale,
             jobs=args.jobs,
@@ -116,6 +154,8 @@ def main(argv=None) -> int:
             check_cache=args.cold or args.warm,
             check_schedule=args.schedule_ab,
             check_summaries=args.summaries_ab,
+            check_profile=args.profile,
+            history_dir=history_dir,
             out_path=args.out,
         )
         print(text)
@@ -146,6 +186,50 @@ def main(argv=None) -> int:
             print("bench: pointer-summaries refinement changed a verdict "
                   "or grew annotations", file=sys.stderr)
             return 1
+        profile = payload.get("profile")
+        if profile is not None and profile.get("coverage", 0.0) < 0.95:
+            print(f"bench: profile attributes only "
+                  f"{profile.get('coverage', 0.0):.1%} of lift wall time "
+                  "to named phases (bound: 95%)", file=sys.stderr)
+            return 1
+    if args.what == "history":
+        from repro.obs.history import (
+            DEFAULT_WINDOW,
+            HistoryStore,
+            Thresholds,
+            check_latest,
+            render_history,
+        )
+        from repro.perf.bench import BENCHMARKS_DIR
+
+        store = HistoryStore(args.history_dir or BENCHMARKS_DIR / "history")
+        if args.list_runs or not args.check:
+            print(render_history(store.runs(args.key)))
+        if args.check:
+            defaults = Thresholds()
+            thresholds = Thresholds(
+                min_throughput_ratio=args.min_throughput_ratio
+                if args.min_throughput_ratio is not None
+                else defaults.min_throughput_ratio,
+                max_smt_ratio=args.max_smt_ratio
+                if args.max_smt_ratio is not None else defaults.max_smt_ratio,
+                max_join_ratio=args.max_join_ratio
+                if args.max_join_ratio is not None
+                else defaults.max_join_ratio,
+                max_rss_ratio=args.max_rss_ratio
+                if args.max_rss_ratio is not None else defaults.max_rss_ratio,
+            )
+            results = check_latest(store, key=args.key, thresholds=thresholds,
+                                   window=args.window or DEFAULT_WINDOW)
+            if not results:
+                print("history: nothing to check (no recorded runs)",
+                      file=sys.stderr)
+                return 1
+            for result in results:
+                print(result.render())
+            if not all(result.ok for result in results):
+                print("history: regression gate failed", file=sys.stderr)
+                return 1
     if args.what == "obs":
         from repro.eval.obs_report import generate_obs_report
         from repro.obs.tracer import DEFAULT_SAMPLING

@@ -33,6 +33,8 @@ from repro.corpus import Corpus, build_corpus, function_binary
 from repro.elf import Binary
 from repro.hoare import LiftResult, lift, lift_function
 from repro.obs.metrics import metrics as _obs_metrics
+from repro.obs.profile import phases as _obs_phases
+from repro.obs.progress import as_emitter
 from repro.obs.report import canonical_obs, merge_rollup, task_obs_data
 from repro.obs.tracer import DEFAULT_SAMPLING, tracer as _obs_tracer
 from repro.perf.counters import counters
@@ -192,6 +194,7 @@ def _run_task(
     if task.obs:
         _obs_tracer.reset()
         _obs_metrics.reset()
+        _obs_phases.reset()
         _obs_tracer.configure(enabled=True, sampling=task.obs_sampling)
     before = counters.snapshot()
     use_cache = task.cache and not task.obs
@@ -211,7 +214,8 @@ def _run_task(
     delta = counters.delta(before, counters.snapshot())
     obs_data = None
     if task.obs:
-        obs_data = task_obs_data(_obs_tracer, _obs_metrics)
+        obs_data = task_obs_data(_obs_tracer, _obs_metrics,
+                                 phases=_obs_phases)
         _obs_tracer.configure(enabled=False)
     outcome = _outcome(result)
     stats = result.stats
@@ -273,15 +277,22 @@ def run_corpus(
     cache_dir: str | None = None,
     schedule: str = "scc",
     pointer_summaries: bool = False,
+    progress=None,
 ) -> CorpusReport:
     """Lift every binary and library function; aggregate per directory.
 
     ``jobs > 1`` lifts in that many worker processes; results are merged
     by name, so the report is deterministic (see the module docstring).
     ``obs=True`` additionally captures a per-task observability snapshot
-    (tracer + metrics, reset per task) and attaches the merged rollup as
-    ``CorpusReport.obs``; the caller's tracer configuration is restored
-    afterwards.
+    (tracer + metrics + phase totals, reset per task) and attaches the
+    merged rollup as ``CorpusReport.obs``; the caller's tracer
+    configuration is restored afterwards.
+
+    ``progress`` streams live heartbeats (:mod:`repro.obs.progress`): a
+    :class:`~repro.obs.progress.ProgressEmitter`, a callable receiving
+    each event dict, or a text stream receiving schema-validated JSONL
+    lines.  Heartbeats never change results — on the worker-pool path
+    tasks are consumed in submission order either way.
 
     ``cache`` enables the persistent lift store (:mod:`repro.perf.store`):
     ``None`` consults ``REPRO_CACHE``, booleans force it.  The decision is
@@ -301,13 +312,46 @@ def run_corpus(
                           obs, obs_sampling, use_cache, cache_dir, schedule,
                           pointer_summaries)
 
+    emitter = as_emitter(progress)
     prior = (_obs_tracer.enabled, _obs_tracer.sampling)
     try:
+        if emitter is not None:
+            emitter.corpus_started(len(tasks), scale, jobs)
         if jobs > 1 and len(tasks) > 1:
             with ProcessPoolExecutor(max_workers=jobs) as pool:
-                outcomes = list(pool.map(_run_task, tasks))
+                if emitter is None:
+                    outcomes = list(pool.map(_run_task, tasks))
+                else:
+                    futures = []
+                    for task in tasks:
+                        futures.append(pool.submit(_run_task, task))
+                        emitter.task_started(task.name,
+                                             queue_depth=len(futures))
+                    outcomes = []
+                    for task, future in zip(tasks, futures):
+                        outcome = future.result()
+                        outcomes.append(outcome)
+                        record = outcome[0]
+                        emitter.task_finished(
+                            task.name, record.outcome, record.instructions,
+                            record.seconds,
+                            queue_depth=len(futures) - len(outcomes))
         else:
-            outcomes = [_run_task(task) for task in tasks]
+            outcomes = []
+            for task in tasks:
+                if emitter is not None:
+                    emitter.task_started(
+                        task.name, queue_depth=len(tasks) - len(outcomes))
+                outcome = _run_task(task)
+                outcomes.append(outcome)
+                if emitter is not None:
+                    record = outcome[0]
+                    emitter.task_finished(
+                        task.name, record.outcome, record.instructions,
+                        record.seconds,
+                        queue_depth=len(tasks) - len(outcomes))
+        if emitter is not None:
+            emitter.corpus_finished()
     finally:
         if obs:
             _obs_tracer.configure(enabled=prior[0], sampling=prior[1])

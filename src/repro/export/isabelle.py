@@ -19,6 +19,7 @@ import io
 from repro.expr import Var
 from repro.hoare import HoareGraph, LiftResult
 from repro.hoare.graph import VertexKey
+from repro.obs.profile import phase as _phase
 from repro.obs.tracer import tracer as _T
 from repro.export.terms import _sanitize, to_isabelle
 
@@ -76,7 +77,8 @@ def export_theory(result: LiftResult, theory_name: str | None = None,
     the X86_Semantics state record."""
     with _T.span("export.theory", binary=result.binary.name,
                  entry=result.entry):
-        return _export_theory(result, theory_name, with_equations)
+        with _phase("export"):
+            return _export_theory(result, theory_name, with_equations)
 
 
 def _export_theory(result: LiftResult, theory_name: str | None,

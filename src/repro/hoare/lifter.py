@@ -28,6 +28,7 @@ from dataclasses import dataclass, field
 
 from repro.elf import Binary
 from repro.obs.metrics import metrics as _M
+from repro.obs.profile import phase as _phase
 from repro.obs.tracer import tracer as _T
 from repro.expr import Const, Var, simplify as s
 from repro.isa import DecodeError, Instruction
@@ -257,24 +258,26 @@ class _Lifter:
         key = code_key(state, self.text_range)
         current = self.graph.vertices.get(key)
         if current is not None:
-            joined = join_states(state, current, rip)
-            if states_equal(joined, current):
-                return
-            self.join_counts[key] = self.join_counts.get(key, 0) + 1
-            _gated("lift_joins")
-            if _T.enabled:
-                _T.emit_sampled("join", rip, count=self.join_counts[key])
-                _M.observe("join.depth", self.join_counts[key])
-            if self.join_counts[key] > self.widen_after:
-                # Interval hulls may ascend forever (unbounded counters);
-                # jump to the top of the range-abstraction ladder.
-                from repro.pred.predicate import widen_predicate
-
-                joined = joined.with_pred(widen_predicate(joined.pred))
+            with _phase("join"):
+                joined = join_states(state, current, rip)
+                if states_equal(joined, current):
+                    return
+                self.join_counts[key] = self.join_counts.get(key, 0) + 1
+                _gated("lift_joins")
                 if _T.enabled:
-                    _T.emit("join.widen", rip, count=self.join_counts[key])
-            self.graph.vertices[key] = joined
-            state = joined
+                    _T.emit_sampled("join", rip, count=self.join_counts[key])
+                    _M.observe("join.depth", self.join_counts[key])
+                if self.join_counts[key] > self.widen_after:
+                    # Interval hulls may ascend forever (unbounded
+                    # counters); jump to the top of the range-abstraction
+                    # ladder.
+                    from repro.pred.predicate import widen_predicate
+
+                    joined = joined.with_pred(widen_predicate(joined.pred))
+                    if _T.enabled:
+                        _T.emit("join.widen", rip, count=self.join_counts[key])
+                self.graph.vertices[key] = joined
+                state = joined
         else:
             self.graph.vertices[key] = state
 
@@ -293,22 +296,25 @@ class _Lifter:
             self.handle_external_tail(state, key, rip, extern)
             return
 
-        try:
-            instr = self.binary.fetch(rip)
-        except (FetchError, DecodeError) as exc:
-            self.annotate("undecodable", rip, str(exc))
-            return
-        self.graph.instructions[rip] = instr
+        with _phase("decode"):
+            try:
+                instr = self.binary.fetch(rip)
+            except (FetchError, DecodeError) as exc:
+                self.annotate("undecodable", rip, str(exc))
+                return
+            self.graph.instructions[rip] = instr
 
-        try:
-            successors = step(state, instr, self.ctx)
-        except UnsupportedInstruction as exc:
-            self.annotate("unsupported", rip, str(exc))
-            return
+        with _phase("transfer"):
+            try:
+                successors = step(state, instr, self.ctx)
+            except UnsupportedInstruction as exc:
+                self.annotate("unsupported", rip, str(exc))
+                return
 
-        for successor in successors:
-            self.assumptions.update(successor.assumptions)
-            self.handle_successor(state, key, instr, successor)
+        with _phase("resolve"):
+            for successor in successors:
+                self.assumptions.update(successor.assumptions)
+                self.handle_successor(state, key, instr, successor)
 
     # -- successor dispatch -------------------------------------------------------------
 
@@ -653,21 +659,23 @@ def lift_uncached(
         )
     start = time.perf_counter()
     resolved_entry = entry if entry is not None else binary.entry
-    sched = (build_schedule(binary, resolved_entry)
-             if schedule == SCC_ORDER else None)
-    lifter = _Lifter(
-        binary,
-        resolved_entry,
-        trust_data=trust_data,
-        max_states=max_states,
-        max_targets=max_targets,
-        timeout_seconds=timeout_seconds,
-        schedule=sched,
-        summaries=summaries,
-    )
-    with _T.span("lift", binary=binary.name, entry=lifter.entry):
+    with _T.span("lift", binary=binary.name, entry=resolved_entry):
+        with _phase("schedule"):
+            sched = (build_schedule(binary, resolved_entry)
+                     if schedule == SCC_ORDER else None)
+        lifter = _Lifter(
+            binary,
+            resolved_entry,
+            trust_data=trust_data,
+            max_states=max_states,
+            max_targets=max_targets,
+            timeout_seconds=timeout_seconds,
+            schedule=sched,
+            summaries=summaries,
+        )
         lifter.run()
-    result = lifter.result(time.perf_counter() - start)
+        with _phase("finish"):
+            result = lifter.result(time.perf_counter() - start)
     if _T.enabled:
         _T.addr = None
         _T.emit("lift.done", lifter.entry, binary=binary.name,

@@ -43,11 +43,30 @@ from repro.obs.metrics import (
     canonical_snapshot,
     merge_snapshots,
     metrics,
+    percentile,
+    percentiles,
+)
+from repro.obs.profile import (
+    PhaseTimer,
+    Profile,
+    build_profile,
+    canonical_profile,
+    collapsed_stacks,
+    phase,
+    phases,
+    render_profile,
+)
+from repro.obs.progress import (
+    PROGRESS_EVENT_KINDS,
+    ProgressEmitter,
+    validate_progress_jsonl,
+    validate_progress_obj,
 )
 from repro.obs.provenance import (
     Cause,
     CauseChain,
     ProvenanceReport,
+    TruncatedTraceError,
     build_provenance,
 )
 from repro.obs.report import (
@@ -82,9 +101,11 @@ def is_enabled() -> bool:
 
 
 def reset() -> None:
-    """Clear buffered events, counts, and metrics (keeps enabled state)."""
+    """Clear buffered events, counts, metrics, and phase totals (keeps
+    enabled state)."""
     tracer.reset()
     metrics.reset()
+    phases.reset()
 
 
 def save_state() -> tuple:
@@ -99,11 +120,16 @@ def restore_state(state: tuple) -> None:
 
 __all__ = [
     "DEFAULT_CAPACITY", "DEFAULT_SAMPLING", "Event", "Tracer", "tracer",
-    "Histogram", "Metrics", "metrics",
+    "Histogram", "Metrics", "metrics", "percentile", "percentiles",
     "canonical_snapshot", "merge_snapshots",
+    "PhaseTimer", "Profile", "build_profile", "canonical_profile",
+    "collapsed_stacks", "phase", "phases", "render_profile",
+    "PROGRESS_EVENT_KINDS", "ProgressEmitter",
+    "validate_progress_jsonl", "validate_progress_obj",
     "chrome_trace_json", "event_to_obj", "events_jsonl",
     "to_chrome_trace", "validate_event_obj", "validate_jsonl",
-    "Cause", "CauseChain", "ProvenanceReport", "build_provenance",
+    "Cause", "CauseChain", "ProvenanceReport", "TruncatedTraceError",
+    "build_provenance",
     "canonical_obs", "merge_rollup", "render_obs_rollup",
     "render_trace_summary", "task_obs_data",
     "enable", "disable", "is_enabled", "reset",

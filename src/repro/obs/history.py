@@ -1,0 +1,347 @@
+"""Persistent, append-only perf-run history with regression gating.
+
+Every bench/corpus run so far died with its process; ``bench.py`` grew one
+hardcoded ``load_*_baseline`` loader per PR as a workaround.  This module
+is the durable replacement: runs append to ``benchmarks/history/`` as two
+JSONL files —
+
+* ``records.jsonl`` — the **canonical** (timing-free) form: workload
+  identity (kind / scale / jobs / options / semantics fingerprint) plus
+  the deterministic cost metrics the paper's evaluation is stated over
+  (instructions, functions, SMT queries, joins).  Two runs of the same
+  workload on the same semantics produce identical canonical content, so
+  this file is meaningful under version control.
+* ``timings.jsonl`` — the machine-dependent sidecar, joined by ``id``:
+  wall seconds, throughput, peak RSS, GC totals, interpreter/platform.
+
+The regression gate (``python -m repro.eval history --check``) compares
+the newest record for a key against a **rolling baseline** of the
+preceding runs: deterministic metrics (SMT queries, joins) against the
+latest record sharing the semantics fingerprint (they are exact, so the
+tolerance is small), timing metrics (throughput, RSS) against the median
+of a window (machines vary, so the tolerance is generous).
+
+Stdlib-only, imports nothing from :mod:`repro` outside :mod:`repro.obs`.
+"""
+
+from __future__ import annotations
+
+import gc
+import hashlib
+import json
+import platform
+import sys
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+#: Default on-disk location, relative to the repo root.
+DEFAULT_HISTORY_DIR = "benchmarks/history"
+
+#: How many prior runs the rolling timing baseline spans.
+DEFAULT_WINDOW = 5
+
+#: Deterministic cost metrics carried in the canonical record.
+CANONICAL_METRICS = ("instructions", "functions", "smt_queries", "lift_joins")
+
+
+def options_key(options: dict[str, Any]) -> str:
+    """A short stable digest of a run's option dict."""
+    blob = json.dumps(options, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode()).hexdigest()[:8]
+
+
+def run_key(kind: str, scale: int, jobs: int,
+            options: dict[str, Any]) -> str:
+    """The history key a run is grouped under — same key, same workload."""
+    return f"{kind}/scale-{scale}/jobs-{jobs}/{options_key(options)}"
+
+
+def environment() -> dict[str, str]:
+    """Interpreter/platform identity for the timing sidecar."""
+    return {
+        "python": platform.python_version(),
+        "platform": f"{platform.system()}-{platform.machine()}",
+    }
+
+
+def peak_rss_kb() -> int:
+    """Peak resident set size of this process, in kilobytes (0 if the
+    ``resource`` module is unavailable, e.g. on Windows)."""
+    try:
+        import resource
+    except ImportError:                                # pragma: no cover
+        return 0
+    rss = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    # Linux reports kilobytes; macOS reports bytes.
+    if sys.platform == "darwin":                       # pragma: no cover
+        rss //= 1024
+    return int(rss)
+
+
+def gc_stats() -> dict[str, int]:
+    """Cumulative collector totals for the timing sidecar."""
+    totals = {"collections": 0, "collected": 0, "uncollectable": 0}
+    for generation in gc.get_stats():
+        for name in totals:
+            totals[name] += int(generation.get(name, 0))
+    return totals
+
+
+class HistoryStore:
+    """The append-only JSONL pair under one history directory."""
+
+    def __init__(self, root: "Path | str" = DEFAULT_HISTORY_DIR) -> None:
+        self.root = Path(root)
+        self.records_path = self.root / "records.jsonl"
+        self.timings_path = self.root / "timings.jsonl"
+
+    # -- writing -----------------------------------------------------------
+
+    def append(self, kind: str, scale: int, jobs: int,
+               options: dict[str, Any], fingerprint: str,
+               metrics: dict[str, Any],
+               timing: dict[str, Any] | None = None) -> dict[str, Any]:
+        """Append one run; returns the canonical record (with its id).
+
+        *metrics* supplies the :data:`CANONICAL_METRICS` (missing ones
+        default to 0) plus any extra deterministic counters under
+        ``counters``.  *timing* lands in the sidecar verbatim, extended
+        with ``id``/``ts``/environment/RSS/GC.
+        """
+        records = self.records()
+        seq = (records[-1]["seq"] + 1) if records else 0
+        record: dict[str, Any] = {
+            "seq": seq,
+            "kind": kind,
+            "key": run_key(kind, scale, jobs, options),
+            "scale": scale,
+            "jobs": jobs,
+            "options": dict(sorted(options.items())),
+            "fingerprint": fingerprint[:16],
+        }
+        for name in CANONICAL_METRICS:
+            record[name] = int(metrics.get(name, 0))
+        extra = {k: v for k, v in metrics.items() if k not in CANONICAL_METRICS}
+        if extra:
+            record["counters"] = dict(sorted(extra.items()))
+        digest = hashlib.sha256(json.dumps(
+            record, sort_keys=True, separators=(",", ":")).encode()).hexdigest()
+        record = {"id": f"{seq:05d}-{digest[:8]}", **record}
+        self.root.mkdir(parents=True, exist_ok=True)
+        with self.records_path.open("a", encoding="utf-8") as handle:
+            handle.write(json.dumps(record, sort_keys=True) + "\n")
+        sidecar = {
+            "id": record["id"],
+            "ts": round(time.time(), 3),
+            **environment(),
+            "peak_rss_kb": peak_rss_kb(),
+            "gc": gc_stats(),
+            **(timing or {}),
+        }
+        with self.timings_path.open("a", encoding="utf-8") as handle:
+            handle.write(json.dumps(sidecar, sort_keys=True) + "\n")
+        return record
+
+    # -- reading -----------------------------------------------------------
+
+    @staticmethod
+    def _load_jsonl(path: Path) -> list[dict]:
+        if not path.exists():
+            return []
+        out = []
+        for line in path.read_text(encoding="utf-8").splitlines():
+            if line.strip():
+                out.append(json.loads(line))
+        return out
+
+    def records(self, key: str | None = None) -> list[dict]:
+        """Canonical records in append order, optionally for one key."""
+        records = self._load_jsonl(self.records_path)
+        if key is not None:
+            records = [r for r in records if r.get("key") == key]
+        return records
+
+    def timings(self) -> dict[str, dict]:
+        """The timing sidecar, joined by record id."""
+        return {t["id"]: t for t in self._load_jsonl(self.timings_path)
+                if "id" in t}
+
+    def runs(self, key: str | None = None) -> list[tuple[dict, dict | None]]:
+        """(record, timing-or-None) pairs in append order."""
+        timings = self.timings()
+        return [(r, timings.get(r["id"])) for r in self.records(key)]
+
+    def keys(self) -> list[str]:
+        seen: dict[str, None] = {}
+        for record in self.records():
+            seen.setdefault(record.get("key", "?"))
+        return list(seen)
+
+
+# -- the regression gate ---------------------------------------------------
+
+@dataclass(frozen=True)
+class Thresholds:
+    """Gate tolerances.  Deterministic metrics are exact per fingerprint,
+    so their tolerance is tight; timing metrics absorb machine variance."""
+
+    min_throughput_ratio: float = 0.5    # current/baseline instrs-per-s
+    max_smt_ratio: float = 1.10          # current/baseline SMT queries
+    max_join_ratio: float = 1.10         # current/baseline joins
+    max_rss_ratio: float = 1.5           # current/baseline peak RSS
+
+
+@dataclass
+class Baseline:
+    """The rolling reference a run is gated against."""
+
+    key: str
+    #: Latest prior record sharing the semantics fingerprint (or None).
+    deterministic: dict | None
+    #: Median instrs-per-second over the timing window (or None).
+    instrs_per_second: float | None
+    #: Median peak RSS over the timing window (or None).
+    peak_rss_kb: float | None
+    window: int = DEFAULT_WINDOW
+    samples: int = 0
+
+
+@dataclass
+class GateResult:
+    ok: bool
+    key: str
+    failures: list[str] = field(default_factory=list)
+    lines: list[str] = field(default_factory=list)
+
+    def render(self) -> str:
+        verdict = "PASS" if self.ok else "FAIL"
+        body = "\n".join(f"  {line}" for line in self.lines)
+        tail = ""
+        if self.failures:
+            tail = "\n" + "\n".join(f"  REGRESSION: {f}" for f in self.failures)
+        return f"history gate [{self.key}]: {verdict}\n{body}{tail}"
+
+
+def _median(values: list[float]) -> float | None:
+    if not values:
+        return None
+    ordered = sorted(values)
+    mid = len(ordered) // 2
+    if len(ordered) % 2:
+        return float(ordered[mid])
+    return (ordered[mid - 1] + ordered[mid]) / 2.0
+
+
+def rolling_baseline(runs: list[tuple[dict, dict | None]], key: str,
+                     fingerprint: str,
+                     window: int = DEFAULT_WINDOW) -> Baseline:
+    """Fold prior *runs* (record, timing) for *key* into a baseline."""
+    deterministic = None
+    for record, _ in reversed(runs):
+        if record.get("fingerprint") == fingerprint[:16]:
+            deterministic = record
+            break
+    tail = runs[-window:]
+    rates = [t["instrs_per_second"] for _, t in tail
+             if t and isinstance(t.get("instrs_per_second"), (int, float))
+             and t["instrs_per_second"] > 0]
+    rss = [t["peak_rss_kb"] for _, t in tail
+           if t and isinstance(t.get("peak_rss_kb"), (int, float))
+           and t["peak_rss_kb"] > 0]
+    return Baseline(
+        key=key,
+        deterministic=deterministic,
+        instrs_per_second=_median(rates),
+        peak_rss_kb=_median(rss),
+        window=window,
+        samples=len(tail),
+    )
+
+
+def check_regression(record: dict, timing: dict | None, baseline: Baseline,
+                     thresholds: Thresholds = Thresholds()) -> GateResult:
+    """Gate one run against a baseline; rendered diff in ``lines``."""
+    result = GateResult(ok=True, key=baseline.key)
+
+    def gate(name: str, current: float, reference: float | None,
+             ratio_ok, fmt: str = "{:.1f}") -> None:
+        if reference is None or reference <= 0:
+            result.lines.append(f"{name}: {fmt.format(current)} (no baseline)")
+            return
+        ratio = current / reference
+        ok = ratio_ok(ratio)
+        result.lines.append(
+            f"{name}: {fmt.format(current)} vs baseline "
+            f"{fmt.format(reference)} (x{ratio:.3f})")
+        if not ok:
+            result.ok = False
+            result.failures.append(
+                f"{name} x{ratio:.3f} vs baseline {fmt.format(reference)} "
+                "exceeds threshold")
+
+    det = baseline.deterministic
+    gate("smt_queries", record.get("smt_queries", 0),
+         det.get("smt_queries") if det else None,
+         lambda r: r <= thresholds.max_smt_ratio, "{:.0f}")
+    gate("lift_joins", record.get("lift_joins", 0),
+         det.get("lift_joins") if det else None,
+         lambda r: r <= thresholds.max_join_ratio, "{:.0f}")
+    if det:
+        for name in ("instructions", "functions"):
+            current, reference = record.get(name, 0), det.get(name, 0)
+            result.lines.append(f"{name}: {current} vs baseline {reference}")
+            if current != reference:
+                result.ok = False
+                result.failures.append(
+                    f"{name} changed under an identical semantics "
+                    f"fingerprint: {reference} -> {current}")
+    rate = (timing or {}).get("instrs_per_second")
+    if isinstance(rate, (int, float)):
+        gate("instrs_per_second", rate, baseline.instrs_per_second,
+             lambda r: r >= thresholds.min_throughput_ratio)
+    rss = (timing or {}).get("peak_rss_kb")
+    if isinstance(rss, (int, float)) and rss > 0:
+        gate("peak_rss_kb", rss, baseline.peak_rss_kb,
+             lambda r: r <= thresholds.max_rss_ratio, "{:.0f}")
+    return result
+
+
+def check_latest(store: HistoryStore, key: str | None = None,
+                 thresholds: Thresholds = Thresholds(),
+                 window: int = DEFAULT_WINDOW) -> list[GateResult]:
+    """Gate the newest run of each key (or just *key*) against the rolling
+    baseline of the runs before it.  A key with a single run passes (there
+    is nothing to regress against)."""
+    results = []
+    for k in ([key] if key else store.keys()):
+        runs = store.runs(k)
+        if not runs:
+            results.append(GateResult(
+                ok=False, key=k or "?",
+                failures=[f"no history records for key {k!r}"]))
+            continue
+        (record, timing), prior = runs[-1], runs[:-1]
+        baseline = rolling_baseline(
+            prior, k, record.get("fingerprint", ""), window)
+        results.append(check_regression(record, timing, baseline, thresholds))
+    return results
+
+
+def render_history(runs: list[tuple[dict, dict | None]]) -> str:
+    """The ``history --list`` table."""
+    if not runs:
+        return "history: no recorded runs"
+    lines = ["id             seq  key                                "
+             "instr    smt.q   joins   instrs/s  rss(kb)"]
+    for record, timing in runs:
+        rate = (timing or {}).get("instrs_per_second")
+        rss = (timing or {}).get("peak_rss_kb")
+        lines.append(
+            f"{record['id']:<14} {record['seq']:>3}  {record['key']:<34} "
+            f"{record.get('instructions', 0):>6} {record.get('smt_queries', 0):>8} "
+            f"{record.get('lift_joins', 0):>7} "
+            f"{rate if rate is not None else '-':>10} "
+            f"{rss if rss is not None else '-':>8}")
+    return "\n".join(lines)

@@ -66,6 +66,40 @@ class Histogram:
         return into
 
 
+def percentile(snapshot: dict[str, Any], q: float) -> float:
+    """The *q*-th percentile (0 < q <= 100) estimated from a snapshot.
+
+    Works on the bucket form :meth:`Histogram.snapshot` emits (and hence
+    on merged snapshots): the rank lands in one power-of-two bucket
+    ``[lo, hi]`` and the estimate interpolates linearly inside it.  A
+    derived view only — nothing is stored, so ``canonical_snapshot``
+    merges stay order-independent.
+    """
+    total = snapshot.get("count", 0)
+    if not total:
+        return 0.0
+    rank = q / 100.0 * total
+    seen = 0.0
+    buckets = sorted((int(upper), n)
+                     for upper, n in snapshot.get("buckets", {}).items())
+    for upper, n in buckets:
+        if seen + n >= rank:
+            lo = 0 if upper == 0 else (upper + 1) // 2
+            if n <= 1 or upper == lo:
+                return float(min(upper, snapshot.get("max", upper)))
+            fraction = (rank - seen) / n
+            estimate = lo + fraction * (upper - lo)
+            return float(min(estimate, snapshot.get("max", estimate)))
+        seen += n
+    return float(snapshot.get("max", 0))
+
+
+def percentiles(snapshot: dict[str, Any],
+                qs: tuple[float, ...] = (50, 90, 99)) -> dict[str, float]:
+    """p50/p90/p99-style estimates for one histogram snapshot."""
+    return {f"p{q:g}": percentile(snapshot, q) for q in qs}
+
+
 class Metrics:
     """A registry of named counters, wall-time accumulators and histograms.
 

@@ -22,6 +22,18 @@ from typing import Any, Iterable
 
 from repro.obs.tracer import Event
 
+
+class TruncatedTraceError(RuntimeError):
+    """Raised when provenance is asked to reconstruct chains from a trace
+    whose ring wrapped (``tracer.dropped > 0``).
+
+    A truncated stream silently loses the *oldest* events — exactly the
+    early joins and SMT verdicts a chain is built from — so reconstruction
+    would fabricate confident-looking but incomplete narratives.  Callers
+    should re-run with a larger capacity instead (``repro trace
+    --capacity``)."""
+
+
 #: Event kinds that can support a causal chain, and how many of each to
 #: keep (most recent first).
 _SUPPORT_KINDS = {
@@ -127,13 +139,23 @@ def _supporting_causes(events_at: list[Event],
     return causes
 
 
-def build_provenance(result, events: Iterable[Event]) -> ProvenanceReport:
+def build_provenance(result, events: Iterable[Event],
+                     dropped: int = 0) -> ProvenanceReport:
     """Reconstruct causal chains for *result* from its event stream.
 
     *result* is a :class:`~repro.hoare.lifter.LiftResult` (duck-typed to
     keep this module import-light): ``annotations``, ``errors``,
     ``graph.instructions``, ``binary.name``, ``entry``, ``verified``.
+
+    *dropped* is the tracer's ring-overflow count for this capture; a
+    nonzero value raises :class:`TruncatedTraceError` — loud refusal beats
+    quietly truncated causal chains.
     """
+    if dropped:
+        raise TruncatedTraceError(
+            f"trace ring wrapped: {dropped} events dropped; causal chains "
+            "would be built from a truncated stream — re-run with a larger "
+            "capacity (repro trace --capacity)")
     by_addr: dict[int | None, list[Event]] = {}
     for event in events:
         by_addr.setdefault(event.addr, []).append(event)

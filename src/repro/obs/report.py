@@ -26,6 +26,12 @@ from repro.obs.metrics import (
     Metrics,
     canonical_snapshot,
     merge_snapshots,
+    percentiles,
+)
+from repro.obs.profile import (
+    NONDETERMINISTIC_PHASE_COUNTS,
+    PhaseTimer,
+    phases as _phases,
 )
 from repro.obs.tracer import Event, Tracer
 
@@ -54,11 +60,15 @@ def _canonical_tail(events: list[Event], limit: int) -> list[list]:
 
 
 def task_obs_data(tracer: Tracer, metrics: Metrics,
-                  tail_limit: int = DEFAULT_TAIL_LIMIT) -> dict[str, Any]:
+                  tail_limit: int = DEFAULT_TAIL_LIMIT,
+                  phases: PhaseTimer | None = None) -> dict[str, Any]:
     """Snapshot one task's obs state into a picklable, mergeable dict."""
+    timer = _phases if phases is None else phases
     return {
         "events": dict(tracer.counts),
+        "events_dropped": tracer.dropped,
         "metrics": metrics.snapshot(),
+        "phases": timer.snapshot(),
         "tail": _canonical_tail(tracer.events(), tail_limit),
     }
 
@@ -70,26 +80,43 @@ def merge_rollup(tasks: dict[str, dict[str, Any]],
     independent of how tasks were distributed over workers."""
     totals_events: dict[str, int] = {}
     totals_metrics: dict[str, Any] = {}
+    totals_phases: dict[str, Any] = {}
+    totals_dropped = 0
     for name in sorted(tasks):
         data = tasks[name]
         for kind, count in data.get("events", {}).items():
             totals_events[kind] = totals_events.get(kind, 0) + count
         merge_snapshots(totals_metrics, data.get("metrics", {}))
+        PhaseTimer.merge(totals_phases, data.get("phases", {}))
+        totals_dropped += data.get("events_dropped", 0)
     return {
         "sampling": sampling,
         "tasks": {name: tasks[name] for name in sorted(tasks)},
-        "totals": {"events": totals_events, "metrics": totals_metrics},
+        "totals": {"events": totals_events, "metrics": totals_metrics,
+                   "phases": totals_phases,
+                   "events_dropped": totals_dropped},
     }
 
 
 def canonical_obs(obs: dict[str, Any]) -> dict[str, Any]:
     """The deterministic view of a rollup (see the module docstring)."""
+    def phase_counts(snapshot: dict[str, Any]) -> dict[str, int]:
+        # Phase *counts* are deterministic per task except ``smt`` (the
+        # uncached-query count tracks solver-cache warmth, which differs
+        # between a long-lived serial process and fresh workers) — the
+        # same split canonical_snapshot makes for the hit/miss counters.
+        return {name: slot.get("count", 0)
+                for name, slot in sorted(snapshot.items())
+                if name not in NONDETERMINISTIC_PHASE_COUNTS}
+
     tasks = {}
     for name in sorted(obs.get("tasks", {})):
         data = obs["tasks"][name]
         tasks[name] = {
             "events": dict(data.get("events", {})),
+            "events_dropped": data.get("events_dropped", 0),
             "metrics": canonical_snapshot(data.get("metrics", {})),
+            "phases": phase_counts(data.get("phases", {})),
             "tail": data.get("tail", []),
         }
     totals = obs.get("totals", {})
@@ -98,7 +125,9 @@ def canonical_obs(obs: dict[str, Any]) -> dict[str, Any]:
         "tasks": tasks,
         "totals": {
             "events": dict(totals.get("events", {})),
+            "events_dropped": totals.get("events_dropped", 0),
             "metrics": canonical_snapshot(totals.get("metrics", {})),
+            "phases": phase_counts(totals.get("phases", {})),
         },
     }
 
@@ -108,20 +137,26 @@ def canonical_obs(obs: dict[str, Any]) -> dict[str, Any]:
 def _format_histogram(name: str, snap: dict[str, Any]) -> str:
     count = snap.get("count", 0)
     mean = (snap.get("sum", 0) / count) if count else 0.0
+    pcts = percentiles(snap)
     return (f"  {name:<24} n={count:<8} mean={mean:<10.1f} "
-            f"max={snap.get('max', 0)}")
+            f"p50={pcts['p50']:<8.1f} p90={pcts['p90']:<8.1f} "
+            f"p99={pcts['p99']:<8.1f} max={snap.get('max', 0)}")
 
 
 def render_trace_summary(events: list[Event],
                          metrics_snapshot: dict[str, Any],
                          counts: dict[str, int],
-                         capacity: int) -> str:
+                         capacity: int,
+                         dropped: int = 0) -> str:
     """The header block of the ``python -m repro trace`` text report."""
     out = io.StringIO()
     recorded = len(events)
     emitted = sum(counts.values())
     out.write(f"Trace: {recorded} events buffered "
               f"({emitted} emitted, capacity {capacity})\n")
+    if dropped:
+        out.write(f"WARNING: {dropped} events dropped (ring wrapped; raise "
+                  "--capacity for a complete stream)\n")
     out.write("Event counts (exact, including sampled-away occurrences):\n")
     for kind in sorted(counts):
         out.write(f"  {kind:<24} {counts[kind]}\n")
@@ -152,10 +187,23 @@ def render_obs_rollup(obs: dict[str, Any], records=None) -> str:
     out.write("Observability rollup "
               f"(sampling level {obs.get('sampling')}, "
               f"{len(obs.get('tasks', {}))} tasks)\n\n")
+    dropped = totals.get("events_dropped", 0)
+    if dropped:
+        out.write(f"WARNING: {dropped} events dropped across tasks "
+                  "(trace rings wrapped)\n\n")
     out.write("Event totals:\n")
     events = totals.get("events", {})
     for kind in sorted(events):
         out.write(f"  {kind:<24} {events[kind]}\n")
+    phase_totals = totals.get("phases", {})
+    if phase_totals:
+        out.write("\nPhase self-time (all tasks):\n")
+        for name in sorted(phase_totals,
+                           key=lambda n: -phase_totals[n].get("self_seconds", 0)):
+            slot = phase_totals[name]
+            out.write(f"  {name:<12} self={slot.get('self_seconds', 0.0):<10.3f} "
+                      f"wall={slot.get('wall_seconds', 0.0):<10.3f} "
+                      f"n={slot.get('count', 0)}\n")
     metrics_totals = totals.get("metrics", {})
     histograms = metrics_totals.get("histograms", {})
     if histograms:

@@ -244,6 +244,9 @@ class LiftStore:
 
     # -- the index ---------------------------------------------------------
 
+    #: Lifetime counters persisted in the index (advisory, like recency).
+    TELEMETRY_FIELDS = ("hits", "misses", "stores", "evictions")
+
     def _load_index(self) -> dict:
         import json
 
@@ -252,6 +255,11 @@ class LiftStore:
             if (isinstance(index, dict)
                     and isinstance(index.get("entries"), dict)
                     and isinstance(index.get("clock"), int)):
+                telemetry = index.get("telemetry")
+                if not isinstance(telemetry, dict):
+                    telemetry = index["telemetry"] = {}
+                for name in self.TELEMETRY_FIELDS:
+                    telemetry.setdefault(name, 0)
                 return index
         except (OSError, ValueError):
             pass
@@ -259,10 +267,13 @@ class LiftStore:
         entries: dict[str, dict] = {}
         for path in sorted(self.root.glob("??/*.pkl")):
             try:
-                entries[path.stem] = {"size": path.stat().st_size, "at": 0}
+                stat = path.stat()
+                entries[path.stem] = {"size": stat.st_size, "at": 0,
+                                      "created": stat.st_mtime}
             except OSError:
                 continue
-        return {"clock": 0, "entries": entries}
+        return {"clock": 0, "entries": entries,
+                "telemetry": {name: 0 for name in self.TELEMETRY_FIELDS}}
 
     def _save_index(self, index: dict) -> None:
         import json
@@ -278,7 +289,18 @@ class LiftStore:
 
     def _touch(self, index: dict, key: str, size: int) -> None:
         index["clock"] += 1
-        index["entries"][key] = {"size": size, "at": index["clock"]}
+        prior = index["entries"].get(key, {})
+        index["entries"][key] = {
+            "size": size, "at": index["clock"],
+            # Wall-clock birth time, preserved across touches — the
+            # oldest/newest-entry-age telemetry in ``stats()``.
+            "created": prior.get("created", time.time()),
+        }
+
+    def _count(self, index: dict, name: str, n: int = 1) -> None:
+        telemetry = index.setdefault(
+            "telemetry", {field: 0 for field in self.TELEMETRY_FIELDS})
+        telemetry[name] = telemetry.get(name, 0) + n
 
     def _evict(self, index: dict) -> None:
         entries = index["entries"]
@@ -291,6 +313,7 @@ class LiftStore:
             total -= entries[key].get("size", 0)
             del entries[key]
             self._drop_file(key)
+            self._count(index, "evictions")
 
     def _drop_file(self, key: str) -> None:
         try:
@@ -330,6 +353,7 @@ class LiftStore:
             return None
         index = self._load_index()
         self._touch(index, key, len(blob))
+        self._count(index, "hits")
         self._save_index(index)
         _gated("cache_lift_hits")
         if _T.enabled:
@@ -338,6 +362,11 @@ class LiftStore:
 
     def _count_miss(self, key: str) -> None:
         _gated("cache_lift_misses")
+        # Persist the lifetime miss count too.  One extra index round-trip
+        # per miss is noise next to the cold lift the miss triggers.
+        index = self._load_index()
+        self._count(index, "misses")
+        self._save_index(index)
         if _T.enabled:
             _T.emit("cache.lift.miss", None, key=key[:16])
 
@@ -357,6 +386,7 @@ class LiftStore:
             return  # a full/read-only disk disables the cache, not the lift
         index = self._load_index()
         self._touch(index, key, len(blob))
+        self._count(index, "stores")
         self._evict(index)
         self._save_index(index)
         _gated("cache_lift_stores")
@@ -366,7 +396,9 @@ class LiftStore:
     # -- maintenance -------------------------------------------------------
 
     def stats(self) -> dict:
-        """Entry count and byte totals from an authoritative directory scan."""
+        """Entry count and byte totals from an authoritative directory scan,
+        plus the lifetime telemetry persisted in the index (hit/miss/store/
+        eviction counts, hit-rate, oldest/newest entry age in seconds)."""
         entries = 0
         total = 0
         for path in self.root.glob("??/*.pkl"):
@@ -375,11 +407,23 @@ class LiftStore:
             except OSError:
                 continue
             entries += 1
+        index = self._load_index()
+        telemetry = {name: int(index.get("telemetry", {}).get(name, 0))
+                     for name in self.TELEMETRY_FIELDS}
+        lookups = telemetry["hits"] + telemetry["misses"]
+        created = [entry.get("created") for entry in
+                   index.get("entries", {}).values()
+                   if isinstance(entry.get("created"), (int, float))]
+        now = time.time()
         return {
             "root": str(self.root),
             "entries": entries,
             "bytes": total,
             "max_bytes": self.max_bytes,
+            "telemetry": telemetry,
+            "hit_rate": (telemetry["hits"] / lookups) if lookups else 0.0,
+            "oldest_entry_age": (now - min(created)) if created else None,
+            "newest_entry_age": (now - max(created)) if created else None,
         }
 
     def clear(self) -> int:

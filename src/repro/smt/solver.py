@@ -40,6 +40,7 @@ from typing import Protocol
 from repro.expr.ast import App, Const, Deref, Expr, MASK64, Var, expr_key
 from repro.expr.simplify import sub
 from repro.obs.metrics import metrics as _M
+from repro.obs.profile import phases as _phases
 from repro.obs.tracer import tracer as _T
 from repro.perf import register_cache, register_lru
 from repro.perf.counters import gated as _gated
@@ -356,10 +357,15 @@ def decide_relation(
                     cached.assumptions, True))
         return cached
     if _T.enabled:
-        start = time.perf_counter()
-        decision = _decide_relation_uncached(r0, r1, bounds)
+        # The smt *phase* attributes solver self-time to the pipeline
+        # profile; its wall total doubles as the smt.wall timer.
+        _phases.start("smt")
+        try:
+            decision = _decide_relation_uncached(r0, r1, bounds)
+        finally:
+            wall = _phases.stop()
         _M.inc("smt.queries")
-        _M.add_time("smt.wall", time.perf_counter() - start)
+        _M.add_time("smt.wall", wall)
         _T.emit("smt.query", **_query_detail(
             "decide", r0, r1, _decision_verdict(decision),
             decision.assumptions, False))
@@ -483,10 +489,13 @@ def possible_relations(
                     cached.assumptions, True))
         return cached
     if _T.enabled:
-        start = time.perf_counter()
-        fork = _possible_relations_uncached(r0, r1, bounds)
+        _phases.start("smt")
+        try:
+            fork = _possible_relations_uncached(r0, r1, bounds)
+        finally:
+            wall = _phases.stop()
         _M.inc("smt.queries")
-        _M.add_time("smt.wall", time.perf_counter() - start)
+        _M.add_time("smt.wall", wall)
         _T.emit("smt.query", **_query_detail(
             "fork", r0, r1, _fork_verdict(fork), fork.assumptions, False))
     else:

@@ -1,0 +1,260 @@
+"""The persistent run-history layer and its regression gate.
+
+Contracts under test:
+
+* append/read round-trip: canonical record (timing-free, deterministic
+  metrics only) plus the timing sidecar joined by id;
+* run keys partition history by kind/scale/jobs/options;
+* the rolling baseline: deterministic metrics against the latest
+  same-fingerprint record, timing against the window median;
+* the gate catches an injected 2x slowdown, an SMT query-count
+  regression, and a deterministic-metric change under an unchanged
+  semantics fingerprint — and renders a readable diff for each;
+* the ``python -m repro.eval history`` verb (list + --check exit codes);
+* bench plumbing: ``record_history`` lands a record derived from a
+  corpus report.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs.history import (
+    CANONICAL_METRICS,
+    HistoryStore,
+    Thresholds,
+    check_latest,
+    check_regression,
+    gc_stats,
+    peak_rss_kb,
+    render_history,
+    rolling_baseline,
+    run_key,
+)
+
+
+def _append(store, *, smt=1000, joins=500, instructions=5000, functions=10,
+            rate=200.0, rss=40_000, fingerprint="f" * 16, options=None):
+    return store.append(
+        kind="bench", scale=1, jobs=1, options=options or {"timeout": 10.0},
+        fingerprint=fingerprint,
+        metrics={"instructions": instructions, "functions": functions,
+                 "smt_queries": smt, "lift_joins": joins},
+        timing={"instrs_per_second": rate, "lift_seconds": 2.0},
+    )
+
+
+@pytest.fixture()
+def store(tmp_path) -> HistoryStore:
+    return HistoryStore(tmp_path / "history")
+
+
+# -- store round-trip ------------------------------------------------------
+
+def test_append_and_read_round_trip(store):
+    record = _append(store, smt=123, joins=45)
+    assert record["id"].startswith("00000-")
+    loaded = store.records()
+    assert len(loaded) == 1
+    assert loaded[0] == record
+    assert loaded[0]["smt_queries"] == 123
+    assert loaded[0]["fingerprint"] == "f" * 16
+    # The canonical record carries no wall-clock quantity at all.
+    assert not any("second" in k or k == "ts" for k in loaded[0])
+    # The sidecar does, joined by id, plus environment and RSS/GC.
+    timing = store.timings()[record["id"]]
+    assert timing["instrs_per_second"] == 200.0
+    assert "ts" in timing and "python" in timing
+    assert timing["peak_rss_kb"] >= 0 and "gc" in timing
+
+
+def test_sequence_numbers_and_ids_are_monotone(store):
+    first = _append(store)
+    second = _append(store)
+    assert (first["seq"], second["seq"]) == (0, 1)
+    assert first["id"] != second["id"]
+    assert [r["seq"] for r in store.records()] == [0, 1]
+
+
+def test_run_key_partitions_by_options(store):
+    _append(store, options={"timeout": 10.0})
+    _append(store, options={"timeout": 99.0})
+    assert len(store.keys()) == 2
+    key = run_key("bench", 1, 1, {"timeout": 10.0})
+    assert key.startswith("bench/scale-1/jobs-1/")
+    assert len(store.records(key)) == 1
+    # Option insertion order does not change the key.
+    assert (run_key("bench", 1, 1, {"a": 1, "b": 2})
+            == run_key("bench", 1, 1, {"b": 2, "a": 1}))
+
+
+def test_environment_probes_do_not_crash():
+    assert peak_rss_kb() >= 0
+    stats = gc_stats()
+    assert set(stats) == {"collections", "collected", "uncollectable"}
+
+
+# -- rolling baseline ------------------------------------------------------
+
+def test_rolling_baseline_prefers_matching_fingerprint(store):
+    _append(store, smt=100, fingerprint="a" * 16)
+    _append(store, smt=200, fingerprint="b" * 16)
+    runs = store.runs()
+    baseline = rolling_baseline(runs, key="k", fingerprint="a" * 16)
+    assert baseline.deterministic["smt_queries"] == 100
+    baseline = rolling_baseline(runs, key="k", fingerprint="c" * 16)
+    assert baseline.deterministic is None
+    # The timing median spans the window regardless of fingerprint.
+    assert baseline.instrs_per_second == 200.0
+    assert baseline.samples == 2
+
+
+def test_rolling_baseline_median_is_robust_to_one_outlier(store):
+    for rate in (100.0, 1000.0, 110.0, 105.0, 95.0):
+        _append(store, rate=rate)
+    baseline = rolling_baseline(store.runs(), key="k", fingerprint="f" * 16,
+                                window=5)
+    assert baseline.instrs_per_second == 105.0
+
+
+# -- the gate --------------------------------------------------------------
+
+def test_gate_passes_on_stable_history(store):
+    for _ in range(3):
+        _append(store)
+    results = check_latest(store)
+    assert len(results) == 1 and results[0].ok
+    rendered = results[0].render()
+    assert "PASS" in rendered and "smt_queries" in rendered
+
+
+def test_gate_catches_injected_2x_slowdown(store):
+    for _ in range(3):
+        _append(store, rate=200.0)
+    _append(store, rate=100.0)   # exactly 0.5x: still allowed
+    assert check_latest(store)[0].ok
+    _append(store, rate=99.0)    # below the 0.5x floor: regression
+    results = check_latest(store)
+    assert not results[0].ok
+    rendered = results[0].render()
+    assert "FAIL" in rendered
+    assert any("instrs_per_second" in f for f in results[0].failures)
+
+
+def test_gate_catches_smt_query_count_regression(store):
+    _append(store, smt=1000)
+    _append(store, smt=1200)     # +20% > the 10% tolerance
+    results = check_latest(store)
+    assert not results[0].ok
+    assert any("smt_queries" in f for f in results[0].failures)
+    rendered = results[0].render()
+    assert "REGRESSION" in rendered and "x1.200" in rendered
+
+
+def test_gate_catches_join_count_regression(store):
+    _append(store, joins=500)
+    _append(store, joins=600)
+    results = check_latest(store)
+    assert not results[0].ok
+    assert any("lift_joins" in f for f in results[0].failures)
+
+
+def test_gate_requires_exact_determinism_under_same_fingerprint(store):
+    _append(store, instructions=5000)
+    _append(store, instructions=5001)
+    results = check_latest(store)
+    assert not results[0].ok
+    assert any("identical semantics fingerprint" in f
+               for f in results[0].failures)
+    # A fingerprint change legitimizes the difference.
+    _append(store, instructions=6000, smt=2500, fingerprint="e" * 16)
+    assert check_latest(store)[0].ok
+
+
+def test_single_run_passes_vacuously(store):
+    _append(store)
+    results = check_latest(store)
+    assert results[0].ok
+    assert "(no baseline)" in results[0].render()
+
+
+def test_gate_thresholds_are_tunable(store):
+    _append(store, smt=1000)
+    _append(store, smt=1200)
+    relaxed = Thresholds(max_smt_ratio=1.25)
+    assert check_latest(store, thresholds=relaxed)[0].ok
+
+
+def test_check_regression_without_timing_sidecar(store):
+    record = _append(store)
+    baseline = rolling_baseline([], key="k", fingerprint="f" * 16)
+    result = check_regression(record, None, baseline)
+    assert result.ok   # nothing to compare against, nothing to fail
+
+
+def test_missing_key_is_a_failure(store):
+    results = check_latest(store, key="bench/scale-9/jobs-1/deadbeef")
+    assert len(results) == 1 and not results[0].ok
+    assert "no history records" in results[0].failures[0]
+
+
+def test_render_history_lists_runs(store):
+    assert render_history([]) == "history: no recorded runs"
+    _append(store)
+    text = render_history(store.runs())
+    assert "instrs/s" in text and "bench/scale-1" in text
+
+
+# -- the eval CLI verb -----------------------------------------------------
+
+def test_history_verb_list_and_check(store, capsys):
+    from repro.eval.__main__ import main
+
+    for _ in range(2):
+        _append(store)
+    root = str(store.root)
+    assert main(["history", "--history-dir", root]) == 0
+    assert "bench/scale-1" in capsys.readouterr().out
+    assert main(["history", "--history-dir", root, "--check"]) == 0
+    assert "PASS" in capsys.readouterr().out
+
+    _append(store, smt=5000)   # injected query-count regression
+    assert main(["history", "--history-dir", root, "--check"]) == 1
+    captured = capsys.readouterr()
+    assert "FAIL" in captured.out
+    assert "regression gate failed" in captured.err
+
+
+def test_history_verb_empty_store_fails_check(tmp_path, capsys):
+    from repro.eval.__main__ import main
+
+    assert main(["history", "--history-dir", str(tmp_path / "none"),
+                 "--check"]) == 1
+    assert "nothing to check" in capsys.readouterr().err
+
+
+# -- bench plumbing --------------------------------------------------------
+
+def test_record_history_folds_a_bench_result(tmp_path):
+    from repro.perf.bench import record_history
+
+    current = {
+        "scale": 1, "jobs": 1,
+        "timeout_seconds": 10.0, "max_states": 10_000,
+        "instructions": 500, "functions": 5,
+        "lift_seconds": 2.5, "build_seconds": 0.5,
+        "instrs_per_second": 200.0,
+        "counters": {"solver_hits": 90, "solver_misses": 10,
+                     "lift_joins": 42},
+    }
+    record = record_history(current, tmp_path / "history")
+    assert record["instructions"] == 500
+    assert record["smt_queries"] == 100   # hits + misses
+    assert record["lift_joins"] == 42
+    assert set(CANONICAL_METRICS) <= set(record)
+    store = HistoryStore(tmp_path / "history")
+    assert len(store.records()) == 1
+    timing = store.timings()[record["id"]]
+    assert timing["instrs_per_second"] == 200.0

@@ -231,3 +231,79 @@ def test_resolve_store_env_and_overrides(tmp_path, monkeypatch):
 def test_unknown_schedule_mode_is_rejected():
     with pytest.raises(ValueError):
         lift(build_target("arith"), schedule="mystery")
+
+
+# -- persisted telemetry (PR 8) ---------------------------------------------
+
+def test_index_telemetry_counts_hits_misses_stores(store):
+    binary = build_target("loop")
+    lift(binary, cache=store)            # miss + store
+    lift(binary, cache=store)            # hit
+    lift(binary, cache=store)            # hit
+    stats = store.stats()
+    assert stats["telemetry"] == {"hits": 2, "misses": 1, "stores": 1,
+                                  "evictions": 0}
+    assert stats["hit_rate"] == pytest.approx(2 / 3)
+
+
+def test_telemetry_survives_process_restart(tmp_path):
+    binary = build_target("arith")
+    first = LiftStore(root=tmp_path / "persist")
+    lift(binary, cache=first)
+    # A fresh handle over the same directory sees the lifetime counts.
+    second = LiftStore(root=tmp_path / "persist")
+    lift(binary, cache=second)
+    telemetry = second.stats()["telemetry"]
+    assert telemetry == {"hits": 1, "misses": 1, "stores": 1, "evictions": 0}
+
+
+def test_telemetry_counts_evictions(tmp_path):
+    binary_a = build_target("arith")
+    binary_b = build_target("branch")
+    probe = LiftStore(root=tmp_path / "probe")
+    cached_lift(binary_a, store=probe)
+    entry_size = probe.stats()["bytes"]
+
+    small = LiftStore(root=tmp_path / "small",
+                      max_bytes=int(entry_size * 1.5))
+    cached_lift(binary_a, store=small)
+    cached_lift(binary_b, store=small)
+    assert small.stats()["telemetry"]["evictions"] == 1
+
+
+def test_entry_ages_and_empty_store_defaults(store):
+    stats = store.stats()
+    assert stats["hit_rate"] == 0.0
+    assert stats["oldest_entry_age"] is None
+    assert stats["newest_entry_age"] is None
+    lift(build_target("loop"), cache=store)
+    stats = store.stats()
+    assert stats["oldest_entry_age"] >= 0.0
+    assert stats["newest_entry_age"] >= 0.0
+    assert stats["oldest_entry_age"] >= stats["newest_entry_age"]
+
+
+def test_entry_creation_time_survives_touches(store):
+    binary = build_target("loop")
+    lift(binary, cache=store)
+    index = store._load_index()
+    key = lift_key(binary)
+    created = index["entries"][key]["created"]
+    clock = index["entries"][key]["at"]
+    lift(binary, cache=store)            # hit: touches the LRU stamp
+    index = store._load_index()
+    assert index["entries"][key]["created"] == created
+    assert index["entries"][key]["at"] > clock
+
+
+def test_rebuilt_index_keeps_telemetry_shape(store):
+    binary = build_target("arith")
+    lift(binary, cache=store)
+    store.index_path.unlink()
+    lift(binary, cache=store)            # rebuild from scan, then hit
+    stats = store.stats()
+    # The rebuilt index restarts lifetime counts but keeps the schema.
+    assert set(stats["telemetry"]) == {"hits", "misses", "stores",
+                                       "evictions"}
+    assert stats["telemetry"]["hits"] >= 1
+    assert stats["oldest_entry_age"] is not None

@@ -34,6 +34,8 @@ from repro.obs.metrics import (
     Metrics,
     canonical_snapshot,
     merge_snapshots,
+    percentile,
+    percentiles,
 )
 from repro.obs.report import merge_rollup, render_obs_rollup, task_obs_data
 from repro.obs.tracer import Event, Tracer
@@ -362,3 +364,119 @@ def test_trace_verb_chrome_trace_is_loadable(overflow_path, tmp_path):
     assert isinstance(trace["traceEvents"], list)
     phases = {event["ph"] for event in trace["traceEvents"]}
     assert "X" in phases and "i" in phases
+
+
+# -- ring overflow accounting (PR 8) ---------------------------------------
+
+def test_ring_overflow_increments_the_dropped_counter():
+    tracer = Tracer(capacity=4)
+    tracer.configure(enabled=True)
+    for n in range(10):
+        tracer.emit("state.explore", n)
+    assert len(tracer.events()) == 4
+    assert tracer.dropped == 6
+    # Exact counts still cover every emission, dropped or not.
+    assert tracer.counts["state.explore"] == 10
+    tracer.reset()
+    assert tracer.dropped == 0
+
+
+def test_trace_summary_warns_about_dropped_events():
+    tracer = Tracer(capacity=2)
+    tracer.configure(enabled=True)
+    for n in range(5):
+        tracer.emit("join", n)
+    text = obs.render_trace_summary(tracer.events(), Metrics().snapshot(),
+                                    dict(tracer.counts), tracer.capacity,
+                                    dropped=tracer.dropped)
+    assert "3 events dropped" in text
+    clean = obs.render_trace_summary([], Metrics().snapshot(), {}, 2)
+    assert "dropped" not in clean
+
+
+def test_provenance_fails_loudly_on_a_truncated_stream():
+    result = lift(buffer_overflow())
+    with pytest.raises(obs.TruncatedTraceError, match="7 events dropped"):
+        obs.build_provenance(result, [], dropped=7)
+    # A complete stream (dropped == 0) still builds.
+    assert obs.build_provenance(result, []) is not None
+
+
+def test_trace_verb_exits_nonzero_on_truncation(overflow_path, capsys):
+    from repro.__main__ import main
+
+    assert main(["trace", overflow_path, "--capacity", "16"]) == 1
+    captured = capsys.readouterr()
+    assert "events dropped" in captured.out      # summary warning
+    assert "trace ring wrapped" in captured.err  # the hard failure
+    assert "--capacity" in captured.err          # ... with the remedy
+
+
+def test_task_obs_data_reports_dropped_and_phases():
+    tracer = Tracer(capacity=2)
+    tracer.configure(enabled=True)
+    for n in range(5):
+        tracer.emit("join", n)
+    from repro.obs.profile import PhaseTimer
+
+    timer = PhaseTimer()
+    timer.start("decode")
+    timer.stop()
+    data = task_obs_data(tracer, Metrics(), phases=timer)
+    assert data["events_dropped"] == 3
+    assert data["phases"]["decode"]["count"] == 1
+    rollup = merge_rollup({"t": data}, sampling=1)
+    assert rollup["totals"]["events_dropped"] == 3
+    assert rollup["totals"]["phases"]["decode"]["count"] == 1
+    text = render_obs_rollup(rollup)
+    assert "Phase self-time" in text and "3 events dropped" in text
+
+
+# -- percentiles from power-of-two buckets (PR 8) --------------------------
+
+def test_percentile_of_empty_and_single_value_histograms():
+    assert percentile(Histogram().snapshot(), 50) == 0.0
+    histogram = Histogram()
+    histogram.observe(5)
+    snap = histogram.snapshot()
+    # One sample: every percentile is that sample (max caps the bucket).
+    assert percentile(snap, 50) == 5.0
+    assert percentile(snap, 99) == 5.0
+
+
+def test_percentiles_are_monotone_and_bounded_by_max():
+    histogram = Histogram()
+    for value in range(1, 101):
+        histogram.observe(value)
+    snap = histogram.snapshot()
+    estimates = percentiles(snap)
+    assert set(estimates) == {"p50", "p90", "p99"}
+    assert estimates["p50"] <= estimates["p90"] <= estimates["p99"] <= 100
+    # Power-of-two buckets bound the error by 2x on either side.
+    assert 25 <= estimates["p50"] <= 100
+    assert estimates["p99"] >= 64
+
+
+def test_percentiles_agree_on_merged_snapshots():
+    parts = []
+    for base in (3, 17, 60):
+        histogram = Histogram()
+        for value in range(base):
+            histogram.observe(value)
+        parts.append({"histograms": {"depth": histogram.snapshot()}})
+    forward: dict = {}
+    backward: dict = {}
+    for part in parts:
+        merge_snapshots(forward, part)
+    for part in reversed(parts):
+        merge_snapshots(backward, part)
+    assert (percentiles(forward["histograms"]["depth"])
+            == percentiles(backward["histograms"]["depth"]))
+
+
+def test_histogram_tables_render_percentiles():
+    metrics = Metrics()
+    for value in (1, 2, 3, 40):
+        metrics.observe("join.depth", value)
+    text = obs.render_trace_summary([], metrics.snapshot(), {}, 64)
+    assert "p50=" in text and "p90=" in text and "p99=" in text

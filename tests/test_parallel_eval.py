@@ -163,8 +163,9 @@ def test_run_scaling_separates_build_time_from_lift_time(monkeypatch):
 def test_bench_report_compares_against_baseline(monkeypatch, tmp_path):
     import repro.perf.bench as bench
 
-    monkeypatch.setattr(bench, "BASELINE_PATH", tmp_path / "baseline.json")
-    bench.BASELINE_PATH.write_text(json.dumps(
+    baseline_path = tmp_path / "baseline.json"
+    monkeypatch.setitem(bench.BASELINES, "pr2", baseline_path)
+    baseline_path.write_text(json.dumps(
         {"scale_2": {"instrs_per_second": 100.0, "lift_seconds": 5.0}}
     ))
 

@@ -1,0 +1,196 @@
+"""The progress-heartbeat wire format and the runner's ``progress=`` hook.
+
+Contracts under test:
+
+* per-event schema validation: unknown kinds, missing/extra fields, type
+  errors (including the bool-is-not-int trap), negative seq, bad outcomes;
+* stream invariants: gap-free seq from 0, corpus_started first,
+  corpus_finished last;
+* ``ProgressEmitter`` produces a valid stream through both sink styles
+  (callable and text stream) with cumulative throughput figures;
+* ``run_corpus(progress=...)`` emits a schema-valid heartbeat stream in
+  both serial and worker-pool modes, without changing the report.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+
+import pytest
+
+from repro.corpus import Corpus, CorpusBinary
+from repro.eval.runner import run_corpus
+from repro.minicc import compile_source
+from repro.obs.progress import (
+    PROGRESS_EVENT_KINDS,
+    ProgressEmitter,
+    TASK_OUTCOMES,
+    as_emitter,
+    iter_progress_objects,
+    validate_progress_jsonl,
+    validate_progress_obj,
+)
+
+
+@pytest.fixture(scope="module")
+def tiny_corpus() -> Corpus:
+    corpus = Corpus()
+    for name, src in [
+        ("alpha", "long main(long n) { return n + 1; }"),
+        ("beta", "long main(long n) { return n * 2; }"),
+        ("gamma", "long main(long n) { return n - 3; }"),
+    ]:
+        corpus.binaries.append(CorpusBinary(
+            name=name, directory="bin",
+            binary=compile_source(src, name=name), expected="lifted"))
+    return corpus
+
+
+def _started(seq=0):
+    return {"kind": "corpus_started", "seq": seq, "ts": 1.0,
+            "total": 3, "scale": 1, "jobs": 1}
+
+
+# -- per-event validation --------------------------------------------------
+
+def test_valid_events_pass():
+    validate_progress_obj(_started())
+    validate_progress_obj({"kind": "task_started", "seq": 1, "ts": 1.0,
+                           "task": "alpha", "queue_depth": 2})
+    validate_progress_obj({"kind": "task_finished", "seq": 2, "ts": 1.0,
+                           "task": "alpha", "outcome": "lifted", "done": 1,
+                           "total": 3, "instructions": 10, "seconds": 0.5,
+                           "instrs_total": 10, "instrs_per_second": 20.0,
+                           "queue_depth": 1})
+    validate_progress_obj({"kind": "corpus_finished", "seq": 3, "ts": 1.0,
+                           "done": 3, "total": 3, "instrs_total": 30,
+                           "seconds": 1.5, "instrs_per_second": 20.0})
+
+
+@pytest.mark.parametrize("mutate,message", [
+    (lambda e: e.update(kind="bogus"), "unknown progress event kind"),
+    (lambda e: e.pop("total"), "missing field 'total'"),
+    (lambda e: e.update(surprise=1), "unexpected fields"),
+    (lambda e: e.update(total="3"), "has type str"),
+    (lambda e: e.update(total=True), "has type bool"),
+    (lambda e: e.update(seq=-1), "seq must be >= 0"),
+])
+def test_malformed_events_are_rejected(mutate, message):
+    event = _started()
+    mutate(event)
+    with pytest.raises(ValueError, match=message):
+        validate_progress_obj(event)
+
+
+def test_non_dict_is_rejected():
+    with pytest.raises(ValueError, match="must be an object"):
+        validate_progress_obj([1, 2, 3])
+
+
+def test_unknown_outcome_is_rejected():
+    event = {"kind": "task_finished", "seq": 0, "ts": 1.0, "task": "a",
+             "outcome": "exploded", "done": 1, "total": 1, "instructions": 1,
+             "seconds": 0.1, "instrs_total": 1, "instrs_per_second": 10.0,
+             "queue_depth": 0}
+    with pytest.raises(ValueError, match="outcome 'exploded'"):
+        validate_progress_obj(event)
+    # The schema's outcomes mirror the runner's FunctionRecord outcomes.
+    assert "lifted" in TASK_OUTCOMES and "timeout" in TASK_OUTCOMES
+
+
+def test_every_kind_has_a_schema():
+    assert set(PROGRESS_EVENT_KINDS) == {"corpus_started", "task_started",
+                                         "task_finished", "corpus_finished"}
+
+
+# -- stream invariants -----------------------------------------------------
+
+def test_stream_rejects_seq_gaps():
+    lines = [json.dumps(_started()),
+             json.dumps({"kind": "task_started", "seq": 2, "ts": 1.0,
+                         "task": "a", "queue_depth": 0})]
+    with pytest.raises(ValueError, match="seq 2 != expected 1"):
+        validate_progress_jsonl("\n".join(lines))
+
+
+def test_stream_rejects_misplaced_lifecycle_events():
+    late_start = [json.dumps({"kind": "task_started", "seq": 0, "ts": 1.0,
+                              "task": "a", "queue_depth": 0}),
+                  json.dumps(_started(seq=1))]
+    with pytest.raises(ValueError, match="corpus_started not first"):
+        validate_progress_jsonl("\n".join(late_start))
+
+
+def test_stream_rejects_non_json_lines():
+    with pytest.raises(ValueError, match="not JSON"):
+        validate_progress_jsonl("{nope}")
+
+
+# -- the emitter -----------------------------------------------------------
+
+def test_emitter_produces_a_valid_stream_via_text_sink():
+    sink = io.StringIO()
+    emitter = ProgressEmitter(sink)
+    emitter.corpus_started(total=2, scale=1, jobs=1)
+    emitter.task_started("alpha", queue_depth=1)
+    emitter.task_finished("alpha", outcome="lifted", instructions=100,
+                          seconds=0.2, queue_depth=1)
+    emitter.task_started("beta", queue_depth=0)
+    emitter.task_finished("beta", outcome="timeout", instructions=0,
+                          seconds=1.0, queue_depth=0)
+    emitter.corpus_finished()
+    text = sink.getvalue()
+    assert validate_progress_jsonl(text) == 6
+    events = list(iter_progress_objects(text))
+    finished = [e for e in events if e["kind"] == "task_finished"]
+    # Cumulative counters march forward.
+    assert [e["done"] for e in finished] == [1, 2]
+    assert finished[-1]["instrs_total"] == 100
+    assert events[-1]["kind"] == "corpus_finished"
+    assert events[-1]["done"] == 2
+
+
+def test_emitter_accepts_a_callable_sink():
+    seen: list[dict] = []
+    emitter = ProgressEmitter(seen.append)
+    emitter.corpus_started(total=0, scale=1, jobs=1)
+    emitter.corpus_finished()
+    assert [e["kind"] for e in seen] == ["corpus_started", "corpus_finished"]
+    assert [e["seq"] for e in seen] == [0, 1]
+
+
+def test_as_emitter_coercions():
+    assert as_emitter(None) is None
+    emitter = ProgressEmitter(lambda e: None)
+    assert as_emitter(emitter) is emitter
+    assert isinstance(as_emitter(io.StringIO()), ProgressEmitter)
+    assert isinstance(as_emitter(lambda e: None), ProgressEmitter)
+
+
+# -- the runner hook -------------------------------------------------------
+
+@pytest.mark.parametrize("jobs", [1, 2])
+def test_run_corpus_emits_a_valid_heartbeat_stream(tiny_corpus, jobs):
+    sink = io.StringIO()
+    report = run_corpus(corpus=tiny_corpus, jobs=jobs, progress=sink)
+    text = sink.getvalue()
+    count = validate_progress_jsonl(text)
+    # started + (start, finish) per task + finished.
+    assert count == 2 + 2 * len(report.records)
+    events = list(iter_progress_objects(text))
+    assert events[0]["kind"] == "corpus_started"
+    assert events[0]["total"] == 3 and events[0]["jobs"] == jobs
+    finished = [e for e in events if e["kind"] == "task_finished"]
+    assert {e["task"] for e in finished} == {"alpha", "beta", "gamma"}
+    assert all(e["outcome"] == "lifted" for e in finished)
+    assert events[-1]["kind"] == "corpus_finished"
+    assert events[-1]["done"] == 3
+    assert events[-1]["instrs_total"] == sum(r.instructions
+                                             for r in report.records)
+
+
+def test_progress_does_not_change_the_report(tiny_corpus):
+    plain = run_corpus(corpus=tiny_corpus)
+    with_progress = run_corpus(corpus=tiny_corpus, progress=lambda e: None)
+    assert plain.canonical_json() == with_progress.canonical_json()
