@@ -25,6 +25,12 @@ Commands:
   into the phase/address cost profile: ``--format text`` (self-time
   table + top-N addresses), ``--format collapsed`` (collapsed-stack
   flamegraph input for flamegraph.pl / speedscope);
+* ``serve`` — run the lifting-as-a-service daemon (JSONL over a Unix
+  socket, persistent worker pool, priority queue, crash retries, store
+  dedup, graceful SIGTERM drain — see :mod:`repro.serve`);
+* ``client`` — talk to a running daemon: ``submit-lift`` /
+  ``submit-corpus`` / ``status`` / ``result`` / ``cancel`` / ``watch`` /
+  ``wait`` / ``stats`` / ``drain``;
 * ``cache`` — persistent lift-store maintenance: ``cache stats`` prints
   entry/byte totals plus the lifetime telemetry persisted in the index
   (hits, misses, stores, evictions, hit-rate, entry ages); ``cache
@@ -198,6 +204,18 @@ def _run_profile(args) -> int:
 
 
 def main(argv=None) -> int:
+    # The serve/client commands have their own flag grammars (no binary
+    # positional), so they are routed before the lifter parser sees them.
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "serve":
+        from repro.serve.cli import serve_main
+
+        return serve_main(argv[1:])
+    if argv and argv[0] == "client":
+        from repro.serve.cli import client_main
+
+        return client_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Provably overapproximative x86-64 binary lifter "

@@ -47,6 +47,14 @@ def main(argv=None) -> int:
     parser.add_argument("--summaries-ab", action="store_true",
                         help="bench: also run the pointer-summaries "
                              "feedback A/B (off vs --pointer-summaries)")
+    parser.add_argument("--serve-ab", action="store_true",
+                        help="bench: also run the corpus through an "
+                             "in-process repro serve daemon and require "
+                             "its canonical report to match the direct "
+                             "run byte-for-byte")
+    parser.add_argument("--serve-workers", type=int, default=2,
+                        help="serve A/B: daemon worker-pool size "
+                             "(default 2)")
     parser.add_argument("--sampling", type=int, default=None,
                         help="obs: record 1 in N high-frequency events "
                              "(default: the obs layer's default)")
@@ -155,6 +163,8 @@ def main(argv=None) -> int:
             check_schedule=args.schedule_ab,
             check_summaries=args.summaries_ab,
             check_profile=args.profile,
+            check_serve=args.serve_ab,
+            serve_workers=args.serve_workers,
             history_dir=history_dir,
             out_path=args.out,
         )
@@ -191,6 +201,13 @@ def main(argv=None) -> int:
             print(f"bench: profile attributes only "
                   f"{profile.get('coverage', 0.0):.1%} of lift wall time "
                   "to named phases (bound: 95%)", file=sys.stderr)
+            return 1
+        serve = payload.get("serve")
+        if serve is not None and not (serve["reports_identical"]
+                                      and serve["dedup_source"] == "store"):
+            print("bench: serve daemon report differs from the direct run "
+                  "or the duplicate lift was not answered from the store",
+                  file=sys.stderr)
             return 1
     if args.what == "history":
         from repro.obs.history import (

@@ -217,10 +217,19 @@ def _run_task(
         obs_data = task_obs_data(_obs_tracer, _obs_metrics,
                                  phases=_obs_phases)
         _obs_tracer.configure(enabled=False)
+    record = record_from_result(task.name, task.directory, task.kind, result)
+    return record, delta, obs_data
+
+
+def record_from_result(name: str, directory: str, kind: str,
+                       result: LiftResult) -> FunctionRecord:
+    """The :class:`FunctionRecord` view of one lift — shared by the
+    runner's task path and the serve daemon's store-hit fast path, so a
+    cached answer is summarized exactly like a fresh one."""
     outcome = _outcome(result)
     stats = result.stats
-    record = FunctionRecord(
-        name=task.name, directory=task.directory, kind=task.kind,
+    return FunctionRecord(
+        name=name, directory=directory, kind=kind,
         outcome=outcome,
         instructions=stats.instructions, states=stats.states,
         resolved=stats.resolved_indirections,
@@ -229,7 +238,12 @@ def _run_task(
         seconds=stats.seconds,
         annotations=dict(stats.annotations_by_kind),
     )
-    return record, delta, obs_data
+
+
+#: Public aliases for the serve daemon (:mod:`repro.serve`), whose worker
+#: pool executes the exact same task units as the in-process pool here.
+run_task = _run_task
+LiftTask = _LiftTask
 
 
 def _corpus_tasks(corpus: Corpus, timeout_seconds: float,
@@ -260,9 +274,60 @@ def _corpus_tasks(corpus: Corpus, timeout_seconds: float,
     return tasks
 
 
+corpus_tasks = _corpus_tasks
+
+
 def _task_key(record: FunctionRecord) -> str:
     """The rollup key for one task — unique and sort-stable."""
     return f"{record.kind}/{record.directory}/{record.name}"
+
+
+def assemble_report(outcomes, obs: bool = False,
+                    obs_sampling: int = DEFAULT_SAMPLING) -> CorpusReport:
+    """Fold ``run_task`` outcomes into a :class:`CorpusReport`.
+
+    This is the single merge point behind both execution paths — the
+    serial/pool runner here and the ``repro serve`` daemon's worker pool
+    (:mod:`repro.serve`), whose corpus jobs must produce byte-identical
+    canonical reports to a direct :func:`run_corpus` — so sorting and row
+    aggregation can never drift between them.  *outcomes* is any iterable
+    of ``(record, counter_delta, obs_data)`` tuples, in any order.
+    """
+    outcomes = list(outcomes)
+    report = CorpusReport()
+    for _, delta, _ in outcomes:
+        counters.merge(report.counters, delta)
+    report.records = sorted(
+        (record for record, _, _ in outcomes),
+        key=lambda r: (r.kind, r.directory, r.name),
+    )
+    if obs:
+        report.obs = merge_rollup(
+            {_task_key(record): obs_data
+             for record, _, obs_data in outcomes if obs_data is not None},
+            sampling=obs_sampling,
+        )
+
+    rows: dict[tuple[str, str], DirectoryRow] = {}
+    for record in report.records:
+        key = (record.kind, record.directory)
+        row = rows.get(key)
+        if row is None:
+            row = rows[key] = DirectoryRow(directory=record.directory,
+                                           kind=record.kind)
+        row.total += 1
+        setattr(row, record.outcome, getattr(row, record.outcome) + 1)
+        if record.outcome == "lifted":
+            row.instructions += record.instructions
+            row.states += record.states
+            row.resolved += record.resolved
+            row.unresolved_jumps += record.unresolved_jumps
+            row.unresolved_calls += record.unresolved_calls
+        row.seconds += record.seconds
+        for ann_kind, count in record.annotations.items():
+            row.annotations[ann_kind] = row.annotations.get(ann_kind, 0) + count
+    report.rows = [rows[key] for key in sorted(rows)]
+    return report
 
 
 def run_corpus(
@@ -356,37 +421,4 @@ def run_corpus(
         if obs:
             _obs_tracer.configure(enabled=prior[0], sampling=prior[1])
 
-    report = CorpusReport()
-    for _, delta, _ in outcomes:
-        counters.merge(report.counters, delta)
-    report.records = sorted(
-        (record for record, _, _ in outcomes),
-        key=lambda r: (r.kind, r.directory, r.name),
-    )
-    if obs:
-        report.obs = merge_rollup(
-            {_task_key(record): obs_data
-             for record, _, obs_data in outcomes if obs_data is not None},
-            sampling=obs_sampling,
-        )
-
-    rows: dict[tuple[str, str], DirectoryRow] = {}
-    for record in report.records:
-        key = (record.kind, record.directory)
-        row = rows.get(key)
-        if row is None:
-            row = rows[key] = DirectoryRow(directory=record.directory,
-                                           kind=record.kind)
-        row.total += 1
-        setattr(row, record.outcome, getattr(row, record.outcome) + 1)
-        if record.outcome == "lifted":
-            row.instructions += record.instructions
-            row.states += record.states
-            row.resolved += record.resolved
-            row.unresolved_jumps += record.unresolved_jumps
-            row.unresolved_calls += record.unresolved_calls
-        row.seconds += record.seconds
-        for ann_kind, count in record.annotations.items():
-            row.annotations[ann_kind] = row.annotations.get(ann_kind, 0) + count
-    report.rows = [rows[key] for key in sorted(rows)]
-    return report
+    return assemble_report(outcomes, obs=obs, obs_sampling=obs_sampling)

@@ -66,12 +66,42 @@ PROGRESS_EVENT_KINDS: dict[str, dict[str, tuple]] = {
         "seconds": (int, float),
         "instrs_per_second": (int, float),
     },
+    # Job-level heartbeats emitted by the repro serve daemon
+    # (:mod:`repro.serve`).  They share this schema and validator so a
+    # ``watch`` stream is checked exactly like a corpus progress stream;
+    # a corpus job's stream interleaves them with task_started /
+    # task_finished events for its per-entry units.
+    "job_queued": {
+        "job": (str,),
+        "tenant": (str,),
+        "job_kind": (str,),
+        "priority": (int,),
+        "queue_depth": (int,),
+    },
+    "job_started": {"job": (str,), "attempt": (int,)},
+    "job_retried": {
+        "job": (str,),
+        "attempt": (int,),
+        "delay": (int, float),
+        "reason": (str,),
+    },
+    "job_finished": {
+        "job": (str,),
+        "state": (str,),
+        "seconds": (int, float),
+        "source": (str,),
+    },
 }
 
 #: The outcomes a task can finish with — the runner's FunctionRecord
 #: outcomes plus "error" for infrastructure failures.
 TASK_OUTCOMES = frozenset(
     {"lifted", "unprovable", "concurrency", "timeout", "error"})
+
+#: Terminal job states (mirrors ``repro.serve.jobs.JOB_STATES``) and the
+#: places a finished job's answer can come from.
+JOB_FINAL_STATES = frozenset({"done", "failed", "cancelled"})
+JOB_SOURCES = frozenset({"worker", "store", "inflight"})
 
 
 def validate_progress_obj(obj: Any) -> None:
@@ -101,6 +131,15 @@ def validate_progress_obj(obj: Any) -> None:
         raise ValueError(
             f"task_finished: outcome {obj['outcome']!r} not in "
             f"{sorted(TASK_OUTCOMES)}")
+    if kind == "job_finished":
+        if obj["state"] not in JOB_FINAL_STATES:
+            raise ValueError(
+                f"job_finished: state {obj['state']!r} not in "
+                f"{sorted(JOB_FINAL_STATES)}")
+        if obj["source"] not in JOB_SOURCES:
+            raise ValueError(
+                f"job_finished: source {obj['source']!r} not in "
+                f"{sorted(JOB_SOURCES)}")
 
 
 def validate_progress_jsonl(text: str) -> int:

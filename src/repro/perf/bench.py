@@ -404,6 +404,95 @@ def run_summaries_bench(scale: int = 3, timeout_seconds: float = 10.0,
     }
 
 
+def run_serve_bench(scale: int = 1, workers: int = 2,
+                    timeout_seconds: float = 10.0,
+                    max_states: int = 10_000) -> dict:
+    """Direct ``run_corpus`` vs the same corpus through the serve daemon.
+
+    Starts an in-process :class:`repro.serve.server.Server` (real socket,
+    real worker pool), submits one corpus job, and compares its canonical
+    report byte-for-byte against a direct serial :func:`run_corpus` of the
+    same corpus — the server path must be a pure transport around the same
+    merge (:func:`repro.eval.runner.assemble_report`), so
+    ``reports_identical`` is a hard gate, not a statistic.  Both sides run
+    ``cache=False`` so neither is confounded by store state.
+
+    Also probes the dedup fast path: a duplicate lift submission must be
+    answered from the store (``source == "store"``) with zero re-lifts.
+    """
+    import os
+    import tempfile
+
+    from repro.corpus import build_corpus
+    from repro.elf import save_binary
+    from repro.eval.runner import run_corpus
+    from repro.serve import ServeClient, Server, ServerConfig
+
+    corpus = build_corpus(scale)
+    reset_caches()
+    direct_start = time.perf_counter()
+    direct_report = run_corpus(corpus=corpus,
+                               timeout_seconds=timeout_seconds,
+                               max_states=max_states, jobs=1, cache=False)
+    direct_seconds = time.perf_counter() - direct_start
+    direct_canonical = direct_report.canonical_json()
+    instructions = _instruction_totals(direct_report)
+
+    with tempfile.TemporaryDirectory() as tmp:
+        socket_path = os.path.join(tmp, "serve.sock")
+        elf_path = os.path.join(tmp, "dedup-probe.elf")
+        save_binary(corpus.binaries[0].binary, elf_path)
+        server = Server(ServerConfig(
+            socket_path=socket_path, workers=workers, cache=True,
+            cache_dir=os.path.join(tmp, "store"),
+            default_timeout_seconds=timeout_seconds,
+            default_max_states=max_states))
+        server.start()
+        try:
+            with ServeClient(socket_path, timeout=600.0) as client:
+                serve_start = time.perf_counter()
+                submitted = client.submit_corpus(
+                    scale=scale, cache=False,
+                    options={"timeout_seconds": timeout_seconds,
+                             "max_states": max_states})
+                status = client.wait(submitted["job_id"], timeout=600.0)
+                serve_seconds = time.perf_counter() - serve_start
+                result = client.result(submitted["job_id"])["result"]
+                first = client.submit_lift(
+                    elf_path,
+                    options={"timeout_seconds": timeout_seconds,
+                             "max_states": max_states})
+                client.wait(first["job_id"], timeout=600.0)
+                duplicate = client.submit_lift(
+                    elf_path,
+                    options={"timeout_seconds": timeout_seconds,
+                             "max_states": max_states})
+                stats = client.stats()
+        finally:
+            server.close()
+
+    serve_canonical = result["canonical_json"]
+    return {
+        "scale": scale,
+        "workers": workers,
+        "timeout_seconds": timeout_seconds,
+        "max_states": max_states,
+        "instructions": instructions,
+        "functions": len(direct_report.records),
+        "direct_seconds": round(direct_seconds, 3),
+        "serve_seconds": round(serve_seconds, 3),
+        "direct_instrs_per_second": round(instructions / direct_seconds, 1)
+        if direct_seconds else 0.0,
+        "serve_instrs_per_second": round(instructions / serve_seconds, 1)
+        if serve_seconds else 0.0,
+        "reports_identical": serve_canonical == direct_canonical,
+        "serve_state": status["state"],
+        "dedup_source": duplicate.get("source"),
+        "dedup_store_answers": stats["dedup"]["store_answers"],
+        "worker_respawns": stats["workers"].get("respawns", 0),
+    }
+
+
 def run_profile_bench(scale: int = 1, timeout_seconds: float = 10.0,
                       max_states: int = 10_000, jobs: int = 1) -> dict:
     """Corpus lift with obs on, folded into the phase cost profile.
@@ -486,6 +575,8 @@ def bench_report(scale: int = 3, jobs: int = 1,
                  check_schedule: bool = False,
                  check_summaries: bool = False,
                  check_profile: bool = False,
+                 check_serve: bool = False,
+                 serve_workers: int = 2,
                  history_dir: str | Path | None = None,
                  out_path: str | Path | None = None) -> tuple[dict, str]:
     """Run the bench, compare against the checked-in baseline, and render.
@@ -541,8 +632,27 @@ def bench_report(scale: int = 3, jobs: int = 1,
         payload["profile"] = run_profile_bench(
             scale=scale, timeout_seconds=timeout_seconds,
             max_states=max_states)
+    if check_serve:
+        payload["serve"] = run_serve_bench(
+            scale=scale, workers=serve_workers,
+            timeout_seconds=timeout_seconds, max_states=max_states)
     if history_dir is not None:
         payload["history_record"] = record_history(current, history_dir)
+        serve = payload.get("serve")
+        if serve is not None:
+            # A distinct run key (kind="serve") so the history gate tracks
+            # server-path throughput separately from the direct bench.
+            payload["serve_history_record"] = record_history(
+                {"scale": serve["scale"], "jobs": serve["workers"],
+                 "timeout_seconds": serve["timeout_seconds"],
+                 "max_states": serve["max_states"],
+                 "instructions": serve["instructions"],
+                 "functions": serve["functions"],
+                 "lift_seconds": serve["serve_seconds"],
+                 "build_seconds": 0.0,
+                 "instrs_per_second": serve["serve_instrs_per_second"],
+                 "counters": {}},
+                history_dir, kind="serve")
 
     lines = [
         f"Bench: scale-{scale} corpus, jobs={jobs}",
@@ -625,9 +735,24 @@ def bench_report(scale: int = 3, jobs: int = 1,
             f"{profile.get('wall_seconds', 0):.3f} s lift wall attributed; "
             f"hottest: {hottest}"
         )
+    serve = payload.get("serve")
+    if serve is not None:
+        lines.append(
+            f"  serve A/B (scale-{serve['scale']}, "
+            f"{serve['workers']} workers): direct "
+            f"{serve['direct_instrs_per_second']:.1f} instrs/s, served "
+            f"{serve['serve_instrs_per_second']:.1f} instrs/s; "
+            "direct == served (canonical): "
+            + ("OK" if serve["reports_identical"] else "MISMATCH")
+            + f"; dedup source {serve['dedup_source']}"
+        )
     record = payload.get("history_record")
     if record is not None:
         lines.append(f"  history: recorded {record['id']} ({record['key']})")
+    serve_record = payload.get("serve_history_record")
+    if serve_record is not None:
+        lines.append(f"  history: recorded {serve_record['id']} "
+                     f"({serve_record['key']})")
     text = "\n".join(lines)
 
     if out_path is not None:

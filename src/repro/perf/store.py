@@ -323,6 +323,21 @@ class LiftStore:
 
     # -- entry access ------------------------------------------------------
 
+    def contains(self, key: str) -> bool:
+        """Cheap presence probe: does an entry file exist for *key*?
+
+        No load, no telemetry, no counters — the ``repro serve`` daemon
+        uses it to decide whether a duplicate submission can be answered
+        from the store before committing to the full :meth:`get` (which
+        does count the hit).  A truncated entry can make this return True
+        and the subsequent ``get`` still miss; callers must treat it as
+        advisory.
+        """
+        try:
+            return self.entry_path(key).is_file()
+        except OSError:
+            return False
+
     def get(self, key: str):
         """The stored :class:`LiftResult` for *key*, or None (a miss).
 

@@ -1,0 +1,35 @@
+"""Lifting as a service: the ``python -m repro serve`` daemon.
+
+The daemon accepts lift/verify jobs over a Unix socket speaking the
+schema-validated JSONL dialect of :mod:`repro.serve.protocol`, executes
+them on a persistent worker pool (:mod:`repro.serve.pool`) under a
+priority queue (:mod:`repro.serve.queue`), retries crashed workers with
+capped exponential backoff, answers duplicate submissions from the
+content-addressed lift store, and drains gracefully on ``SIGTERM``.
+See :mod:`repro.serve.server` for the architecture notes and
+``docs/INTERNALS.md`` §17 for the prose version.
+"""
+
+from repro.serve.client import JobError, ServeClient, ServeError
+from repro.serve.jobs import Job, Unit, backoff_delay
+from repro.serve.pool import WorkerPool, execute_payload
+from repro.serve.protocol import (
+    MAX_LINE_BYTES,
+    PROTOCOL_VERSION,
+    ProtocolError,
+    validate_job_spec,
+    validate_request,
+    validate_response,
+)
+from repro.serve.queue import PriorityJobQueue
+from repro.serve.server import Server, ServerConfig
+
+__all__ = [
+    "JobError", "ServeClient", "ServeError",
+    "Job", "Unit", "backoff_delay",
+    "WorkerPool", "execute_payload",
+    "MAX_LINE_BYTES", "PROTOCOL_VERSION", "ProtocolError",
+    "validate_job_spec", "validate_request", "validate_response",
+    "PriorityJobQueue",
+    "Server", "ServerConfig",
+]

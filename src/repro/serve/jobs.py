@@ -1,0 +1,158 @@
+"""Job and unit bookkeeping for the lifting service.
+
+A **job** is what a client submits and polls: one lift, one corpus run,
+or one chaos probe.  A **unit** is what a worker executes: a lift job has
+exactly one, a corpus job has one per corpus task (so the pool interleaves
+corpus work with other tenants' jobs instead of head-of-line blocking).
+
+Job lifecycle::
+
+    queued -> running -> done
+                      -> failed      (structured diagnostics, never a hang)
+           -> cancelled              (from queued or running)
+
+``running`` means at least one unit is on a worker.  A job is ``done``
+when every unit finished; ``failed`` when any unit exhausted its retries
+or raised a deterministic error (remaining units still run to completion
+so a corpus job's diagnostics name *all* the broken entries).
+
+Heartbeats: every transition appends a schema-validated progress event
+(:mod:`repro.obs.progress` job kinds) to the job's bounded event log,
+which ``watch`` streams and tests replay.
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.obs.progress import validate_progress_obj
+
+JOB_STATES = ("queued", "running", "done", "failed", "cancelled")
+
+#: Heartbeat log cap per job — a watch stream is a debugging aid, not an
+#: unbounded buffer; corpus jobs emit 2 events per unit.
+MAX_JOB_EVENTS = 10_000
+
+
+def backoff_delay(attempt: int, base: float, cap: float) -> float:
+    """Capped exponential backoff before retry *attempt* (1-based):
+    ``min(cap, base * 2**(attempt-1))``."""
+    if attempt < 1:
+        raise ValueError(f"attempt must be >= 1, got {attempt}")
+    return min(cap, base * (2.0 ** (attempt - 1)))
+
+
+@dataclass
+class Unit:
+    """One worker-executable payload plus its retry state."""
+
+    id: str
+    job_id: str
+    payload: Any
+    priority: int = 0
+    attempts: int = 0          # execution attempts started so far
+    crashes: int = 0           # worker deaths while running this unit
+    state: str = "queued"      # queued | running | done | failed | cancelled
+    worker_pid: int | None = None
+    not_before: float = 0.0    # backoff deadline (monotonic clock)
+    result: Any = None
+    error: dict | None = None
+
+
+@dataclass
+class Job:
+    """One client-visible submission."""
+
+    id: str
+    tenant: str
+    kind: str                  # "lift" | "corpus" | "chaos"
+    spec: dict
+    priority: int = 0
+    state: str = "queued"
+    created_ts: float = field(default_factory=time.time)
+    started_ts: float | None = None
+    finished_ts: float | None = None
+    units_total: int = 0
+    units_done: int = 0
+    #: "store" when the answer came straight from the lift store,
+    #: "inflight" when it attached to an identical queued/running job,
+    #: "worker" when it was lifted fresh.
+    source: str = "worker"
+    #: Diagnostics for failed jobs (per failed unit).
+    diagnostics: list[dict] = field(default_factory=list)
+    #: The client-facing result payload once done.
+    result: dict | None = None
+    #: Aggregated per-job metrics (instructions, seconds, counter deltas).
+    metrics: dict = field(default_factory=dict)
+    #: Schema-validated heartbeat events, seq gap-free from 0.
+    events: list[dict] = field(default_factory=list)
+    events_dropped: int = 0
+    #: Jobs deduplicated onto this one (completed together with it).
+    followers: list[str] = field(default_factory=list)
+
+    # -- heartbeats --------------------------------------------------------
+
+    def emit(self, kind: str, **fields: Any) -> None:
+        event = {"kind": kind, "seq": len(self.events) + self.events_dropped,
+                 "ts": round(time.time(), 6), **fields}
+        validate_progress_obj(event)
+        if len(self.events) >= MAX_JOB_EVENTS:
+            # Keep seq numbering honest: drop the oldest, count it.
+            self.events.pop(0)
+            self.events_dropped += 1
+        self.events.append(event)
+
+    # -- views -------------------------------------------------------------
+
+    def status_dict(self) -> dict:
+        """The client-facing job status object."""
+        out = {
+            "id": self.id,
+            "tenant": self.tenant,
+            "kind": self.kind,
+            "state": self.state,
+            "priority": self.priority,
+            "source": self.source,
+            "created_ts": round(self.created_ts, 6),
+            "units_total": self.units_total,
+            "units_done": self.units_done,
+        }
+        if self.started_ts is not None:
+            out["started_ts"] = round(self.started_ts, 6)
+        if self.finished_ts is not None:
+            out["finished_ts"] = round(self.finished_ts, 6)
+        if self.diagnostics:
+            out["diagnostics"] = self.diagnostics
+        if self.metrics:
+            out["metrics"] = self.metrics
+        return out
+
+    @property
+    def finished(self) -> bool:
+        return self.state in ("done", "failed", "cancelled")
+
+
+class IdAllocator:
+    """Monotonic ``j-N`` / ``u-N`` ids (process-local, never reused)."""
+
+    def __init__(self, prefix: str) -> None:
+        self._prefix = prefix
+        self._counter = itertools.count(1)
+
+    def next(self) -> str:
+        return f"{self._prefix}-{next(self._counter)}"
+
+
+def summarize_record(record) -> dict:
+    """The client-facing view of one lift's FunctionRecord."""
+    return {
+        "name": record.name,
+        "outcome": record.outcome,
+        "instructions": record.instructions,
+        "states": record.states,
+        "seconds": round(record.seconds, 6),
+        "annotations": dict(record.annotations),
+    }

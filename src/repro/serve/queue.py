@@ -1,0 +1,84 @@
+"""The daemon's priority job queue.
+
+Semantics (the properties the hypothesis suite pins down):
+
+* **priority ordering** — higher ``priority`` pops first;
+* **FIFO within a class** — equal priorities pop in push order;
+* **cancellation is exact** — ``cancel(unit_id)`` removes that unit and
+  nothing else, whether it is buried mid-heap or next in line;
+* **no loss, no duplication** — every pushed unit is popped exactly once
+  or cancelled exactly once, under any interleaving of operations.
+
+Implementation: a heap of ``(-priority, seq, unit_id)`` entries with lazy
+deletion — ``cancel`` marks the id and ``pop`` skips dead entries — the
+standard ``heapq`` pattern.  ``seq`` is a monotonic push counter, which
+both breaks priority ties FIFO and makes entries totally ordered (ids
+never reach the comparison).
+
+The queue itself is not locked; the server serializes access under its
+own mutex, and the property tests drive it single-threaded through
+randomized operation sequences.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Iterator
+
+
+class PriorityJobQueue:
+    def __init__(self) -> None:
+        self._heap: list[tuple[int, int, str]] = []
+        self._units: dict[str, Any] = {}
+        self._priorities: dict[str, int] = {}
+        self._seq = 0
+
+    def __len__(self) -> int:
+        return len(self._units)
+
+    def __contains__(self, unit_id: str) -> bool:
+        return unit_id in self._units
+
+    def push(self, unit_id: str, unit: Any, priority: int = 0) -> None:
+        """Enqueue *unit* under *unit_id*.  Re-pushing a pending id is a
+        bug in the caller (it would double-schedule the unit)."""
+        if unit_id in self._units:
+            raise ValueError(f"unit {unit_id!r} is already queued")
+        self._units[unit_id] = unit
+        self._priorities[unit_id] = priority
+        heapq.heappush(self._heap, (-priority, self._seq, unit_id))
+        self._seq += 1
+
+    def pop(self) -> tuple[str, Any] | None:
+        """The highest-priority, oldest pending unit, or ``None``."""
+        while self._heap:
+            _, _, unit_id = heapq.heappop(self._heap)
+            unit = self._units.pop(unit_id, None)
+            if unit is not None:
+                del self._priorities[unit_id]
+                return unit_id, unit
+        return None
+
+    def cancel(self, unit_id: str) -> Any | None:
+        """Remove *unit_id* if pending; returns its unit or ``None``.
+
+        The heap entry stays behind as a tombstone that ``pop`` skips."""
+        unit = self._units.pop(unit_id, None)
+        if unit is not None:
+            del self._priorities[unit_id]
+        return unit
+
+    def peek_priority(self, unit_id: str) -> int | None:
+        return self._priorities.get(unit_id)
+
+    def pending(self) -> Iterator[str]:
+        """Pending unit ids in pop order (non-destructive)."""
+        for _, _, unit_id in sorted(self._heap):
+            if unit_id in self._units:
+                yield unit_id
+
+    def depth_by_priority(self) -> dict[int, int]:
+        out: dict[int, int] = {}
+        for priority in self._priorities.values():
+            out[priority] = out.get(priority, 0) + 1
+        return dict(sorted(out.items(), reverse=True))

@@ -100,8 +100,51 @@ def test_unknown_outcome_is_rejected():
 
 
 def test_every_kind_has_a_schema():
-    assert set(PROGRESS_EVENT_KINDS) == {"corpus_started", "task_started",
-                                         "task_finished", "corpus_finished"}
+    assert set(PROGRESS_EVENT_KINDS) == {
+        "corpus_started", "task_started", "task_finished", "corpus_finished",
+        # Job-level heartbeats emitted by the repro serve daemon.
+        "job_queued", "job_started", "job_retried", "job_finished",
+    }
+
+
+# -- serve job-event kinds -------------------------------------------------
+
+def _job_queued(**over):
+    event = {"kind": "job_queued", "seq": 0, "ts": 1.0, "job": "j-1",
+             "tenant": "default", "job_kind": "lift", "priority": 0,
+             "queue_depth": 1}
+    event.update(over)
+    return event
+
+
+def test_job_queued_validates():
+    validate_progress_obj(_job_queued())
+
+
+def test_job_finished_rejects_nonterminal_state():
+    event = {"kind": "job_finished", "seq": 3, "ts": 1.0, "job": "j-1",
+             "state": "running", "seconds": 0.5, "source": "worker"}
+    with pytest.raises(ValueError, match="state"):
+        validate_progress_obj(event)
+
+
+def test_job_finished_rejects_unknown_source():
+    event = {"kind": "job_finished", "seq": 3, "ts": 1.0, "job": "j-1",
+             "state": "done", "seconds": 0.5, "source": "psychic"}
+    with pytest.raises(ValueError, match="source"):
+        validate_progress_obj(event)
+
+
+def test_job_retried_requires_reason():
+    event = {"kind": "job_retried", "seq": 2, "ts": 1.0, "job": "j-1",
+             "attempt": 1, "delay": 0.25}
+    with pytest.raises(ValueError, match="reason"):
+        validate_progress_obj(event)
+
+
+def test_job_events_reject_bool_priority():
+    with pytest.raises(ValueError, match="priority"):
+        validate_progress_obj(_job_queued(priority=True))
 
 
 # -- stream invariants -----------------------------------------------------

@@ -1,0 +1,183 @@
+"""Property tests for the serve daemon's priority job queue.
+
+The queue's contract (docstring of :mod:`repro.serve.queue`) has four
+clauses, and each gets a hypothesis property here:
+
+* priority ordering — higher priority pops first;
+* FIFO within a priority class — ties break by push order;
+* cancellation is exact — exactly the target disappears;
+* conservation — under any interleaving of push/pop/cancel, every unit
+  is popped exactly once or cancelled exactly once, never lost, never
+  duplicated.
+
+Plus the retry backoff curve (:func:`repro.serve.jobs.backoff_delay`),
+which the crash-retry scheduler builds on.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.serve.jobs import backoff_delay
+from repro.serve.queue import PriorityJobQueue
+
+#: (priority, payload-tag) pairs; ids are assigned by insertion index.
+_pushes = st.lists(st.integers(min_value=-100, max_value=100), max_size=60)
+
+
+def _fill(priorities):
+    queue = PriorityJobQueue()
+    for index, priority in enumerate(priorities):
+        queue.push(f"u-{index}", {"n": index}, priority)
+    return queue
+
+
+def _drain(queue):
+    out = []
+    while True:
+        popped = queue.pop()
+        if popped is None:
+            return out
+        out.append(popped[0])
+
+
+# -- ordering --------------------------------------------------------------
+
+@given(_pushes)
+def test_pops_are_sorted_by_priority_then_fifo(priorities):
+    queue = _fill(priorities)
+    order = _drain(queue)
+    keys = [(-priorities[int(unit_id[2:])], int(unit_id[2:]))
+            for unit_id in order]
+    assert keys == sorted(keys)
+
+
+@given(st.integers(min_value=2, max_value=40))
+def test_equal_priorities_pop_in_push_order(count):
+    queue = _fill([7] * count)
+    assert _drain(queue) == [f"u-{index}" for index in range(count)]
+
+
+@given(_pushes)
+def test_pending_matches_pop_order_and_is_nondestructive(priorities):
+    queue = _fill(priorities)
+    preview = list(queue.pending())
+    assert list(queue.pending()) == preview  # repeatable
+    assert _drain(queue) == preview
+
+
+# -- cancellation ----------------------------------------------------------
+
+@given(_pushes.filter(bool), st.data())
+def test_cancel_removes_exactly_the_target(priorities, data):
+    queue = _fill(priorities)
+    victim = data.draw(st.integers(min_value=0,
+                                   max_value=len(priorities) - 1))
+    unit = queue.cancel(f"u-{victim}")
+    assert unit == {"n": victim}
+    assert f"u-{victim}" not in queue
+    survivors = _drain(queue)
+    assert f"u-{victim}" not in survivors
+    assert sorted(survivors) == sorted(
+        f"u-{index}" for index in range(len(priorities)) if index != victim)
+
+
+def test_cancel_of_absent_id_returns_none():
+    queue = _fill([1, 2])
+    assert queue.cancel("u-99") is None
+    assert len(queue) == 2
+
+
+def test_cancel_then_pop_skips_the_tombstone():
+    queue = _fill([5, 9, 1])  # u-1 is next in line
+    queue.cancel("u-1")
+    assert queue.pop()[0] == "u-0"
+
+
+# -- conservation under interleavings --------------------------------------
+
+_ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("push"),
+                  st.integers(min_value=-100, max_value=100)),
+        st.tuples(st.just("pop"), st.just(0)),
+        st.tuples(st.just("cancel"), st.integers(min_value=0, max_value=80)),
+    ),
+    max_size=120,
+)
+
+
+@given(_ops)
+@settings(max_examples=200)
+def test_no_unit_lost_or_duplicated_under_interleavings(ops):
+    queue = PriorityJobQueue()
+    pushed, popped, cancelled = set(), [], set()
+    next_id = 0
+    for op, arg in ops:
+        if op == "push":
+            unit_id = f"u-{next_id}"
+            next_id += 1
+            queue.push(unit_id, {"id": unit_id}, arg)
+            pushed.add(unit_id)
+        elif op == "pop":
+            result = queue.pop()
+            if result is not None:
+                popped.append(result[0])
+        else:
+            unit = queue.cancel(f"u-{arg}")
+            if unit is not None:
+                cancelled.add(f"u-{arg}")
+    popped.extend(_drain(queue))
+    assert len(popped) == len(set(popped))          # no duplication
+    assert set(popped) | cancelled == pushed        # no loss
+    assert set(popped) & cancelled == set()         # exactly one fate
+
+
+@given(_pushes)
+def test_depth_by_priority_accounts_for_every_pending_unit(priorities):
+    queue = _fill(priorities)
+    depths = queue.depth_by_priority()
+    assert sum(depths.values()) == len(queue) == len(priorities)
+    for priority, depth in depths.items():
+        assert depth == priorities.count(priority)
+
+
+def test_repushing_a_pending_id_raises():
+    queue = _fill([0])
+    with pytest.raises(ValueError, match="already queued"):
+        queue.push("u-0", {"n": 0}, 5)
+
+
+def test_popped_id_can_be_repushed():
+    queue = _fill([0])
+    queue.pop()
+    queue.push("u-0", {"n": 0}, 5)  # retry path re-enqueues the same id
+    assert queue.pop() == ("u-0", {"n": 0})
+
+
+# -- retry backoff ---------------------------------------------------------
+
+@given(st.integers(min_value=1, max_value=30),
+       st.floats(min_value=0.01, max_value=2.0,
+                 allow_nan=False, allow_infinity=False),
+       st.floats(min_value=0.01, max_value=30.0,
+                 allow_nan=False, allow_infinity=False))
+def test_backoff_is_capped_exponential(attempt, base, cap):
+    delay = backoff_delay(attempt, base, cap)
+    assert delay <= cap
+    assert delay <= base * (2.0 ** (attempt - 1))
+    if attempt > 1:
+        assert delay >= backoff_delay(attempt - 1, base, cap)
+
+
+def test_backoff_first_attempt_is_the_base():
+    assert backoff_delay(1, 0.25, 5.0) == 0.25
+    assert backoff_delay(2, 0.25, 5.0) == 0.5
+    assert backoff_delay(10, 0.25, 5.0) == 5.0  # capped
+
+
+def test_backoff_rejects_nonpositive_attempts():
+    with pytest.raises(ValueError):
+        backoff_delay(0, 0.25, 5.0)
