@@ -109,6 +109,9 @@ _TRUSTED_MODULES = (
     "repro.isa.instruction",
     "repro.isa.operands",
     "repro.isa.registers",
+    "repro.uop.ir",
+    "repro.uop.compile",
+    "repro.uop.interp",
 )
 
 _source_digests: dict[str, bytes] = {}
@@ -194,6 +197,7 @@ def lift_key(
     timeout_seconds: float | None = None,
     schedule: str = "scc",
     pointer_summaries: bool = False,
+    engine: str = "tau",
 ) -> str:
     """The content address of one lift (hex SHA-256)."""
     resolved_entry = entry if entry is not None else binary.entry
@@ -205,7 +209,8 @@ def lift_key(
         f"|entry={resolved_entry:#x}|trust={int(trust_data)}"
         f"|max_states={max_states}|max_targets={max_targets}"
         f"|timeout={timeout_seconds!r}|schedule={schedule}"
-        f"|summaries={int(pointer_summaries)}".encode()
+        f"|summaries={int(pointer_summaries)}"
+        f"|engine={engine}".encode()
     )
     return h.hexdigest()
 
@@ -490,6 +495,7 @@ def cached_lift(
     timeout_seconds: float | None = None,
     schedule: str = "scc",
     pointer_summaries: bool = False,
+    engine: str = "tau",
 ):
     """Serve the lift from *store*, falling back to the cold path on miss.
 
@@ -508,6 +514,7 @@ def cached_lift(
         binary, entry, trust_data=trust_data, max_states=max_states,
         max_targets=max_targets, timeout_seconds=timeout_seconds,
         schedule=schedule, pointer_summaries=pointer_summaries,
+        engine=engine,
     )
     load_start = time.perf_counter()
     result = store.get(key)
@@ -518,6 +525,7 @@ def cached_lift(
         binary, entry=entry, trust_data=trust_data, max_states=max_states,
         max_targets=max_targets, timeout_seconds=timeout_seconds,
         schedule=schedule, pointer_summaries=pointer_summaries,
+        engine=engine,
     )
     store.put(key, result)
     return result

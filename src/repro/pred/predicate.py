@@ -86,6 +86,17 @@ class Predicate:
             clauses=frozenset(clauses),
         )
 
+    def __hash__(self) -> int:
+        # Same value the generated frozen-dataclass hash would produce,
+        # cached on first use: the uop engine's transfer memo hashes whole
+        # predicates on every probe, and the field walk (17 register pairs
+        # plus mem regions) is measurable at that frequency.
+        h = self.__dict__.get("_hash")
+        if h is None:
+            h = hash((self.regs, self.flags, self.mem, self.clauses))
+            object.__setattr__(self, "_hash", h)
+        return h
+
     # -- views ---------------------------------------------------------------
     def reg_dict(self) -> dict[str, Expr]:
         return dict(self.regs)

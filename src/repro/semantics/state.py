@@ -8,7 +8,6 @@ deterministic unknowns) and ``reachable`` implements Section 4.2.2.
 
 from __future__ import annotations
 
-import itertools
 from dataclasses import dataclass, field, replace
 
 from repro.elf import Binary
@@ -20,13 +19,26 @@ from repro.smt.solver import Region
 
 
 class NameGen:
-    """Deterministic fresh-name source for havoc variables."""
+    """Deterministic fresh-name source for havoc variables.
+
+    The counter is a plain int so callers can observe how many names a
+    computation consumed (:attr:`issued`): the uop engine memoizes a
+    transfer result only when it provably consumed no fresh names, which
+    it detects by comparing ``issued`` before and after execution.
+    """
 
     def __init__(self) -> None:
-        self._counter = itertools.count()
+        self._counter = 0
+
+    @property
+    def issued(self) -> int:
+        """Number of fresh names handed out so far."""
+        return self._counter
 
     def fresh(self, prefix: str, width: int = 64) -> Var:
-        return Var(f"{prefix}%{next(self._counter)}", width)
+        count = self._counter
+        self._counter = count + 1
+        return Var(f"{prefix}%{count}", width)
 
 
 @dataclass

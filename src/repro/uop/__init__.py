@@ -1,0 +1,28 @@
+"""The micro-op engine: τ compiled to a flat IR, executed by arrays.
+
+``lift(engine="uop")`` routes the lifter's transfer function through this
+package instead of walking :mod:`repro.semantics.tau` per visit:
+
+* :mod:`repro.uop.ir`        — the flat micro-op grammar + hash-consed
+  temp emitter;
+* :mod:`repro.uop.compile`   — ``compile_insn``: one block per
+  opcode+operand shape, content-addressed on ``SEMANTICS_VERSION``;
+* :mod:`repro.uop.interp`    — ``uop_step``: the array interpreter plus
+  the content-addressed transfer/ins memos;
+* :mod:`repro.uop.intervals` — vectorized interval lattice over the same
+  IR (batched bounds, per-block range analysis).
+
+``tau`` stays the reference engine; equivalence bar and invariants are
+documented in INTERNALS §18.
+"""
+
+from repro.uop import ir
+from repro.uop.compile import compile_insn, opcode_stats, shape_key
+from repro.uop.interp import uop_step
+from repro.uop.intervals import batch_interval_of, block_intervals
+from repro.uop.ir import BlockEmitter, UopBlock
+
+__all__ = [
+    "ir", "compile_insn", "opcode_stats", "shape_key", "uop_step",
+    "batch_interval_of", "block_intervals", "BlockEmitter", "UopBlock",
+]

@@ -1,0 +1,393 @@
+"""``compile_insn``: decoded instruction → :class:`UopBlock`, memoized.
+
+The compile table is **content-addressed**: the memo key is the
+instruction's *shape* — mnemonic plus a per-operand descriptor
+(register name / immediate value+width / full addressing form) — paired
+with the live ``SEMANTICS_VERSION`` from :mod:`repro.perf.store`, and the
+block's digest is the SHA-256 of that pair.  A corpus therefore compiles
+each distinct instruction form exactly once, two occurrences of
+``add rax, rbx`` at different addresses share one block (``IMark``
+binds the address at execution time), and bumping the semantics version
+misses the whole table — the same invalidation discipline as the PR-5
+lift store.
+
+Compile rules mirror τ (:mod:`repro.semantics.tau`) case by case.  What τ
+decides per *visit* — immediate sign-extension widths, sub-register
+keep masks, zext insertion, flag kinds — the compiler decides once per
+*form* and bakes into the micro-op operands as pre-simplified
+:class:`~repro.expr.Const` nodes and kernel references.  Forms whose
+successor structure doesn't fit a straight-line temp file (``jcc``,
+``push``/``pop``, control flow) compile to ``RUN`` closures; the rare
+complex forms (string ops, ``mul``/``div``, ``adc``/``sbb``, ``xchg``,
+``leave``) compile to ``CCALL`` blocks that clean-call τ's own
+transformer — identical semantics by construction, and the step memo in
+:mod:`repro.uop.interp` still applies to them.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from repro.expr import Const, Expr, RegRef, simplify as s
+from repro.isa import Imm, Instruction, Mem, Reg, condition_of
+from repro.isa.registers import family_of, reg_width
+from repro.perf import register_cache
+from repro.uop import ir
+from repro.uop.ir import BlockEmitter, UopBlock
+
+_MASK64 = (1 << 64) - 1
+
+
+def _semantics_version() -> str:
+    # Read dynamically (not captured at import) so a version bump — e.g. a
+    # monkeypatched SEMANTICS_VERSION in tests — misses the memo.
+    from repro.perf import store
+
+    return str(store.SEMANTICS_VERSION)
+
+
+# -- the memo ------------------------------------------------------------------
+
+#: (version, shape) -> UopBlock.  The content-addressed compile table.
+_TABLE: dict[tuple, UopBlock] = {}
+#: (version, Instruction) -> UopBlock.  Per-instruction probe in front of
+#: the shape table (hashing a decoded Instruction is cheaper than
+#: recomputing its shape key on every visit).
+_BY_INSTR: dict[tuple, UopBlock] = {}
+#: mnemonic -> [table_hits, table_misses] (probe hits count as table hits).
+_OPCODE_STATS: dict[str, list[int]] = {}
+_STATS = {"hits": 0, "misses": 0}
+
+
+def compile_insn(instr: Instruction) -> UopBlock:
+    """The compiled block for *instr* (memoized per opcode+operand shape)."""
+    version = _semantics_version()
+    probe = (version, instr)
+    block = _BY_INSTR.get(probe)
+    if block is not None:
+        _STATS["hits"] += 1
+        _bump(instr.mnemonic, 0)
+        return block
+    shape = shape_key(instr)
+    key = (version, shape)
+    block = _TABLE.get(key)
+    if block is not None:
+        _STATS["hits"] += 1
+        _bump(instr.mnemonic, 0)
+    else:
+        _STATS["misses"] += 1
+        _bump(instr.mnemonic, 1)
+        digest = hashlib.sha256(
+            f"{version}|{shape!r}".encode("utf-8")).hexdigest()
+        block = _compile(instr, digest)
+        _TABLE[key] = block
+    _BY_INSTR[probe] = block
+    return block
+
+
+def shape_key(instr: Instruction) -> tuple:
+    """The opcode+operand-shape memo key (address-independent)."""
+    parts: list = [instr.mnemonic]
+    for op in instr.operands:
+        if isinstance(op, Reg):
+            parts.append(("r", op.name))
+        elif isinstance(op, Imm):
+            parts.append(("i", op.value, op.width))
+        else:
+            parts.append(("m", op.width, op.base, op.index, op.scale, op.disp))
+    return tuple(parts)
+
+
+def _bump(mnemonic: str, miss: int) -> None:
+    slot = _OPCODE_STATS.get(mnemonic)
+    if slot is None:
+        slot = _OPCODE_STATS[mnemonic] = [0, 0]
+    slot[miss] += 1
+
+
+def opcode_stats() -> dict[str, dict[str, int]]:
+    """Per-mnemonic compile-table hit/miss counts (for ``render_profile``)."""
+    return {name: {"hits": slot[0], "misses": slot[1]}
+            for name, slot in sorted(_OPCODE_STATS.items())}
+
+
+def _cache_stats() -> dict:
+    return {"hits": _STATS["hits"], "misses": _STATS["misses"],
+            "size": len(_TABLE)}
+
+
+def _cache_clear() -> None:
+    _TABLE.clear()
+    _BY_INSTR.clear()
+    _OPCODE_STATS.clear()
+    _STATS["hits"] = _STATS["misses"] = 0
+
+
+register_cache("uop.compile", _cache_stats, _cache_clear)
+
+
+# -- region recipes (Definition 4.2's R, shape-compiled) -----------------------
+
+_STRING_MNEMONICS = ("movsb", "movsq", "stosb", "stosq", "lodsb", "lodsq")
+
+
+def _addr_template(mem: Mem) -> Expr:
+    """``mem_addr_expr`` minus the rip case, folded at compile time."""
+    expr: Expr = Const(mem.disp & _MASK64)
+    if mem.base:
+        expr = s.add(expr, RegRef(mem.base))
+    if mem.index:
+        expr = s.add(expr, s.mul(RegRef(mem.index), Const(mem.scale)))
+    return expr
+
+
+def _region_recipe(instr: Instruction) -> tuple[tuple[tuple, ...], dict[int, int]]:
+    """The per-form region recipe plus operand-index → slot mapping.
+
+    Slot *i* is the i-th ``RG_MEM`` entry; the interpreter evaluates the
+    recipe once per step and the body's LOAD/STORE/ADDR micro-ops reuse
+    the evaluated :class:`Region` objects, so each operand address is
+    computed exactly once (τ evaluates it twice: regions + read)."""
+    recipe: list[tuple] = []
+    slot_of: dict[int, int] = {}
+    for index, op in enumerate(instr.operands):
+        if isinstance(op, Mem):
+            slot_of[index] = len(recipe)
+            if op.base == "rip":
+                recipe.append((ir.RG_MEM, None, op.width // 8, op.disp))
+            else:
+                recipe.append(
+                    (ir.RG_MEM, _addr_template(op), op.width // 8, 0))
+    mnemonic = instr.mnemonic
+    if mnemonic == "push":
+        recipe.append((ir.RG_PUSH,))
+    elif mnemonic in ("pop", "ret"):
+        recipe.append((ir.RG_POPRET,))
+    elif mnemonic == "leave":
+        recipe.append((ir.RG_LEAVE,))
+    elif mnemonic in _STRING_MNEMONICS:
+        size = 1 if mnemonic.endswith("b") else 8
+        recipe.append((ir.RG_STRING,
+                       mnemonic.startswith(("movs", "stos")),
+                       mnemonic.startswith(("movs", "lods")), size))
+    return tuple(recipe), slot_of
+
+
+# -- compile rules -------------------------------------------------------------
+
+_ALU_KERNEL = {"add": s.add, "sub": s.sub, "cmp": s.sub,
+               "and": s.and_, "or": s.or_, "xor": s.xor, "test": s.and_}
+_FLAG_KIND = {"cmp": "cmp", "sub": "cmp", "test": "test"}
+_SHIFT_CODE = {"shl": ir.SHL, "shr": ir.SHR, "sar": ir.SAR,
+               "rol": ir.ROL, "ror": ir.ROR}
+_RUN_FORMS = ("jmp", "call", "ret", "push", "pop",
+              "hlt", "ud2", "int3", "syscall")
+
+
+class _Rules:
+    """One compilation: an emitter plus the operand-access helpers."""
+
+    def __init__(self, instr: Instruction, slot_of: dict[int, int]) -> None:
+        self.instr = instr
+        self.slot_of = slot_of
+        self.em = BlockEmitter()
+
+    def read(self, index: int) -> int:
+        """τ's ``_read_operand`` as micro-ops; returns the value temp."""
+        op = self.instr.operands[index]
+        if isinstance(op, Reg):
+            return self.em.value(ir.GET, op.family,
+                                 0 if op.width == 64 else op.width)
+        if isinstance(op, Imm):
+            return self.em.value(ir.CONST, Const(op.value, op.width))
+        return self.em.load(self.slot_of[index], op.width // 8)
+
+    def store(self, index: int, src: int) -> None:
+        """τ's ``_store`` as micro-ops (keep masks folded per form)."""
+        op = self.instr.operands[index]
+        if isinstance(op, Reg):
+            width = reg_width(op.name)
+            keep = Const(~((1 << width) - 1)) if width < 32 else None
+            self.em.emit(ir.PUT, family_of(op.name), src, width, keep)
+        else:
+            self.em.emit(ir.STORE, self.slot_of[index], op.width // 8, src)
+
+
+def _compile(instr: Instruction, digest: str) -> UopBlock:
+    mnemonic = instr.mnemonic
+    regions, slot_of = _region_recipe(instr)
+    pure_hint = not any(isinstance(op, Mem) for op in instr.operands)
+
+    cc = condition_of(mnemonic)
+    if (mnemonic in _RUN_FORMS
+            or (cc is not None and mnemonic.startswith("j"))):
+        return UopBlock(digest=digest, mnemonic=mnemonic, kind=ir.RUN,
+                        regions=regions, run=_run_closure(mnemonic, cc),
+                        pure_hint=pure_hint and mnemonic not in
+                        ("push", "pop", "ret", "call", "jmp"))
+
+    rules = _OPS_RULES.get(mnemonic)
+    if rules is None and cc is not None:
+        rules = _compile_setcc if mnemonic.startswith("set") else \
+            _compile_cmovcc if mnemonic.startswith("cmov") else None
+    if rules is None:
+        # adc/sbb, mul/div/imul, cdq/cqo/cdqe, xchg, leave, string ops,
+        # and anything τ itself would reject: clean-call the reference
+        # transformer.  UnsupportedInstruction still surfaces at step time.
+        return UopBlock(digest=digest, mnemonic=mnemonic, kind=ir.CCALL,
+                        regions=regions)
+
+    compiler = _Rules(instr, slot_of)
+    rules(compiler)
+    ops, n_temps = compiler.em.finish()
+    return UopBlock(digest=digest, mnemonic=mnemonic, kind=ir.OPS,
+                    regions=regions, ops=ops, n_temps=n_temps,
+                    pure_hint=pure_hint)
+
+
+def _run_closure(mnemonic: str, cc: str | None):
+    """RUN bodies: τ's successor-shaped transformers, dispatch pre-resolved."""
+    from repro.semantics import tau
+    from repro.semantics.events import TerminalEvent
+    from repro.semantics.tau import Successor
+
+    if mnemonic in ("hlt", "ud2", "int3"):
+        def run(state, instr, ctx):
+            return [Successor(state, events=(TerminalEvent(mnemonic),))]
+    elif mnemonic == "syscall":
+        def run(state, instr, ctx):
+            return [Successor(state, events=(TerminalEvent("syscall"),))]
+    elif mnemonic == "jmp":
+        run = tau._jmp
+    elif mnemonic == "call":
+        run = tau._call
+    elif mnemonic == "ret":
+        run = tau._ret
+    elif cc is not None:
+        def run(state, instr, ctx):
+            return tau._jcc(state, instr, cc)
+    else:  # push / pop: dataflow forms -> advance rip afterwards
+        body = tau._push if mnemonic == "push" else tau._pop
+
+        def run(state, instr, ctx):
+            new_state, events = body(state, instr, ctx)
+            new_state = new_state.with_pred(
+                tau._advance(new_state.pred, instr))
+            return [Successor(new_state, events=events)]
+    return run
+
+
+# Each rule receives a `_Rules` and emits the body.  Emission order is
+# τ's evaluation order — reads, then the store, then the flag thunk — so
+# the interpreter consumes fresh havoc names in exactly τ's order.
+
+def _compile_nop(c: _Rules) -> None:
+    pass
+
+
+def _compile_mov(c: _Rules) -> None:
+    dst, src = c.instr.operands
+    if isinstance(src, Imm) and src.width < dst.width:
+        value = c.em.value(
+            ir.CONST, Const(Imm(src.value, src.width).signed, dst.width))
+    else:
+        value = c.read(1)
+    c.store(0, value)
+
+
+def _compile_lea(c: _Rules) -> None:
+    dst = c.instr.operands[0]
+    addr = c.em.value(ir.ADDR, c.slot_of[1])
+    if dst.width < 64:
+        addr = c.em.value(ir.UN, s.low, addr, dst.width)
+    c.store(0, addr)
+
+
+def _compile_extend(c: _Rules) -> None:
+    dst = c.instr.operands[0]
+    kernel = s.zext if c.instr.mnemonic == "movzx" else s.sext
+    value = c.em.value(ir.UN, kernel, c.read(1), dst.width)
+    c.store(0, value)
+
+
+def _compile_alu(c: _Rules) -> None:
+    mnemonic = c.instr.mnemonic
+    dst, src = c.instr.operands
+    width = dst.width
+    a = c.read(0)
+    b = c.read(1)
+    if isinstance(src, Imm) and src.width < width:
+        b = c.em.value(ir.CONST, Const(Imm(src.value, src.width).signed, width))
+    elif src.width < width:
+        b = c.em.value(ir.UN, s.zext, b, width)
+    kind = _FLAG_KIND.get(mnemonic)
+    if mnemonic in ("cmp", "test"):
+        c.em.emit(ir.FLAG_CMP, kind, a, b, width)
+        return
+    result = c.em.value(ir.BIN, _ALU_KERNEL[mnemonic], a, b, width)
+    c.store(0, result)
+    if kind is not None:
+        c.em.emit(ir.FLAG_CMP, kind, a, b, width)
+    else:
+        c.em.emit(ir.FLAG_ARITH, result, width)
+
+
+def _compile_unary(c: _Rules) -> None:
+    mnemonic = c.instr.mnemonic
+    (dst,) = c.instr.operands
+    width = dst.width
+    value = c.read(0)
+    if mnemonic == "inc":
+        result = c.em.value(ir.BIN, s.add, value,
+                            c.em.value(ir.CONST, Const(1, width)), width)
+    elif mnemonic == "dec":
+        result = c.em.value(ir.BIN, s.sub, value,
+                            c.em.value(ir.CONST, Const(1, width)), width)
+    elif mnemonic == "neg":
+        result = c.em.value(ir.UN, s.neg, value, width)
+    else:  # not
+        result = c.em.value(ir.UN, s.not_, value, width)
+    c.store(0, result)
+    if mnemonic != "not":  # `not` leaves the flag state untouched
+        c.em.emit(ir.FLAG_ARITH, result, width)
+
+
+def _compile_shift(c: _Rules) -> None:
+    dst = c.instr.operands[0]
+    width = dst.width
+    a = c.read(0)
+    n = c.read(1)
+    result = c.em.shift(_SHIFT_CODE[c.instr.mnemonic], a, n, width)
+    c.store(0, result)
+    c.em.emit(ir.FLAG_SHIFT, result, n, _SHIFT_CODE[c.instr.mnemonic], width)
+
+
+def _compile_setcc(c: _Rules) -> None:
+    cond = c.em.value(ir.COND, condition_of(c.instr.mnemonic))
+    c.store(0, c.em.value(ir.UN, s.zext, cond, 8))
+
+
+def _compile_cmovcc(c: _Rules) -> None:
+    dst = c.instr.operands[0]
+    cond = c.em.value(ir.COND, condition_of(c.instr.mnemonic))
+    old = c.read(0)
+    new = c.read(1)
+    c.store(0, c.em.value(ir.ITE, cond, new, old, dst.width))
+
+
+_OPS_RULES = {
+    "nop": _compile_nop,
+    "mov": _compile_mov,
+    "movabs": _compile_mov,
+    "lea": _compile_lea,
+    "movzx": _compile_extend,
+    "movsx": _compile_extend,
+    "movsxd": _compile_extend,
+    "add": _compile_alu, "sub": _compile_alu, "and": _compile_alu,
+    "or": _compile_alu, "xor": _compile_alu, "cmp": _compile_alu,
+    "test": _compile_alu,
+    "inc": _compile_unary, "dec": _compile_unary,
+    "neg": _compile_unary, "not": _compile_unary,
+    "shl": _compile_shift, "shr": _compile_shift, "sar": _compile_shift,
+    "rol": _compile_shift, "ror": _compile_shift,
+}

@@ -1,0 +1,374 @@
+"""The array-based abstract interpreter for :class:`UopBlock`s.
+
+``uop_step(state, instr, ctx)`` is a drop-in replacement for τ's
+``step`` — same signature, same :class:`Successor` results — organized as
+
+1. **compile** (phase ``uop.compile``): probe the content-addressed
+   compile table for the instruction's block;
+2. **region recipe**: evaluate the block's precompiled region recipe once
+   against the predicate; the resulting :class:`Region` slots are shared
+   between the memory-model forking below and the body's LOAD/STORE/ADDR
+   micro-ops (τ computes every operand address twice);
+3. **fork** (Definition 3.7): insert each evaluable region through
+   ``ins`` — memoized on ``(region, model, pred)``, which is its full
+   input set;
+4. **execute** (phase ``uop.exec``): run the block body on each fork —
+   the OPS interpreter walks the flat micro-op tuple against a dense
+   temp-slot list (int indices, no dict probes, no string dispatch) with
+   a single final :class:`Predicate` construction; RUN/CCALL blocks call
+   their compiled closure / τ's reference transformer.
+
+The whole transfer is additionally memoized content-addressed on
+``(block.digest, instr, pred, model, epoch, reachable, binary,
+trust_data)`` — its complete input set — but **only** when executing it
+consumed no fresh havoc names (checked via ``ctx.names.issued``): a
+transfer that allocated names is rerun every visit, exactly like τ, so
+name streams stay identical.  On the corpus ~half of all transfer inputs
+are exact repeats (loop bodies re-visited under a stable predicate), and
+a memo hit returns the *same* hash-consed states τ would have rebuilt —
+byte-identical canonical reports by construction.
+"""
+
+from __future__ import annotations
+
+from repro.expr import Const, Expr
+from repro.expr import simplify as s
+from repro.isa import Instruction
+from repro.memmodel import ins
+from repro.obs.profile import phase
+from repro.perf import register_cache
+from repro.pred import FlagState, Predicate
+from repro.pred.flags import condition_expr
+from repro.semantics import tau
+from repro.semantics.memory import read_region, write_region
+from repro.semantics.state import LiftContext, SymState
+from repro.semantics.tau import Successor
+from repro.smt.solver import Region
+from repro.uop import ir
+from repro.uop.compile import compile_insn
+
+_MASK64 = (1 << 64) - 1
+
+# -- memo tables ---------------------------------------------------------------
+
+#: (digest, instr, pred, model, epoch, reachable, binary, trust) -> successors.
+_STEP_MEMO: dict[tuple, tuple[Successor, ...]] = {}
+_STEP_STATS = {"hits": 0, "misses": 0, "impure": 0}
+
+#: (region, model, pred) -> ins results.  ``ins`` is a pure function of
+#: exactly this triple (the predicate is its bounds provider).
+_INS_MEMO: dict[tuple, tuple] = {}
+_INS_STATS = {"hits": 0, "misses": 0}
+
+
+def _step_cache_stats() -> dict:
+    return {"hits": _STEP_STATS["hits"], "misses": _STEP_STATS["misses"],
+            "impure": _STEP_STATS["impure"], "size": len(_STEP_MEMO)}
+
+
+def _step_cache_clear() -> None:
+    _STEP_MEMO.clear()
+    _STEP_STATS["hits"] = _STEP_STATS["misses"] = _STEP_STATS["impure"] = 0
+
+
+def _ins_cache_stats() -> dict:
+    return {"hits": _INS_STATS["hits"], "misses": _INS_STATS["misses"],
+            "size": len(_INS_MEMO)}
+
+
+def _ins_cache_clear() -> None:
+    _INS_MEMO.clear()
+    _INS_STATS["hits"] = _INS_STATS["misses"] = 0
+
+
+register_cache("uop.step", _step_cache_stats, _step_cache_clear)
+register_cache("uop.ins", _ins_cache_stats, _ins_cache_clear)
+
+#: Monotonic identity tokens for (unhashable) Binary objects, so lifts of
+#: different binaries in one process never share step-memo entries.
+_BINARY_TOKENS: int = 0
+
+
+def _binary_token(binary) -> int:
+    global _BINARY_TOKENS
+    token = getattr(binary, "_uop_token", None)
+    if token is None:
+        _BINARY_TOKENS += 1
+        token = _BINARY_TOKENS
+        try:
+            binary._uop_token = token
+        except AttributeError:  # slotted/frozen binary: fall back to id
+            return id(binary)
+    return token
+
+
+# -- the step function ---------------------------------------------------------
+
+#: Deoptimization latch, set by :func:`repro.qa.faults.inject` while a
+#: τ-layer fault is installed.  Compiled blocks re-derive τ's semantics
+#: instead of calling it, so they would keep executing the *unpatched*
+#: semantics under a hot-patched τ — stale code.  When True, every step
+#: routes through ``tau.step`` wholesale.
+DEOPT_TO_TAU = False
+
+
+def uop_step(
+    state: SymState, instr: Instruction, ctx: LiftContext
+) -> list[Successor]:
+    """``step_Σ`` through the micro-op engine (drop-in for ``tau.step``)."""
+    if DEOPT_TO_TAU:
+        return tau.step(state, instr, ctx)
+    with phase("uop.compile"):
+        block = compile_insn(instr)
+    with phase("uop.exec"):
+        key = (block.digest, instr, state.pred, state.model, state.epoch,
+               state.reachable, _binary_token(ctx.binary), ctx.trust_data)
+        cached = _STEP_MEMO.get(key)
+        if cached is not None:
+            _STEP_STATS["hits"] += 1
+            return list(cached)
+        _STEP_STATS["misses"] += 1
+        issued_before = ctx.names.issued
+        successors = _execute(block, state, instr, ctx)
+        if ctx.names.issued == issued_before:
+            # No fresh havoc names were consumed: the transfer is a pure
+            # function of the memo key and its results can be replayed.
+            _STEP_MEMO[key] = tuple(successors)
+        else:
+            _STEP_STATS["impure"] += 1
+        return successors
+
+
+def _execute(
+    block, state: SymState, instr: Instruction, ctx: LiftContext
+) -> list[Successor]:
+    regions = _eval_regions(block.regions, state.pred, instr)
+    # Fork the memory model over the evaluable regions (Definition 4.2).
+    forks: list[tuple[SymState, tuple, ...]] = [(state, ())]
+    for region in regions:
+        if region is None:
+            continue
+        next_forks = []
+        for forked, assumptions in forks:
+            for result in _ins_memo(region, forked.model, forked.pred):
+                next_forks.append(
+                    (forked.with_model(result.model),
+                     assumptions + result.assumptions))
+        forks = next_forks
+
+    successors: list[Successor] = []
+    if block.kind == ir.OPS:
+        for forked, assumptions in forks:
+            successors.append(
+                _run_ops(block, forked, assumptions, instr, ctx, regions))
+    elif block.kind == ir.RUN:
+        run = block.run
+        for forked, assumptions in forks:
+            for succ in run(forked, instr, ctx):
+                successors.append(Successor(
+                    succ.state, assumptions + succ.assumptions, succ.events))
+    else:  # CCALL: clean call into the reference transformer
+        for forked, assumptions in forks:
+            for succ in tau._transform(forked, instr, ctx):
+                successors.append(Successor(
+                    succ.state, assumptions + succ.assumptions, succ.events))
+    return successors
+
+
+def _ins_memo(region: Region, model, pred: Predicate) -> tuple:
+    key = (region, model, pred)
+    results = _INS_MEMO.get(key)
+    if results is None:
+        _INS_STATS["misses"] += 1
+        results = _INS_MEMO[key] = tuple(ins(region, model, pred))
+    else:
+        _INS_STATS["hits"] += 1
+    return results
+
+
+def _eval_regions(
+    recipe: tuple, pred: Predicate, instr: Instruction
+) -> list[Region | None]:
+    """Evaluate the compiled region recipe (τ's ``_instruction_regions``).
+
+    ``RG_MEM`` slots keep their position (None = unevaluable operand);
+    the trailing special entries append only when evaluable, exactly as
+    τ's region list does."""
+    regions: list[Region | None] = []
+    for entry in recipe:
+        kind = entry[0]
+        if kind == ir.RG_MEM:
+            template, size, rip_disp = entry[1], entry[2], entry[3]
+            if template is None:  # rip-relative: fold at the call site
+                addr: Expr | None = Const((instr.end + rip_disp) & _MASK64)
+            else:
+                addr = pred.eval(template)
+            regions.append(None if addr is None else Region(addr, size))
+        elif kind == ir.RG_PUSH:
+            rsp = pred.get_reg("rsp")
+            if rsp is not None:
+                regions.append(Region(s.sub(rsp, Const(8)), 8))
+        elif kind == ir.RG_POPRET:
+            rsp = pred.get_reg("rsp")
+            if rsp is not None:
+                regions.append(Region(rsp, 8))
+        elif kind == ir.RG_LEAVE:
+            rbp = pred.get_reg("rbp")
+            if rbp is not None:
+                regions.append(Region(rbp, 8))
+        else:  # RG_STRING
+            use_rdi, use_rsi, size = entry[1], entry[2], entry[3]
+            rdi, rsi = pred.get_reg("rdi"), pred.get_reg("rsi")
+            if use_rdi and rdi is not None:
+                regions.append(Region(rdi, size))
+            if use_rsi and rsi is not None:
+                regions.append(Region(rsi, size))
+    return regions
+
+
+_KEEP = object()  # sentinel: block did not touch the flag state
+
+
+def _run_ops(
+    block, forked: SymState, assumptions: tuple, instr: Instruction,
+    ctx: LiftContext, regions: list[Region | None],
+) -> Successor:
+    """Run a flat OPS body against a dense temp file; one Successor out."""
+    temps: list[Expr | None] = [None] * block.n_temps
+    state = forked
+    rd = dict(forked.pred.regs)        # register file as a dict, mutated
+    base_flags = forked.pred.flags     # flag thunks read the entry flags
+    flags = _KEEP
+    events: tuple = ()
+
+    for op in block.ops:
+        code = op[0]
+        if code == ir.GET:
+            value = rd.get(op[2])
+            if value is not None and op[3]:
+                value = s.low(value, op[3])
+            temps[op[1]] = value
+        elif code == ir.CONST:
+            temps[op[1]] = op[2]
+        elif code == ir.BIN:
+            a, b = temps[op[3]], temps[op[4]]
+            temps[op[1]] = op[2](a, b, op[5]) \
+                if a is not None and b is not None else None
+        elif code == ir.UN:
+            a = temps[op[3]]
+            temps[op[1]] = op[2](a, op[4]) if a is not None else None
+        elif code == ir.LOAD:
+            region = regions[op[2]]
+            temps[op[1]] = None if region is None else \
+                read_region(state, region, ctx)
+        elif code == ir.ADDR:
+            region = regions[op[2]]
+            temps[op[1]] = None if region is None else region.addr
+        elif code == ir.ITE:
+            c, a, b = temps[op[2]], temps[op[3]], temps[op[4]]
+            temps[op[1]] = s.ite(c, a, b, op[5]) \
+                if c is not None and a is not None and b is not None else None
+        elif code == ir.COND:
+            temps[op[1]] = condition_expr(base_flags, op[2]) \
+                if base_flags is not None else None
+        elif code == ir.PUT:
+            _put(rd, op[1], temps[op[2]], op[3], op[4])
+        elif code == ir.STORE:
+            region = regions[op[1]]
+            if region is None:
+                state, new_events = tau._unknown_write(state, instr)
+                events += new_events
+            else:
+                value = temps[op[3]]
+                if value is None:
+                    value = ctx.names.fresh("havoc", op[2] * 8)
+                state = state.with_pred(
+                    write_region(state, region, value, ctx))
+        elif code == ir.FLAG_CMP:
+            a, b = temps[op[2]], temps[op[3]]
+            flags = FlagState(op[1], a, b, op[4]) \
+                if a is not None and b is not None else None
+        elif code == ir.FLAG_ARITH:
+            result = temps[op[1]]
+            flags = FlagState("arith", result, None, op[2]) \
+                if result is not None else None
+        elif code == ir.FLAG_NONE:
+            flags = None
+        elif code == ir.SHIFT:
+            temps[op[1]] = _shift_value(
+                op[2], temps[op[3]], temps[op[4]], op[5])
+        elif code == ir.FLAG_SHIFT:
+            flags = _shift_flags(
+                temps[op[1]], temps[op[2]], op[3], op[4], flags)
+        # IMARK: no-op
+
+    rd["rip"] = Const(instr.end)       # τ's _advance
+    pred = state.pred
+    new_pred = Predicate(
+        regs=tuple(sorted(rd.items())),
+        flags=pred.flags if flags is _KEEP else flags,
+        mem=pred.mem, clauses=pred.clauses,
+    )
+    new_state = SymState(pred=new_pred, model=state.model,
+                         epoch=state.epoch, reachable=state.reachable)
+    return Successor(new_state, assumptions, events)
+
+
+def _put(rd: dict, family: str, value: Expr | None, width: int,
+         keep: Const | None) -> None:
+    """τ's ``_write_reg`` with the width dispatch resolved at compile time."""
+    if value is None:
+        rd.pop(family, None)
+    elif width == 64:
+        rd[family] = value
+    elif width == 32:
+        rd[family] = s.zext(s.low(value, 32) if value.width > 32 else value, 64)
+    else:
+        old = rd.get(family)
+        if old is None:
+            rd.pop(family, None)
+            return
+        narrowed = s.low(value, width) if value.width > width else value
+        rd[family] = s.or_(s.and_(old, keep), s.zext(narrowed, 64))
+
+
+def _shift_value(code: int, a: Expr | None, n: Expr | None,
+                 width: int) -> Expr | None:
+    """τ's ``_shift`` result computation (count-at-runtime contract)."""
+    if a is None or n is None:
+        return None
+    if code == ir.SHL or code == ir.SHR or code == ir.SAR:
+        builder = s.shl if code == ir.SHL else s.shr if code == ir.SHR \
+            else s.sar
+        masked = s.and_(s.zext(n, width) if n.width < width else n,
+                        Const(width - 1, width), width)
+        return builder(a, masked, width)
+    if not isinstance(n, Const):  # symbolic rotate count
+        return None
+    shift = n.value % width
+    if not shift:
+        return a
+    if code == ir.ROL:
+        return s.or_(s.shl(a, Const(shift, width), width),
+                     s.shr(a, Const(width - shift, width), width), width)
+    return s.or_(s.shr(a, Const(shift, width), width),
+                 s.shl(a, Const(width - shift, width), width), width)
+
+
+def _shift_flags(result: Expr | None, n: Expr | None, code: int, width: int,
+                 current):
+    """τ's count-dependent shift flag contract.
+
+    Rotates havoc the flag state; a provably-zero count keeps the previous
+    flags; a variable count (a zero count would keep flags) havocs; a
+    nonzero constant count yields result-derived arith flags."""
+    count = None
+    if n is not None and isinstance(n, Const):
+        count = n.value & (63 if width == 64 else 31)
+    if code == ir.ROL or code == ir.ROR:
+        return None
+    if count == 0:
+        return current  # keep (stays the _KEEP sentinel if untouched)
+    if result is None or count is None:
+        return None
+    return FlagState("arith", result, None, width)

@@ -1,0 +1,201 @@
+"""Vectorized interval arithmetic over micro-op blocks.
+
+The array interpreter in :mod:`repro.uop.interp` carries *expressions*
+through the temp file; this module carries *unsigned intervals* through
+the same flat block in struct-of-arrays form — two dense int lists
+``lo[t]``/``hi[t]`` indexed by temp slot, with the BINOP lattice kernels
+(`add`/`sub`/scale, bitwise widening, extension clipping) applied
+positionally over whole vectors instead of one boxed
+:class:`~repro.smt.intervals.Interval` at a time.
+
+Two entry points:
+
+* :func:`batch_interval_of` — bound many expressions against one
+  predicate in a single pass (one bounds-provider setup, shared
+  linearization cache), the batched counterpart of
+  ``Predicate.interval_of``;
+* :func:`block_intervals` — abstract-interpret a compiled ``OPS`` block
+  over the interval lattice: the value-range analogue of ``_run_ops``,
+  usable without touching the symbolic state at all.  This is the
+  ROADMAP item-5 bridge: a second abstract domain running over the same
+  IR, demonstrating that analyses can target the micro-op layer instead
+  of τ.
+
+Everything here is *conservative* (results always contain the concrete
+value set; ``TOP`` on any doubt) and purely advisory — the symbolic
+engine never consults it, so it cannot perturb verdicts.
+"""
+
+from __future__ import annotations
+
+from repro.expr import Const, Expr
+from repro.pred import Predicate
+from repro.smt.intervals import TOP, Interval, from_width, singleton
+from repro.smt.solver import expr_interval
+from repro.uop import ir
+from repro.uop.ir import UopBlock
+
+MASK64 = (1 << 64) - 1
+
+
+# -- vector kernels ------------------------------------------------------------
+#
+# All kernels take parallel lo/hi lists and mutate dst positions in place:
+# a[i] + b[i] -> out[i].  Wraparound discipline matches Interval.add — a
+# result whose endpoints straddle a 2^width window collapses to the full
+# width range (the lattice top at that width).
+
+
+def add_vec(lo_a: list[int], hi_a: list[int], lo_b: list[int],
+            hi_b: list[int], width: int) -> tuple[list[int], list[int]]:
+    """Element-wise interval addition at *width* bits."""
+    top = (1 << width) - 1
+    out_lo, out_hi = [], []
+    for la, ha, lb, hb in zip(lo_a, hi_a, lo_b, hi_b):
+        lo, hi = la + lb, ha + hb
+        if (lo >> width) != (hi >> width):
+            out_lo.append(0)
+            out_hi.append(top)
+        else:
+            out_lo.append(lo & top)
+            out_hi.append(hi & top)
+    return out_lo, out_hi
+
+
+def sub_vec(lo_a: list[int], hi_a: list[int], lo_b: list[int],
+            hi_b: list[int], width: int) -> tuple[list[int], list[int]]:
+    """Element-wise interval subtraction at *width* bits."""
+    top = (1 << width) - 1
+    out_lo, out_hi = [], []
+    for la, ha, lb, hb in zip(lo_a, hi_a, lo_b, hi_b):
+        lo, hi = la - hb, ha - lb
+        if (lo >> width) != (hi >> width):
+            out_lo.append(0)
+            out_hi.append(top)
+        else:
+            out_lo.append(lo & top)
+            out_hi.append(hi & top)
+    return out_lo, out_hi
+
+
+def scale_vec(lo_a: list[int], hi_a: list[int], factor: int,
+              width: int) -> tuple[list[int], list[int]]:
+    """Element-wise scaling by a non-negative constant at *width* bits."""
+    top = (1 << width) - 1
+    if factor < 0:
+        n = len(lo_a)
+        return [0] * n, [top] * n
+    out_lo, out_hi = [], []
+    for la, ha in zip(lo_a, hi_a):
+        lo, hi = la * factor, ha * factor
+        if (lo >> width) != (hi >> width):
+            out_lo.append(0)
+            out_hi.append(top)
+        else:
+            out_lo.append(lo & top)
+            out_hi.append(hi & top)
+    return out_lo, out_hi
+
+
+# -- batched predicate bounds --------------------------------------------------
+
+
+def batch_interval_of(pred: Predicate,
+                      exprs: list[Expr]) -> list[Interval | None]:
+    """Bound every expression in *exprs* under *pred* in one pass.
+
+    Semantically ``[pred.interval_of? via expr_interval]`` per element;
+    batching shares the predicate's (memoized) clause bounds across the
+    whole list and skips the per-call provider setup.  ``None`` marks an
+    unbounded (top) result, mirroring ``Predicate.interval_of``."""
+    results: list[Interval | None] = []
+    for expr in exprs:
+        interval = expr_interval(expr, pred)
+        results.append(None if interval.is_top else interval)
+    return results
+
+
+# -- the interval interpreter --------------------------------------------------
+
+#: Kernels whose result interval we model precisely.  Everything else
+#: (bitwise ops, shifts, division...) widens to the full output range.
+def _kernel_name(fn) -> str:
+    return getattr(fn, "__name__", str(fn))
+
+
+def block_intervals(block: UopBlock, pred: Predicate,
+                    instr=None) -> dict[int, Interval]:
+    """Abstract-interpret an ``OPS`` block over the interval lattice.
+
+    Returns temp slot → interval for every value temp the block defines.
+    LOADs and unknown registers widen to their width range; the BINOP
+    kernels `add`/`sub` transfer precisely (vectorized over the accumulated
+    temp file), `mul` by a singleton scales.  RUN/CCALL blocks define no
+    temps and map to ``{}``.
+    """
+    if block.kind != ir.OPS:
+        return {}
+    n = block.n_temps
+    lo = [0] * n
+    hi = [MASK64] * n
+    width_of = [64] * n
+
+    def set_iv(t: int, interval: Interval, width: int) -> None:
+        clipped = interval.intersect(from_width(width))
+        if clipped is None:
+            clipped = from_width(width)
+        lo[t], hi[t] = clipped.lo, clipped.hi
+        width_of[t] = width
+
+    for op in block.ops:
+        code = op[0]
+        if code == ir.GET:
+            value = pred.get_reg(op[2])
+            width = op[3] or 64
+            if value is None:
+                set_iv(op[1], from_width(width), width)
+            else:
+                set_iv(op[1], expr_interval(value, pred), width)
+        elif code == ir.CONST:
+            expr = op[2]
+            width = expr.width if isinstance(expr, Const) else 64
+            iv = singleton(expr.value) if isinstance(expr, Const) else TOP
+            set_iv(op[1], iv, width)
+        elif code == ir.BIN:
+            dst, fn, a, b, width = op[1], op[2], op[3], op[4], op[5]
+            name = _kernel_name(fn)
+            (la,), (ha,) = [lo[a]], [hi[a]]
+            if name == "add":
+                vlo, vhi = add_vec([lo[a]], [hi[a]], [lo[b]], [hi[b]], width)
+                set_iv(dst, Interval(vlo[0], vhi[0]), width)
+            elif name == "sub":
+                vlo, vhi = sub_vec([lo[a]], [hi[a]], [lo[b]], [hi[b]], width)
+                set_iv(dst, Interval(vlo[0], vhi[0]), width)
+            elif name == "mul" and lo[b] == hi[b]:
+                vlo, vhi = scale_vec([la], [ha], lo[b], width)
+                set_iv(dst, Interval(vlo[0], vhi[0]), width)
+            else:
+                set_iv(dst, from_width(width), width)
+        elif code == ir.UN:
+            dst, fn, a, width = op[1], op[2], op[3], op[4]
+            name = _kernel_name(fn)
+            if name == "zext":
+                # Zero extension preserves the value set exactly.
+                set_iv(dst, Interval(lo[a], hi[a]), width)
+            elif name == "low" and hi[a] < (1 << width):
+                set_iv(dst, Interval(lo[a], hi[a]), width)
+            else:
+                set_iv(dst, from_width(width), width)
+        elif code == ir.ITE:
+            dst, _, a, b, width = op[1], op[2], op[3], op[4], op[5]
+            set_iv(dst, Interval(min(lo[a], lo[b]), max(hi[a], hi[b])), width)
+        elif code == ir.COND:
+            set_iv(op[1], Interval(0, 1), 1)
+        elif code in (ir.LOAD, ir.SHIFT):
+            width = op[3] * 8 if code == ir.LOAD else op[5]
+            set_iv(op[1], from_width(width), width)
+        elif code == ir.ADDR:
+            set_iv(op[1], TOP, 64)
+        # PUT/STORE/FLAG_*/IMARK define no temps.
+
+    return {t: Interval(lo[t], hi[t]) for t in range(n)}

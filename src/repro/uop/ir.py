@@ -1,0 +1,166 @@
+"""The flat micro-op IR (ROADMAP item 2): τ compiled to VEX-style uops.
+
+A decoded instruction compiles **once** (per opcode + operand shape, see
+:mod:`repro.uop.compile`) into a :class:`UopBlock` — a flat tuple of
+micro-ops executed by the array interpreter in :mod:`repro.uop.interp`
+against a dense temp-slot file.  The grammar follows the classic
+binary-lifting IL shape (VEX / BIL: *Sound Transpilation from Binary to
+Machine-Independent Code*, IsaBIL):
+
+* ``IMARK``          — instruction boundary; ``addr``/``end`` are bound at
+  execution time so one block serves every call site of its form;
+* ``GET``/``PUT``    — register-file access (family name + static width,
+  sub-register merges precompiled as keep-mask constants);
+* ``ADDR``/``ADDR_RIP`` — address-template evaluation (the compile step
+  pre-simplifies ``disp + base + index*scale`` through the expression
+  kernels; rip-relative forms defer only the ``end + disp`` fold);
+* ``LOAD``/``STORE`` — memory traffic through the shared, trusted
+  :mod:`repro.semantics.memory` helpers (region slots are evaluated once
+  per step and shared between the fork recipe and the body);
+* ``BIN``/``UN``/``ITE`` — ⊥-propagating applications of the simplifying
+  expression constructors;
+* ``COND``           — condition-code expression over the flag thunk;
+* ``FLAG_*``         — the CCALL-style flag thunks: status flags stay a
+  symbolic :class:`~repro.pred.flags.FlagState` (operation kind + operand
+  temps) and are only materialized into clauses when a later ``jcc``/
+  ``setcc`` reads them — flag computation is batched into one terminal
+  micro-op per block instead of per-bit assignments;
+* ``SHIFT``          — the shift/rotate transformer (count-dependent flag
+  contract of τ preserved, including the runtime constant-count check);
+* ``RUN``-kind blocks — compiled closures for the stack/control forms
+  (``push``/``pop``/``jcc``) whose successor structure doesn't fit the
+  straight-line temp file;
+* ``CCALL``-kind blocks — clean-call fallback into τ's own transformer
+  for the rare complex forms (string ops, mul/div, ``adc``/``sbb``,
+  ``xchg``…): identical semantics by construction.
+
+Temporaries are *hash-consed*: the emitter value-numbers every pure
+micro-op, so structurally identical subcomputations inside one block share
+a single temp slot (see :class:`BlockEmitter`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+# -- opcodes (dense ints: the interpreter dispatches on op[0]) -----------------
+
+IMARK = 0        # ()                     instruction boundary (informational)
+GET = 1          # (dst, family, low_width)   low_width==0 -> full 64-bit read
+CONST = 2        # (dst, expr)            pre-simplified constant/expression
+ADDR = 3         # (dst, slot)            address value of memory-operand slot
+LOAD = 4         # (dst, slot, size)      read_region via the slot's region
+BIN = 5          # (dst, kernel, a, b, width)  ⊥-propagating binary kernel
+UN = 6           # (dst, kernel, a, width)     ⊥-propagating unary kernel
+ITE = 7          # (dst, c, a, b, width)       ⊥-propagating if-then-else
+COND = 8         # (dst, cc)              condition expr over the flag thunk
+STORE = 9        # (slot, size, src)      write_region (⊥ value -> fresh havoc)
+PUT = 10         # (family, src, width, keep_mask)  sub-register merge baked in
+FLAG_CMP = 11    # (kind, a, b, width)    flag thunk from both operands
+FLAG_ARITH = 12  # (result, width)        flag thunk from the result temp
+FLAG_NONE = 13   # ()                     havoc the flag state
+SHIFT = 14       # (dst, code, a, n, width)    full τ shift/rotate contract
+FLAG_SHIFT = 15  # (result, n, code, width)    count-dependent shift flags
+
+#: Shift codes for the SHIFT micro-op.
+SHL, SHR, SAR, ROL, ROR = 0, 1, 2, 3, 4
+
+OP_NAMES = {
+    IMARK: "IMark", GET: "GET", CONST: "CONST", ADDR: "ADDR", LOAD: "LOAD",
+    BIN: "BINOP", UN: "UNOP", ITE: "ITE", COND: "COND", STORE: "STORE",
+    PUT: "PUT", FLAG_CMP: "FLAG_CMP", FLAG_ARITH: "FLAG_ARITH",
+    FLAG_NONE: "FLAG_NONE", SHIFT: "SHIFT", FLAG_SHIFT: "FLAG_SHIFT",
+}
+
+# -- region-recipe entries (Definition 4.2's R, precompiled per form) ----------
+
+RG_MEM = 0       # (RG_MEM, template_or_None, size, rip_disp)  a Mem operand
+RG_PUSH = 1      # (RG_PUSH,)              [rsp-8, 8]  when rsp is valued
+RG_POPRET = 2    # (RG_POPRET,)            [rsp, 8]    when rsp is valued
+RG_LEAVE = 3     # (RG_LEAVE,)             [rbp, 8]    when rbp is valued
+RG_STRING = 4    # (RG_STRING, use_rdi, use_rsi, size)
+
+#: Block kinds.
+OPS = "ops"      # flat micro-op body run by the array interpreter
+RUN = "run"      # compiled closure (stack/control successor shapes)
+CCALL = "ccall"  # clean call into τ's reference transformer
+
+
+@dataclass(frozen=True)
+class UopBlock:
+    """One compiled instruction form.
+
+    ``digest`` content-addresses the block (opcode + operand shape +
+    ``SEMANTICS_VERSION``); it doubles as the step-memo namespace, so a
+    semantics bump invalidates both the compile table and every memoized
+    transfer result.  ``pure_hint`` marks forms that can never consume
+    fresh havoc names — the interpreter additionally *verifies* purity
+    dynamically (name-counter check) before memoizing a transfer.
+    """
+
+    digest: str
+    mnemonic: str
+    kind: str                                   # OPS | RUN | CCALL
+    regions: tuple[tuple, ...] = ()             # region recipe
+    ops: tuple[tuple, ...] = ()                 # OPS bodies
+    run: Callable | None = None                 # RUN bodies
+    n_temps: int = 0
+    pure_hint: bool = False
+
+    def __str__(self) -> str:
+        lines = [f"UopBlock[{self.mnemonic}] kind={self.kind} "
+                 f"digest={self.digest[:12]}"]
+        for op in self.ops:
+            lines.append(f"  {OP_NAMES.get(op[0], op[0])}{op[1:]}")
+        return "\n".join(lines)
+
+
+class BlockEmitter:
+    """Emit micro-ops with hash-consed (value-numbered) temporaries.
+
+    Pure ops (GET/CONST/ADDR/BIN/UN/ITE/COND) with identical operands are
+    emitted once and share a temp slot; effectful ops (LOAD/STORE/PUT/
+    FLAG_*/SHIFT) always append.  LOADs are *not* value-numbered: τ issues
+    one ``read_region`` per operand read and the uop engine must consume
+    fresh-name state in the same order.
+    """
+
+    _PURE = (GET, CONST, ADDR, BIN, UN, ITE, COND)
+
+    def __init__(self) -> None:
+        self.ops: list[tuple] = [(IMARK,)]
+        self._numbered: dict[tuple, int] = {}
+        self._n_temps = 0
+
+    def temp(self) -> int:
+        t = self._n_temps
+        self._n_temps += 1
+        return t
+
+    def emit(self, code: int, *args: Any) -> None:
+        self.ops.append((code, *args))
+
+    def value(self, code: int, *args: Any) -> int:
+        """Emit a pure value-producing op; returns its (hash-consed) temp."""
+        key = (code, *args)
+        found = self._numbered.get(key)
+        if found is not None:
+            return found
+        dst = self.temp()
+        self.ops.append((code, dst, *args))
+        self._numbered[key] = dst
+        return dst
+
+    def load(self, slot: int, size: int) -> int:
+        dst = self.temp()
+        self.ops.append((LOAD, dst, slot, size))
+        return dst
+
+    def shift(self, code: int, a: int, n: int, width: int) -> int:
+        dst = self.temp()
+        self.ops.append((SHIFT, dst, code, a, n, width))
+        return dst
+
+    def finish(self) -> tuple[tuple[tuple, ...], int]:
+        return tuple(self.ops), self._n_temps

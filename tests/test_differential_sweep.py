@@ -25,9 +25,13 @@ def test_sweep_covers_the_supported_instruction_families():
     assert len(names) > 100
 
 
+@pytest.mark.parametrize("engine", ["tau", "uop"])
 @pytest.mark.parametrize("form", _FORMS, ids=lambda form: form.name)
-def test_tau_simulates_emulator(form):
-    failure = run_form(form, seed=2022)
+def test_tau_simulates_emulator(form, engine):
+    # τ-vs-concrete and uop-vs-concrete: both engines must satisfy the
+    # same simulation relation on every form, so a uop divergence from τ
+    # shows up as a concrete mismatch naming the instruction.
+    failure = run_form(form, seed=2022, engine=engine)
     assert failure is None, failure
 
 
@@ -36,3 +40,9 @@ def test_sweep_battery_clean_across_seeds(seed):
     from repro.qa.diffsweep import run_battery
 
     assert run_battery(seed) == []
+
+
+def test_sweep_battery_clean_under_uop_engine():
+    from repro.qa.diffsweep import run_battery
+
+    assert run_battery(2022, engine="uop") == []

@@ -1,0 +1,284 @@
+"""The micro-op engine: compile memo, array interpreter, τ equivalence.
+
+Covers the PR-10 tentpole contracts:
+
+* ``compile_insn`` is deterministic and content-addressed — identical
+  opcode+operand shapes share one compiled block regardless of address,
+  and a ``SEMANTICS_VERSION`` bump misses the memo;
+* ``uop_step`` is a drop-in for ``tau.step``: successor-for-successor
+  equal (predicate, memory model, events) on straight-line code;
+* the step memo only keeps *pure* transfers (no fresh havoc names) and
+  replays them on identical states;
+* the vectorized interval interpreter is conservative;
+* all three uop caches are registered with the perf layer and reset with
+  everything else.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.elf import BinaryBuilder
+from repro.expr import Const
+from repro.isa import Imm, Mem, insn
+from repro.perf import cache_stats, reset_caches
+from repro.semantics import LiftContext, initial_state, step
+from repro.uop import (
+    batch_interval_of,
+    block_intervals,
+    compile_insn,
+    opcode_stats,
+    shape_key,
+    uop_step,
+)
+from repro.uop import ir
+from repro.uop.interp import _STEP_STATS
+
+
+def make_binary(instructions, name="uop-test"):
+    builder = BinaryBuilder(name)
+    builder.text.label("main")
+    for instr in instructions:
+        builder.text.emit(instr.mnemonic, *instr.operands)
+    builder.text.emit("ret")
+    return builder.build(entry="main")
+
+
+def fetch_all(binary, count):
+    out = []
+    addr = binary.entry
+    for _ in range(count):
+        instr = binary.fetch(addr)
+        out.append(instr)
+        addr = instr.end
+    return out
+
+
+def run_engine(instructions, step_fn):
+    """Step a straight-line sequence; returns the final successor lists."""
+    binary = make_binary(instructions)
+    ctx = LiftContext(binary)
+    states = [initial_state(binary.entry)]
+    successors = []
+    for instr in fetch_all(binary, len(instructions)):
+        successors = [succ for state in states
+                      for succ in step_fn(state, instr, ctx)]
+        states = [succ.state for succ in successors]
+    return successors
+
+
+SEQUENCES = {
+    "mov-imm": [insn("mov", "rax", Imm(42, 32))],
+    "alu-chain": [insn("mov", "rax", "rdi"),
+                  insn("add", "rax", Imm(5, 32)),
+                  insn("sub", "rax", "rsi"),
+                  insn("and", "rax", "rdx")],
+    "subreg": [insn("mov", "rax", Imm(0x1100, 32)),
+               insn("mov", "al", Imm(0x22, 8))],
+    "lea": [insn("lea", "rbx", Mem(base="rdi", index="rsi",
+                                   scale=4, disp=8, width=64))],
+    "stack": [insn("push", "rdi"), insn("pop", "rax")],
+    "store-load": [insn("mov", Mem(base="rsp", disp=-8, width=64), "rdi"),
+                   insn("mov", "rcx", Mem(base="rsp", disp=-8, width=64))],
+    "flags": [insn("cmp", "rdi", "rsi"), insn("sete", "al")],
+    "shift": [insn("mov", "rax", "rdi"), insn("shl", "rax", Imm(3, 8))],
+    "cmov": [insn("cmp", "rdi", Imm(0, 32)),
+             insn("cmove", "rax", "rsi")],
+}
+
+
+@pytest.mark.parametrize("name", sorted(SEQUENCES))
+def test_uop_step_matches_tau_step(name):
+    tau_succs = run_engine(SEQUENCES[name], step)
+    reset_caches()
+    uop_succs = run_engine(SEQUENCES[name], uop_step)
+    assert len(tau_succs) == len(uop_succs)
+    for t, u in zip(tau_succs, uop_succs):
+        assert t.state.pred == u.state.pred
+        assert t.state.model == u.state.model
+        assert t.assumptions == u.assumptions
+        assert t.events == u.events
+
+
+# -- the compile memo ----------------------------------------------------------
+
+
+def test_compile_insn_is_deterministic():
+    binary = make_binary([insn("add", "rax", Imm(5, 32))])
+    instr = binary.fetch(binary.entry)
+    reset_caches()
+    first = compile_insn(instr)
+    again = compile_insn(instr)
+    assert again is first          # per-instruction probe hit
+    reset_caches()
+    rebuilt = compile_insn(instr)
+    assert rebuilt is not first
+    assert rebuilt.digest == first.digest
+    assert rebuilt.ops == first.ops
+    assert rebuilt.n_temps == first.n_temps
+    assert rebuilt.kind == first.kind
+
+
+def test_compile_table_shares_shapes_across_addresses():
+    # The same opcode+operand shape at two different addresses compiles
+    # once: shape_key is address-independent, so the second instruction
+    # probes straight into the shape table.
+    binary = make_binary([insn("add", "rax", Imm(5, 32)),
+                          insn("mov", "rbx", "rcx"),
+                          insn("add", "rax", Imm(5, 32))])
+    first, middle, third = fetch_all(binary, 3)
+    assert first.addr != third.addr
+    assert shape_key(first) == shape_key(third)
+    reset_caches()
+    block_a = compile_insn(first)
+    compile_insn(middle)
+    block_b = compile_insn(third)
+    assert block_b is block_a
+    stats = cache_stats()["uop.compile"]
+    assert stats["misses"] == 2    # two distinct shapes
+    assert stats["hits"] == 1      # the shared shape
+
+
+def test_semantics_version_bump_misses_the_compile_memo(monkeypatch):
+    from repro.perf import store
+
+    binary = make_binary([insn("add", "rax", Imm(5, 32))])
+    instr = binary.fetch(binary.entry)
+    reset_caches()
+    old = compile_insn(instr)
+    monkeypatch.setattr(store, "SEMANTICS_VERSION",
+                        store.SEMANTICS_VERSION + "-test-bump")
+    bumped = compile_insn(instr)
+    assert bumped is not old
+    assert bumped.digest != old.digest
+    stats = cache_stats()["uop.compile"]
+    assert stats["misses"] == 2
+    monkeypatch.undo()
+    assert compile_insn(instr).digest == old.digest
+
+
+def test_opcode_stats_track_table_traffic():
+    binary = make_binary([insn("add", "rax", Imm(5, 32)),
+                          insn("add", "rax", Imm(5, 32))])
+    first, second = fetch_all(binary, 2)
+    reset_caches()
+    compile_insn(first)
+    compile_insn(second)
+    stats = opcode_stats()
+    assert stats["add"] == {"hits": 1, "misses": 1}
+
+
+# -- the step memo -------------------------------------------------------------
+
+
+def test_step_memo_replays_pure_transfers():
+    binary = make_binary([insn("mov", "rax", Imm(42, 32))])
+    ctx = LiftContext(binary)
+    instr = binary.fetch(binary.entry)
+    state = initial_state(binary.entry)
+    reset_caches()
+    first = uop_step(state, instr, ctx)
+    assert _STEP_STATS == {"hits": 0, "misses": 1, "impure": 0}
+    again = uop_step(state, instr, ctx)
+    assert _STEP_STATS["hits"] == 1
+    assert [succ.state.pred for succ in again] == \
+        [succ.state.pred for succ in first]
+
+
+def test_step_memo_skips_impure_transfers():
+    # idiv havocs fresh quotient/remainder names; replaying the memoized
+    # result would alias two divisions that must stay distinct, so the
+    # interpreter refuses to memoize it.
+    binary = make_binary([insn("idiv", "rcx")])
+    ctx = LiftContext(binary)
+    instr = binary.fetch(binary.entry)
+    state = initial_state(binary.entry)
+    reset_caches()
+    uop_step(state, instr, ctx)
+    assert _STEP_STATS["impure"] == 1
+    uop_step(state, instr, ctx)
+    assert _STEP_STATS["hits"] == 0
+
+
+def test_step_memo_does_not_alias_binaries():
+    # Identical bytes, two Binary objects: the memo key folds a per-object
+    # token, so lifts of different binaries never share transfer results.
+    seq = [insn("mov", "rax", Imm(42, 32))]
+    binary_a = make_binary(seq)
+    binary_b = make_binary(seq)
+    instr_a = binary_a.fetch(binary_a.entry)
+    instr_b = binary_b.fetch(binary_b.entry)
+    reset_caches()
+    uop_step(initial_state(binary_a.entry), instr_a, LiftContext(binary_a))
+    uop_step(initial_state(binary_b.entry), instr_b, LiftContext(binary_b))
+    assert _STEP_STATS["misses"] == 2
+    assert _STEP_STATS["hits"] == 0
+
+
+# -- the interval interpreter --------------------------------------------------
+
+
+def test_block_intervals_is_conservative_on_constants():
+    binary = make_binary([insn("mov", "rax", Imm(5, 32)),
+                          insn("add", "rax", Imm(7, 32))])
+    ctx = LiftContext(binary)
+    mov, add = fetch_all(binary, 2)
+    state = initial_state(binary.entry)
+    [after_mov] = uop_step(state, mov, ctx)
+    pred = after_mov.state.pred
+    assert pred.get_reg("rax") == Const(5, 64)
+    block = compile_insn(add)
+    assert block.kind == ir.OPS
+    bounds = block_intervals(block, pred, add)
+    assert bounds                       # OPS blocks define temps
+    # Every temp bound stays inside the unsigned 64-bit lattice, and the
+    # 5 + 7 sum is bounded exactly (the add kernel transfers precisely).
+    assert all(0 <= iv.lo <= iv.hi <= (1 << 64) - 1
+               for iv in bounds.values())
+    assert any(iv.lo == iv.hi == 12 for iv in bounds.values())
+
+
+def test_batch_interval_of_matches_singletons():
+    pred = initial_state(0x1000).pred
+    exprs = [Const(5, 64), Const(0xFF, 64)]
+    bounds = batch_interval_of(pred, exprs)
+    assert [(iv.lo, iv.hi) for iv in bounds] == [(5, 5), (0xFF, 0xFF)]
+
+
+# -- verdict identity on the QA targets ----------------------------------------
+
+
+def test_every_qa_target_is_verdict_identical_across_engines():
+    # The PR's equivalence bar (DESIGN.md): same verdict signature —
+    # outcome, errors, annotations, obligations, triple statuses, lint
+    # findings — on every QA target under either engine.
+    from repro.qa.detectors import binary_signature
+    from repro.qa.targets import build_target, target_names
+
+    for name in target_names():
+        binary = build_target(name)
+        reset_caches()
+        tau_sig = binary_signature(binary, engine="tau")
+        reset_caches()
+        uop_sig = binary_signature(binary, engine="uop")
+        assert tau_sig == uop_sig, f"engines diverged on target {name!r}"
+
+
+# -- perf-layer registration ---------------------------------------------------
+
+
+def test_uop_caches_are_registered_and_reset():
+    binary = make_binary([insn("mov", "rax", Imm(42, 32))])
+    ctx = LiftContext(binary)
+    instr = binary.fetch(binary.entry)
+    reset_caches()
+    uop_step(initial_state(binary.entry), instr, ctx)
+    stats = cache_stats()
+    for name in ("uop.compile", "uop.step", "uop.ins"):
+        assert name in stats
+    assert stats["uop.compile"]["size"] >= 1
+    reset_caches()
+    stats = cache_stats()
+    assert stats["uop.compile"] == {"hits": 0, "misses": 0, "size": 0}
+    assert stats["uop.step"]["size"] == 0
+    assert opcode_stats() == {}
